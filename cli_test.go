@@ -1,0 +1,122 @@
+package faultyrank_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every CLI into a temp dir once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", bin+string(os.PathSeparator), "./cmd/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, wantExit int, bin, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, tool), args...)
+	out, err := cmd.CombinedOutput()
+	exit := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	if exit != wantExit {
+		t.Fatalf("%s %v: exit %d, want %d\n%s", tool, args, exit, wantExit, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the complete toolchain the README documents:
+// make a cluster, corrupt it, check (non-zero exit), repair, re-check
+// clean, compare with the LFSCK tool, and exercise the graph workbench.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all CLIs")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	cluster := filepath.Join(work, "cluster")
+
+	out := run(t, 0, bin, "frmkfs", "-out", cluster, "-files", "300", "-compact")
+	if !strings.Contains(out, "populated: ") || !strings.Contains(out, "wrote 9 images") {
+		t.Fatalf("frmkfs output: %s", out)
+	}
+
+	out = run(t, 0, bin, "frinject", "-list")
+	if !strings.Contains(out, "mismatch/file-id-corrupt") {
+		t.Fatalf("frinject -list output: %s", out)
+	}
+	out = run(t, 0, bin, "frinject", "-dir", cluster, "-scenario", "dangling/object-id-corrupt")
+	if !strings.Contains(out, "ground truth: id field") {
+		t.Fatalf("frinject output: %s", out)
+	}
+
+	// Findings present, no repair requested: exit 1.
+	out = run(t, 1, bin, "faultyrank", "-dir", cluster)
+	if !strings.Contains(out, "faulty-id") {
+		t.Fatalf("faultyrank check output: %s", out)
+	}
+	// Repair and verify.
+	out = run(t, 0, bin, "faultyrank", "-dir", cluster, "-repair")
+	if !strings.Contains(out, "consistent after repair") {
+		t.Fatalf("faultyrank repair output: %s", out)
+	}
+	// Now clean: exit 0, no findings.
+	out = run(t, 0, bin, "faultyrank", "-dir", cluster)
+	if !strings.Contains(out, "no findings") {
+		t.Fatalf("faultyrank verify output: %s", out)
+	}
+	// LFSCK agrees the repaired cluster is clean.
+	out = run(t, 0, bin, "frlfsck", "-dir", cluster, "-dry-run")
+	if !strings.Contains(out, "0 actions") {
+		t.Fatalf("frlfsck output: %s", out)
+	}
+
+	// Graph workbench: gen -> stats -> convert -> rank.
+	gbin := filepath.Join(work, "g.bin")
+	gtxt := filepath.Join(work, "g.txt")
+	run(t, 0, bin, "frgraph", "gen", "-kind", "rmat", "-scale", "10", "-o", gbin)
+	out = run(t, 0, bin, "frgraph", "stats", "-i", gbin)
+	if !strings.Contains(out, "vertices ") {
+		t.Fatalf("frgraph stats output: %s", out)
+	}
+	run(t, 0, bin, "frgraph", "convert", "-i", gbin, "-o", gtxt)
+	out = run(t, 0, bin, "frgraph", "rank", "-i", gtxt, "-trace")
+	if !strings.Contains(out, "converged=true") || !strings.Contains(out, "iter  1") {
+		t.Fatalf("frgraph rank output: %s", out)
+	}
+
+	// Table generator smoke.
+	out = run(t, 0, bin, "frbench", "-table", "2")
+	if !strings.Contains(out, "Table II") {
+		t.Fatalf("frbench output: %s", out)
+	}
+}
+
+// TestCLIAgedCluster exercises the -inodes aging path of frmkfs plus a
+// TCP-mode check.
+func TestCLIAgedCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs CLIs")
+	}
+	bin := buildTools(t)
+	cluster := filepath.Join(t.TempDir(), "aged")
+	out := run(t, 0, bin, "frmkfs", "-out", cluster, "-inodes", "1500", "-compact")
+	if !strings.Contains(out, "aged cluster:") {
+		t.Fatalf("frmkfs aging output: %s", out)
+	}
+	out = run(t, 0, bin, "faultyrank", "-dir", cluster, "-tcp")
+	if !strings.Contains(out, "no findings") {
+		t.Fatalf("tcp check output: %s", out)
+	}
+}

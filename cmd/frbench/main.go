@@ -1,0 +1,100 @@
+// Command frbench regenerates the paper's evaluation tables and figures
+// on the simulated substrate:
+//
+//	frbench -table 2               # Table II  (worked example ranks)
+//	frbench -table 3               # Table III (graph inputs)
+//	frbench -table 4               # Table IV  (FaultyRank perf/memory)
+//	frbench -table 5               # Table V   (degree sweep)
+//	frbench -table 6               # Table VI  (end-to-end vs LFSCK)
+//	frbench -table fig7            # Fig. 7    (functional comparison)
+//	frbench -table all -scale smoke
+//
+// -scale picks sizing: smoke (seconds), default (minutes), paper (the
+// published sizes; RMAT-26 needs ~30 GB RAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"faultyrank/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frbench: ")
+	var (
+		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|all")
+		scaleStr = flag.String("scale", "default", "sizing: smoke|default|paper")
+		workers  = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+		useTCP   = flag.Bool("tcp", true, "Table VI: run both checkers over localhost TCP")
+	)
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := func(name string) bool {
+		return *table == "all" || strings.EqualFold(*table, name)
+	}
+	ran := false
+	if want("2") {
+		fmt.Println(bench.Table2().Render())
+		ran = true
+	}
+	if want("3") {
+		fmt.Println(bench.Table3(scale).Render())
+		ran = true
+	}
+	if want("4") {
+		fmt.Println(bench.Table4(scale, *workers).Render())
+		ran = true
+	}
+	if want("5") {
+		fmt.Println(bench.Table5(scale, *workers).Render())
+		ran = true
+	}
+	if want("fig7") {
+		rows, err := bench.Fig7Compare(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.Fig7Table(rows).Render())
+		ran = true
+	}
+	if want("6") {
+		rows, err := bench.Table6Measure(scale, *useTCP, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.Table6(rows).Render())
+		ran = true
+	}
+	if want("dne") {
+		tab, err := bench.TableDNE(scale, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+		ran = true
+	}
+	if want("ablation") {
+		tab, err := bench.AblationMatrix(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(tab.Render())
+		fp, err := bench.AblationFalsePositives(scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fp.Render())
+		ran = true
+	}
+	if !ran {
+		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|all)", *table)
+	}
+}

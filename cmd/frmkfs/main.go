@@ -1,0 +1,74 @@
+// Command frmkfs creates a simulated Lustre cluster, populates it with
+// a LANL-style namespace (paper §V-A), and writes the server images to
+// a directory for the other tools:
+//
+//	frmkfs -out cluster/ -files 50000 -osts 8
+//	frmkfs -out cluster/ -inodes 200000        # age to an inode target
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/imgdir"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frmkfs: ")
+	var (
+		out        = flag.String("out", "cluster", "output directory for server images")
+		files      = flag.Int("files", 10000, "number of files to create (LANL-style tree)")
+		inodes     = flag.Int64("inodes", 0, "age the cluster to this MDT inode count instead of -files")
+		osts       = flag.Int("osts", 8, "number of OSTs")
+		mdts       = flag.Int("mdts", 1, "number of MDTs (>1 = DNE distributed namespace)")
+		stripeSize = flag.Int("stripesize", 64<<10, "stripe size in bytes")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		compact    = flag.Bool("compact", false, "use compact image geometry (small test images)")
+	)
+	flag.Parse()
+
+	geom := ldiskfs.DefaultGeometry()
+	if *compact {
+		geom = ldiskfs.CompactGeometry()
+	}
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: *osts, NumMDTs: *mdts, StripeSize: *stripeSize, StripeCount: -1, Geometry: geom,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *inodes > 0 {
+		alive, err := workload.Age(c, workload.AgeSpec{
+			TargetMDTInodes: *inodes, ChurnFraction: 0.15, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("aged cluster: %d MDT inodes, %d total, %d live files\n",
+			c.MDTInodes(), c.TotalInodes(), len(alive))
+	} else {
+		st, err := workload.Populate(c, workload.DefaultTreeSpec(*files, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("populated: %d dirs, %d files, %d stripe objects, %.1f MiB logical\n",
+			st.Dirs, st.Files, st.Objects, float64(st.Bytes)/(1<<20))
+	}
+	images := checker.ClusterImages(c)
+	if err := imgdir.Save(*out, images); err != nil {
+		log.Fatal(err)
+	}
+	var bytes int64
+	for _, img := range images {
+		bytes += int64(len(img.Bytes()))
+	}
+	fmt.Printf("wrote %d images (%.1f MiB) to %s\n", len(images), float64(bytes)/(1<<20), *out)
+	os.Exit(0)
+}

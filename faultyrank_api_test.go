@@ -1,0 +1,64 @@
+package faultyrank_test
+
+import (
+	"testing"
+
+	"faultyrank"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/inject"
+	"faultyrank/internal/ldiskfs"
+)
+
+// TestFacadeEndToEnd exercises the re-exported top-level API: cluster,
+// check, repair, and the LFSCK baseline.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := faultyrank.DefaultClusterConfig()
+	cfg.NumOSTs = 2
+	cfg.Geometry = ldiskfs.CompactGeometry()
+	cluster, err := faultyrank.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.MkdirAll("/x"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cluster.Create("/x/f"+string(rune('a'+i)), 2*64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := inject.Inject(cluster, inject.MismatchFilterFID, "/x/fa"); err != nil {
+		t.Fatal(err)
+	}
+	images := checker.ClusterImages(cluster)
+	res, err := faultyrank.Check(images, faultyrank.DefaultCheckOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("fault not found through the facade")
+	}
+	applied, skipped := faultyrank.Repair(images, res)
+	if applied == 0 || skipped != 0 {
+		t.Fatalf("repair: applied=%d skipped=%d", applied, skipped)
+	}
+	verify, err := faultyrank.CheckCluster(cluster, faultyrank.DefaultCheckOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verify.Findings) != 0 {
+		t.Fatalf("residual findings: %d", len(verify.Findings))
+	}
+	lres, err := faultyrank.RunLFSCK(images, faultyrank.LFSCKOptions{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lres.Actions) != 0 {
+		t.Fatalf("LFSCK found actions on a repaired cluster: %+v", lres.Actions)
+	}
+	opt := faultyrank.DefaultOptions()
+	if opt.Epsilon != 0.1 || opt.UnpairedWeight != 0.1 {
+		t.Errorf("default options drifted: %+v", opt)
+	}
+}

@@ -1,0 +1,3 @@
+module faultyrank
+
+go 1.24

@@ -1,0 +1,154 @@
+// Package agg implements the FaultyRank aggregator (paper §IV-B): it
+// merges the partial graphs produced by per-server scanners into one
+// unified metadata graph, remaps sparse 128-bit FIDs onto dense 32-bit
+// GIDs, and builds the in-DRAM CSR the iterative algorithm runs on.
+//
+// Because FIDs are cluster-unique, merging never conflicts; the remap is
+// a single deterministic pass in first-appearance order, so the same set
+// of partials always yields the same GID space.
+package agg
+
+import (
+	"fmt"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+)
+
+// ObjectLoc is the physical location of one inode claiming a FID.
+type ObjectLoc struct {
+	Server string // image label ("mdt0", "ost3", ...)
+	Ino    ldiskfs.Ino
+}
+
+// Unified is the merged, densely-numbered metadata graph plus the vertex
+// metadata the checker needs to translate graph findings back into file
+// system repairs.
+type Unified struct {
+	// FIDs maps GID -> FID.
+	FIDs []lustre.FID
+	// Edges is the merged edge list in GID space.
+	Edges []graph.Edge
+	// Present[g] is true when at least one scanned inode carries FID g;
+	// false marks a phantom: a FID that is referenced but exists nowhere.
+	Present []bool
+	// Types[g] is the file type of the first claiming inode.
+	Types []ldiskfs.FileType
+	// Claims[g] lists every physical inode claiming FID g; more than one
+	// entry is itself an inconsistency (duplicate identity).
+	Claims [][]ObjectLoc
+	// Issues carries forward the scanners' structural parse problems.
+	Issues []string
+
+	byFID map[lustre.FID]uint32
+}
+
+// N returns the vertex count of the unified graph.
+func (u *Unified) N() int { return len(u.FIDs) }
+
+// GID resolves a FID to its dense id.
+func (u *Unified) GID(f lustre.FID) (uint32, bool) {
+	g, ok := u.byFID[f]
+	return g, ok
+}
+
+// FID returns the FID of a GID (zero value when out of range).
+func (u *Unified) FID(g uint32) lustre.FID {
+	if int(g) >= len(u.FIDs) {
+		return lustre.FID{}
+	}
+	return u.FIDs[g]
+}
+
+// Merge combines partial graphs into a unified graph. Partials must be
+// passed in a fixed order (conventionally MDT first, then OSTs by index)
+// for a deterministic GID space.
+func Merge(parts []*scanner.Partial) *Unified {
+	var nObj, nEdge int
+	for _, p := range parts {
+		nObj += len(p.Objects)
+		nEdge += len(p.Edges)
+	}
+	u := &Unified{
+		byFID: make(map[lustre.FID]uint32, nObj+nEdge/4),
+		Edges: make([]graph.Edge, 0, nEdge),
+	}
+	gid := func(f lustre.FID) uint32 {
+		if g, ok := u.byFID[f]; ok {
+			return g
+		}
+		g := uint32(len(u.FIDs))
+		u.byFID[f] = g
+		u.FIDs = append(u.FIDs, f)
+		u.Present = append(u.Present, false)
+		u.Types = append(u.Types, ldiskfs.TypeFree)
+		u.Claims = append(u.Claims, nil)
+		return g
+	}
+	// Pass 1: physically present objects claim their FIDs.
+	for _, p := range parts {
+		for _, o := range p.Objects {
+			g := gid(o.FID)
+			if !u.Present[g] {
+				u.Present[g] = true
+				u.Types[g] = o.Type
+			}
+			u.Claims[g] = append(u.Claims[g], ObjectLoc{Server: p.ServerLabel, Ino: o.Ino})
+		}
+		for _, is := range p.Issues {
+			u.Issues = append(u.Issues, fmt.Sprintf("%s: %s", p.ServerLabel, is))
+		}
+	}
+	// Pass 2: edges; unseen destinations become phantom vertices.
+	for _, p := range parts {
+		for _, e := range p.Edges {
+			u.Edges = append(u.Edges, graph.Edge{
+				Src: gid(e.Src), Dst: gid(e.Dst), Kind: e.Kind,
+			})
+		}
+	}
+	return u
+}
+
+// DuplicateClaims returns the GIDs claimed by more than one inode —
+// duplicate-identity inconsistencies (paper Table I, double reference).
+func (u *Unified) DuplicateClaims() []uint32 {
+	var out []uint32
+	for g, c := range u.Claims {
+		if len(c) > 1 {
+			out = append(out, uint32(g))
+		}
+	}
+	return out
+}
+
+// Orphans returns present GIDs with no incoming edges in the unified
+// graph — objects nothing refers to (paper Table I, unreferenced object).
+// It needs the built graph for degree information.
+func (u *Unified) Orphans(b *graph.Bidirected) []uint32 {
+	var out []uint32
+	for g := 0; g < u.N(); g++ {
+		if u.Present[g] && b.InDegree(uint32(g)) == 0 {
+			out = append(out, uint32(g))
+		}
+	}
+	return out
+}
+
+// Phantoms returns GIDs that are referenced but not present anywhere.
+func (u *Unified) Phantoms() []uint32 {
+	var out []uint32
+	for g, present := range u.Present {
+		if !present {
+			out = append(out, uint32(g))
+		}
+	}
+	return out
+}
+
+// Build constructs the bidirected CSR graph from the merged edges.
+func (u *Unified) Build(workers int) *graph.Bidirected {
+	return graph.NewBidirected(u.N(), u.Edges, workers)
+}

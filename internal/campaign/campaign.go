@@ -1,0 +1,216 @@
+// Package campaign drives multi-fault evaluation campaigns in the style
+// of PFault (Cao et al., ICS'18 — the fault-injection study that
+// motivated FaultyRank): several inconsistencies are planted at once in
+// disjoint regions of one cluster, the checker runs a single pass, and
+// the verdicts are scored against the ground truth. The paper evaluates
+// one fault at a time (Fig. 7); campaigns extend that to concurrent
+// faults and measure recall (injected faults found), precision
+// (findings attributable to an injected fault) and whether repair
+// restored global consistency.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/inject"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/repair"
+)
+
+// Spec configures a campaign.
+type Spec struct {
+	// Faults is how many faults to plant (each in its own subtree).
+	Faults int
+	// Scenarios restricts the fault mix; empty means all eight.
+	Scenarios []inject.Scenario
+	// FilesPerRegion sizes each disjoint subtree.
+	FilesPerRegion int
+	// Seed drives scenario choice and target placement.
+	Seed int64
+	// Checker configures the pipeline under test.
+	Checker checker.Options
+}
+
+// DefaultSpec returns a 3-fault campaign over all scenarios.
+func DefaultSpec(seed int64) Spec {
+	return Spec{Faults: 3, FilesPerRegion: 6, Seed: seed, Checker: checker.DefaultOptions()}
+}
+
+// FaultOutcome scores one planted fault.
+type FaultOutcome struct {
+	Injection *inject.Injection
+	Region    string // the subtree the fault lives in
+	Detected  bool   // some finding names the fault's region
+}
+
+// Result is the campaign outcome.
+type Result struct {
+	Outcomes []FaultOutcome
+	// FalsePositives counts findings not attributable to any planted
+	// fault's region.
+	FalsePositives int
+	// TotalFindings is the raw finding count of the single check pass.
+	TotalFindings int
+	// RepairedClean reports whether one repair pass restored a fully
+	// consistent file system.
+	RepairedClean bool
+	// ResidualFindings counts findings surviving the repair pass.
+	ResidualFindings int
+}
+
+// Recall returns the fraction of planted faults that were detected.
+func (r *Result) Recall() float64 {
+	if len(r.Outcomes) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, o := range r.Outcomes {
+		if o.Detected {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(r.Outcomes))
+}
+
+// Precision returns the fraction of findings attributable to a fault.
+func (r *Result) Precision() float64 {
+	if r.TotalFindings == 0 {
+		return 1
+	}
+	return float64(r.TotalFindings-r.FalsePositives) / float64(r.TotalFindings)
+}
+
+// Run builds a fresh cluster with Spec.Faults disjoint regions, plants
+// one fault per region, checks once, scores, repairs, and verifies.
+func Run(spec Spec) (*Result, error) {
+	if spec.Faults < 1 {
+		return nil, fmt.Errorf("campaign: need at least one fault")
+	}
+	if spec.FilesPerRegion < 4 {
+		spec.FilesPerRegion = 4
+	}
+	scenarios := spec.Scenarios
+	if len(scenarios) == 0 {
+		for s := inject.Scenario(0); s < inject.NumScenarios; s++ {
+			scenarios = append(scenarios, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 8, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Disjoint regions: /region<i>/... so no fault's blast radius
+	// (parent dir, files, objects) overlaps another's.
+	regions := make([]string, spec.Faults)
+	regionFIDs := make([]map[lustre.FID]bool, spec.Faults)
+	for i := range regions {
+		regions[i] = fmt.Sprintf("/region%02d", i)
+		if err := c.MkdirAll(regions[i]); err != nil {
+			return nil, err
+		}
+		for f := 0; f < spec.FilesPerRegion; f++ {
+			p := fmt.Sprintf("%s/f%02d", regions[i], f)
+			if _, err := c.Create(p, 3*64<<10); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Record each region's FID set (dir + files + objects) while the
+	// metadata is still pristine.
+	for i, region := range regions {
+		set := make(map[lustre.FID]bool)
+		dirEnt, err := c.Stat(region)
+		if err != nil {
+			return nil, err
+		}
+		set[dirEnt.FID] = true
+		ents, err := c.ReadDir(region)
+		if err != nil {
+			return nil, err
+		}
+		for _, de := range ents {
+			fileEnt, err := c.Stat(region + "/" + de.Name)
+			if err != nil {
+				return nil, err
+			}
+			set[fileEnt.FID] = true
+			if raw, ok, _ := c.MDT.Img.GetXattr(fileEnt.Ino, lustre.XattrLOV); ok {
+				if layout, err := lustre.DecodeLOVEA(raw); err == nil {
+					for _, s := range layout.Stripes {
+						set[s.ObjectFID] = true
+					}
+				}
+			}
+		}
+		regionFIDs[i] = set
+	}
+
+	// Plant one fault per region.
+	res := &Result{}
+	for i, region := range regions {
+		s := scenarios[rng.Intn(len(scenarios))]
+		target := fmt.Sprintf("%s/f%02d", region, rng.Intn(spec.FilesPerRegion))
+		inj, err := inject.Inject(c, s, target)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: inject %v in %s: %w", s, region, err)
+		}
+		// Injection can mint new FIDs (wrong identities, impostors);
+		// fold them into the region set.
+		regionFIDs[i][inj.VictimFID] = true
+		if !inj.NewFID.IsZero() {
+			regionFIDs[i][inj.NewFID] = true
+		}
+		res.Outcomes = append(res.Outcomes, FaultOutcome{Injection: inj, Region: region})
+	}
+
+	// One checking pass over everything.
+	images := checker.ClusterImages(c)
+	chk, err := checker.Run(images, spec.Checker)
+	if err != nil {
+		return nil, err
+	}
+	res.TotalFindings = len(chk.Findings)
+	for _, f := range chk.Findings {
+		attributed := false
+		for i := range regions {
+			if regionFIDs[i][f.FID] || findingTouches(f, regionFIDs[i]) {
+				res.Outcomes[i].Detected = true
+				attributed = true
+			}
+		}
+		if !attributed && f.Kind != checker.ParseDamage {
+			res.FalsePositives++
+		}
+	}
+
+	// One repair pass, then verify.
+	eng := repair.NewEngine(images, chk)
+	eng.Apply(chk.Findings)
+	verify, err := checker.Run(images, spec.Checker)
+	if err != nil {
+		return nil, err
+	}
+	res.ResidualFindings = len(verify.Findings)
+	res.RepairedClean = verify.Stats.UnpairedEdges == 0 && len(verify.Findings) == 0
+	return res, nil
+}
+
+// findingTouches reports whether any repair of the finding references a
+// region FID (the finding's own FID may be a minted one, e.g. a fresh
+// lost+found identity).
+func findingTouches(f checker.Finding, region map[lustre.FID]bool) bool {
+	for _, r := range f.Repairs {
+		if region[r.TargetFID] || region[r.SourceFID] || region[r.NewID] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"testing"
+
+	"faultyrank/internal/inject"
+)
+
+func TestSingleFaultCampaign(t *testing.T) {
+	spec := DefaultSpec(1)
+	spec.Faults = 1
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall() != 1 {
+		t.Errorf("recall = %.2f: %+v", res.Recall(), res.Outcomes)
+	}
+	if !res.RepairedClean {
+		t.Errorf("repair left %d residual findings", res.ResidualFindings)
+	}
+}
+
+// TestMultiFaultCampaigns is the concurrent-fault extension: several
+// faults of mixed scenarios planted at once must all be detected by a
+// single pass, with high precision, and one repair pass must restore
+// consistency.
+func TestMultiFaultCampaigns(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		spec := DefaultSpec(seed)
+		spec.Faults = 4
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := res.Recall(); got != 1 {
+			for _, o := range res.Outcomes {
+				if !o.Detected {
+					t.Errorf("seed %d: missed %v in %s", seed, o.Injection.Scenario, o.Region)
+				}
+			}
+			t.Fatalf("seed %d: recall %.2f", seed, got)
+		}
+		if p := res.Precision(); p < 0.99 {
+			t.Errorf("seed %d: precision %.2f (%d false positives of %d findings)",
+				seed, p, res.FalsePositives, res.TotalFindings)
+		}
+		if !res.RepairedClean {
+			t.Errorf("seed %d: %d residual findings after repair", seed, res.ResidualFindings)
+		}
+	}
+}
+
+// TestScenarioRestriction: campaigns honour the allowed-scenario list.
+func TestScenarioRestriction(t *testing.T) {
+	spec := DefaultSpec(9)
+	spec.Faults = 3
+	spec.Scenarios = []inject.Scenario{inject.MismatchFilterFID}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		if o.Injection.Scenario != inject.MismatchFilterFID {
+			t.Errorf("unexpected scenario %v", o.Injection.Scenario)
+		}
+	}
+	if res.Recall() != 1 || !res.RepairedClean {
+		t.Errorf("restricted campaign: recall=%.2f clean=%v", res.Recall(), res.RepairedClean)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{Faults: 0}); err == nil {
+		t.Fatal("zero faults accepted")
+	}
+}

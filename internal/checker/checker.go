@@ -1,0 +1,317 @@
+// Package checker orchestrates the end-to-end FaultyRank pipeline on a
+// set of server images (paper Fig. 6): parallel per-server scanners →
+// bulk transfer of partial graphs to the aggregator → FID→GID remap and
+// CSR build → the iterative FaultyRank algorithm → fault classification
+// and repair recommendations. It reports the paper's stage timings
+// (T_scan, T_graph, T_FR) used in Table VI.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"faultyrank/internal/agg"
+	"faultyrank/internal/core"
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+	"faultyrank/internal/wire"
+)
+
+// Options configures a checker run.
+type Options struct {
+	// Workers bounds parallelism in scanners and graph kernels.
+	Workers int
+	// Core configures the FaultyRank iteration and detection.
+	Core core.Options
+	// UseTCP routes partial graphs through localhost TCP (the paper's
+	// deployment shape: scanners on OSS nodes ship graphs to the MDS
+	// aggregator). False hands the partials over in process.
+	UseTCP bool
+	// SplitProperties additionally runs the per-plane (namespace vs
+	// layout) rank extension (paper §VIII future work) and folds in the
+	// faults it attributes that the merged ranks dilute away — e.g. a
+	// corrupted LinkEA hiding behind a healthy layout.
+	SplitProperties bool
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{Core: core.DefaultOptions()}
+}
+
+// FindingKind classifies one reported inconsistency.
+type FindingKind uint8
+
+const (
+	// FaultyID: an object's identity scored below threshold.
+	FaultyID FindingKind = iota
+	// FaultyProperty: an object's pointing metadata scored below
+	// threshold.
+	FaultyProperty
+	// StaleObject: an object points at an owner FID that exists nowhere
+	// (lost file); LFSCK's lost+found territory.
+	StaleObject
+	// DuplicateIdentity: more than one physical inode claims one FID.
+	DuplicateIdentity
+	// OrphanObject: a present object participates in no relation at all.
+	OrphanObject
+	// ParseDamage: the scanner could not decode some metadata.
+	ParseDamage
+	// Ambiguous: an unpaired relation whose root cause the ranks cannot
+	// attribute (paper §VI: user input needed).
+	Ambiguous
+	// DetachedNamespace: an island of namespace objects whose relations
+	// pair perfectly yet which no root path reaches — the coherent
+	// corruption the paper declares undetectable (§VI); found here by
+	// the reachability extension.
+	DetachedNamespace
+)
+
+func (k FindingKind) String() string {
+	switch k {
+	case FaultyID:
+		return "faulty-id"
+	case FaultyProperty:
+		return "faulty-property"
+	case StaleObject:
+		return "stale-object"
+	case DuplicateIdentity:
+		return "duplicate-identity"
+	case OrphanObject:
+		return "orphan-object"
+	case ParseDamage:
+		return "parse-damage"
+	case Ambiguous:
+		return "ambiguous"
+	case DetachedNamespace:
+		return "detached-namespace"
+	default:
+		return fmt.Sprintf("finding(%d)", uint8(k))
+	}
+}
+
+// RepairAction is a concrete, applyable fix in FID space.
+type RepairAction struct {
+	Op        core.RepairOp
+	TargetFID lustre.FID
+	SourceFID lustre.FID
+	Kind      graph.EdgeKind
+	// NewID is the corrected identity for RepairSetID actions (resolved
+	// by matching the mis-identified object against the phantom FID its
+	// peers still reference).
+	NewID lustre.FID
+	// Loc pins the action to one physical inode when TargetFID alone is
+	// ambiguous (duplicate-identity quarantines).
+	Loc agg.ObjectLoc
+}
+
+func (a RepairAction) String() string {
+	switch a.Op {
+	case core.RepairSetID:
+		return fmt.Sprintf("set-id %v -> %v", a.TargetFID, a.NewID)
+	case core.RepairSetProperty:
+		return fmt.Sprintf("set-%v of %v to point at %v", a.Kind, a.TargetFID, a.SourceFID)
+	default:
+		return fmt.Sprintf("drop %v pointer of %v toward %v", a.Kind, a.TargetFID, a.SourceFID)
+	}
+}
+
+// Finding is one classified inconsistency with its recommended repairs.
+type Finding struct {
+	Kind    FindingKind
+	FID     lustre.FID
+	Field   core.Field
+	Score   float64
+	Detail  string
+	Repairs []RepairAction
+}
+
+// Result is the outcome of one checker run.
+type Result struct {
+	// Stage timings (paper Table VI columns).
+	TScan, TGraph, TRank time.Duration
+
+	Unified  *agg.Unified
+	Graph    *graph.Bidirected
+	Rank     *core.Result
+	Report   *core.Report
+	Stats    graph.Stats
+	Findings []Finding
+}
+
+// Total returns the end-to-end time.
+func (r *Result) Total() time.Duration { return r.TScan + r.TGraph + r.TRank }
+
+// FindingsOfKind filters findings.
+func (r *Result) FindingsOfKind(k FindingKind) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Kind == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasFinding reports whether a finding of kind k names fid.
+func (r *Result) HasFinding(k FindingKind, fid lustre.FID) bool {
+	for _, f := range r.Findings {
+		if f.Kind == k && f.FID == fid {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the full pipeline over the server images, which must be
+// ordered MDT first, then OSTs by index (the label order also used for
+// deterministic GID assignment).
+func Run(images []*ldiskfs.Image, opt Options) (*Result, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("checker: no images")
+	}
+	if opt.Core.MaxIterations == 0 {
+		opt.Core = core.DefaultOptions()
+	}
+	res := &Result{}
+
+	// ---- Stage 1: parallel scanners (T_scan) -------------------------
+	t0 := time.Now()
+	parts := make([]*scanner.Partial, len(images))
+	errs := make([]error, len(images))
+	done := make(chan int, len(images))
+	for i := range images {
+		go func(i int) {
+			parts[i], errs[i] = scanner.ScanImage(images[i], opt.Workers)
+			done <- i
+		}(i)
+	}
+	for range images {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.TScan = time.Since(t0)
+	if err := Analyze(res, images, parts, opt); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Analyze runs the pipeline's post-scan stages — transfer, aggregation,
+// CSR build, ranking and classification — over already-produced partial
+// graphs, filling the timing and result fields of res. It exists
+// separately from Run so incremental producers (package online) can
+// feed maintained partials through the identical analysis path.
+func Analyze(res *Result, images []*ldiskfs.Image, parts []*scanner.Partial, opt Options) error {
+	if opt.Core.MaxIterations == 0 {
+		opt.Core = core.DefaultOptions()
+	}
+	// ---- Stage 2: transfer + aggregate + CSR build (T_graph) ---------
+	t1 := time.Now()
+	if opt.UseTCP {
+		shipped, err := shipOverTCP(parts)
+		if err != nil {
+			return err
+		}
+		parts = shipped
+	}
+	res.Unified = agg.Merge(parts)
+	res.Graph = res.Unified.Build(opt.Workers)
+	res.TGraph = time.Since(t1)
+
+	// ---- Stage 3: FaultyRank + detection (T_FR) ----------------------
+	t2 := time.Now()
+	res.Rank = core.Run(res.Graph, opt.Core)
+	res.Report = core.Detect(res.Graph, res.Rank, res.Unified.Present, opt.Core)
+	byLabel := make(map[string]*ldiskfs.Image, len(images))
+	for _, img := range images {
+		byLabel[img.Label()] = img
+	}
+	res.Findings = classify(res, byLabel, opt)
+	res.Stats = res.Graph.Stats(opt.Workers)
+	res.TRank = time.Since(t2)
+	return nil
+}
+
+// RunCluster is a convenience wrapper scanning a simulated cluster's
+// images in canonical order.
+func RunCluster(c *lustre.Cluster, opt Options) (*Result, error) {
+	return Run(ClusterImages(c), opt)
+}
+
+// ClusterImages returns a cluster's images in canonical order (MDTs
+// first by index, then OSTs by index).
+func ClusterImages(c *lustre.Cluster) []*ldiskfs.Image {
+	var images []*ldiskfs.Image
+	for _, mdt := range c.MDTs {
+		images = append(images, mdt.Img)
+	}
+	for _, ost := range c.OSTs {
+		images = append(images, ost.Img)
+	}
+	return images
+}
+
+// shipOverTCP reproduces the deployment data path: every partial graph
+// is encoded, sent once in bulk to an MDS-side collector, and decoded
+// there. Partials are re-ordered by label so the GID space stays
+// deterministic.
+func shipOverTCP(parts []*scanner.Partial) ([]*scanner.Partial, error) {
+	col, addr, err := wire.NewCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer col.Close()
+	errCh := make(chan error, len(parts))
+	for _, p := range parts {
+		go func(p *scanner.Partial) {
+			errCh <- wire.SendPartialTo(addr, wire.EncodePartial(p))
+		}(p)
+	}
+	raw, err := col.CollectRaw(len(parts))
+	if err != nil {
+		return nil, err
+	}
+	for range parts {
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+	}
+	byLabel := make(map[string]*scanner.Partial, len(parts))
+	for _, b := range raw {
+		p, err := wire.DecodePartial(b)
+		if err != nil {
+			return nil, err
+		}
+		byLabel[p.ServerLabel] = p
+	}
+	out := make([]*scanner.Partial, 0, len(parts))
+	for _, orig := range parts {
+		p, ok := byLabel[orig.ServerLabel]
+		if !ok {
+			return nil, fmt.Errorf("checker: partial for %q lost in transfer", orig.ServerLabel)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// sortFindings orders findings deterministically for stable output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		if fs[i].FID != fs[j].FID {
+			return fs[i].FID.Less(fs[j].FID)
+		}
+		return fs[i].Field < fs[j].Field
+	})
+}

@@ -1,0 +1,81 @@
+package checker
+
+import (
+	"testing"
+
+	"faultyrank/internal/inject"
+)
+
+// TestDetachedCycleDetected: the coherent-corruption case the paper
+// declares undetectable (§VI) — a subtree severed from the root whose
+// members all pair perfectly — must be found by the reachability pass.
+func TestDetachedCycleDetected(t *testing.T) {
+	c := fig7Cluster(t)
+	inj, err := inject.Inject(c, inject.DetachedCycle, fig7Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCluster(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every relation pairs: rank-based detection must stay silent...
+	if res.Stats.UnpairedEdges != 0 {
+		t.Fatalf("cycle injection left %d unpaired edges — not coherent", res.Stats.UnpairedEdges)
+	}
+	if len(res.Report.Suspects) != 0 {
+		t.Errorf("rank suspects on a coherent graph: %+v", res.Report.Suspects)
+	}
+	// ...and the reachability pass must raise exactly one island.
+	islands := res.FindingsOfKind(DetachedNamespace)
+	if len(islands) != 1 {
+		t.Fatalf("detached islands = %d; findings: %v", len(islands), describe(res))
+	}
+	if islands[0].FID != inj.VictimFID {
+		t.Errorf("island anchored at %v, want %v", islands[0].FID, inj.VictimFID)
+	}
+	if len(islands[0].Repairs) < 2 { // re-root + drop the internal claim
+		t.Errorf("island repairs incomplete: %+v", islands[0].Repairs)
+	}
+}
+
+// TestCleanClusterHasNoIslands guards against reachability false
+// positives, including on clusters with lost+found content.
+func TestCleanClusterHasNoIslands(t *testing.T) {
+	c := fig7Cluster(t)
+	res, err := RunCluster(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.FindingsOfKind(DetachedNamespace)); n != 0 {
+		t.Fatalf("islands on a clean cluster: %d", n)
+	}
+}
+
+// TestDetachedIslandSkipsPairingFindings: a subtree severed the *loud*
+// way (parent dirent gone, LinkEA stale) is owned by pairing-based
+// findings; the reachability pass must not double-report it.
+func TestDetachedIslandSkipsPairingFindings(t *testing.T) {
+	c := fig7Cluster(t)
+	// Sever /proj1 by removing its dirent only: /proj1's LinkEA is now
+	// unanswered, which the pairing passes attribute.
+	dir, err := c.Stat("/proj1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MDT.Img.RemoveDirent(c.RootIno(), "proj1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCluster(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.FindingsOfKind(DetachedNamespace) {
+		if f.FID == dir.FID {
+			t.Fatalf("island double-reports the unpaired severed dir: %v", describe(res))
+		}
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("loud severing not reported at all")
+	}
+}

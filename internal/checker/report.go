@@ -1,0 +1,51 @@
+package checker
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders a human-readable account of a checker run: the
+// graph summary, the paper's stage timings, and every finding with its
+// recommended repairs. Verbose additionally dumps the rank scores of
+// the suspect vertices (the paper's Fig. 7 "example plot" data).
+func (r *Result) WriteReport(w io.Writer, verbose bool) error {
+	st := r.Stats
+	if _, err := fmt.Fprintf(w,
+		"metadata graph: %d vertices, %d edges (%d paired, %d unpaired), %d phantom FIDs\n",
+		st.Vertices, st.Edges, st.PairedEdges, st.UnpairedEdges,
+		len(r.Unified.Phantoms())); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "timing: T_scan=%.3fs  T_graph=%.3fs  T_FR=%.3fs  total=%.3fs\n",
+		r.TScan.Seconds(), r.TGraph.Seconds(), r.TRank.Seconds(), r.Total().Seconds())
+	fmt.Fprintf(w, "rank: %d iterations, converged=%v\n", r.Rank.Iterations, r.Rank.Converged)
+
+	if len(r.Findings) == 0 {
+		fmt.Fprintln(w, "verdict: file system is consistent — no findings")
+		return nil
+	}
+	fmt.Fprintf(w, "verdict: %d finding(s)\n", len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "  [%v] %v", f.Kind, f.FID)
+		if f.Detail != "" {
+			fmt.Fprintf(w, "  %s", f.Detail)
+		}
+		fmt.Fprintln(w)
+		for _, a := range f.Repairs {
+			fmt.Fprintf(w, "      repair: %v\n", a)
+		}
+	}
+	if verbose {
+		fmt.Fprintln(w, "suspect scores (mass-N scale, healthy ≈ 1.0):")
+		for _, s := range r.Report.Suspects {
+			fmt.Fprintf(w, "  %v %v: %.4f  (peers: %d)\n",
+				r.Unified.FID(s.Vertex), s.Field, s.Score, len(s.Peers))
+		}
+		for _, rel := range r.Report.Ambiguous {
+			fmt.Fprintf(w, "  ambiguous: %v -> %v (%v)\n",
+				r.Unified.FID(rel.From), r.Unified.FID(rel.To), rel.Kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sort"
+
+	"faultyrank/internal/graph"
+)
+
+// Field identifies which of the two metadata fields of an object is
+// implicated: its unique ID (pointed at by others) or its Properties
+// (pointing at others). See paper §III-B.
+type Field uint8
+
+const (
+	// FieldID is the object's identity (FID / LMA in Lustre terms).
+	FieldID Field = iota
+	// FieldProperty is the object's pointing metadata (DIRENT, LinkEA,
+	// LOVEA, filter-fid).
+	FieldProperty
+)
+
+func (f Field) String() string {
+	if f == FieldID {
+		return "id"
+	}
+	return "property"
+}
+
+// Suspect is one metadata field chosen as the root cause of at least one
+// unpaired relation.
+type Suspect struct {
+	Vertex uint32
+	Field  Field
+	// Score is the field's rank on the mass-N scale (mean 1.0).
+	Score float64
+	// Peers lists the counterpart vertices of the unpaired relations
+	// that implicated this vertex, ascending and deduplicated.
+	Peers []uint32
+}
+
+// Relation is an unpaired point-to between two vertices: From points to
+// To, but To does not point back.
+type Relation struct {
+	From, To uint32
+	Kind     graph.EdgeKind
+}
+
+// RepairOp says how a recommended repair rewrites a metadata field.
+type RepairOp uint8
+
+const (
+	// RepairSetProperty rewrites Target's property so it points to
+	// Source (adding the missing point-back / fixing a wrong pointer).
+	RepairSetProperty RepairOp = iota
+	// RepairSetID overwrites Target's ID with the identity that Source's
+	// property refers to (the dangling-reference fix). When Target is a
+	// phantom FID, the checker matches it against an orphaned physical
+	// object before applying.
+	RepairSetID
+	// RepairDropPointer removes Target's bogus pointer toward Source:
+	// the pointer itself was judged to be the root cause.
+	RepairDropPointer
+	// RepairQuarantine moves an object whose relations cannot be
+	// reconstructed into lost+found (or recreates its lost owner there).
+	// Detect never emits it; the checker's classification uses it for
+	// stale/orphan/duplicate objects, mirroring LFSCK's safe fallback.
+	RepairQuarantine
+)
+
+func (op RepairOp) String() string {
+	switch op {
+	case RepairSetProperty:
+		return "set-property"
+	case RepairSetID:
+		return "set-id"
+	case RepairDropPointer:
+		return "drop-pointer"
+	case RepairQuarantine:
+		return "quarantine"
+	default:
+		return "repair(?)"
+	}
+}
+
+// Repair is a recommended fix derived from the rank distribution: the
+// faulty side of an unpaired relation is overwritten from its healthy
+// counterpart (paper §III-F).
+type Repair struct {
+	Target uint32 // vertex whose field is rewritten
+	Source uint32 // counterpart of the unpaired relation
+	Op     RepairOp
+	// Kind is the metadata field kind the rewritten value lives in (for
+	// RepairSetProperty, the counterpart kind of the unanswered edge).
+	Kind graph.EdgeKind
+}
+
+// Report is the outcome of fault detection on a ranked metadata graph.
+type Report struct {
+	// Suspects are the root-cause fields, ordered by vertex then field.
+	Suspects []Suspect
+	// Repairs are the recommended fixes, one per (relation, faulty side).
+	Repairs []Repair
+	// Ambiguous lists unpaired relations where no implicated field
+	// scored below threshold — the paper defers these to users (§VI), or
+	// they resolve transitively once a neighbouring repair is applied.
+	Ambiguous []Relation
+	// Checked is |S_chk|: vertices with at least one unpaired edge.
+	Checked int
+}
+
+// candidate is one field of one endpoint of an unpaired relation.
+type candidate struct {
+	vertex uint32
+	field  Field
+	score  float64
+}
+
+// Detect walks the graph's unpaired relations and attributes each to a
+// root cause using the converged ranks (paper §III-F, Fig. 5): among the
+// four implicated fields — the target's property (missing point-back),
+// the target's ID (not the object the source means), the source's
+// property (wishful pointer) and the source's ID (point-backs cannot
+// reach it) — the lowest-scoring field below Options.Threshold is chosen,
+// exactly as the paper "chooses the wrong one compared with" the
+// alternative. Other fields below threshold within AttributionSlack× of
+// the minimum are co-flagged.
+//
+// present, when non-nil, marks which vertices are physically scanned
+// objects; phantom vertices (referenced-but-never-scanned FIDs) carry no
+// properties, so only their ID can be implicated and repairs on them are
+// deferred to the checker's phantom/orphan matching.
+func Detect(b *graph.Bidirected, res *Result, present []bool, opt Options) *Report {
+	n := b.N()
+	rep := &Report{}
+	isPresent := func(v uint32) bool { return present == nil || present[v] }
+	slack := opt.attributionSlack()
+
+	suspectPeers := make(map[uint32]map[Field][]uint32)
+	addSuspect := func(v uint32, f Field, peer uint32) {
+		m, ok := suspectPeers[v]
+		if !ok {
+			m = make(map[Field][]uint32)
+			suspectPeers[v] = m
+		}
+		m[f] = append(m[f], peer)
+	}
+
+	for vi := 0; vi < n; vi++ {
+		u := uint32(vi)
+		if !b.HasUnpairedEdge(u) {
+			continue
+		}
+		rep.Checked++
+		// Attribute u's unpaired *outgoing* relations; incoming ones are
+		// attributed at their own source, so each relation is handled
+		// exactly once.
+		s, e := b.Fwd.EdgeRange(u)
+		for i := s; i < e; i++ {
+			if b.FwdPaired[i] == 1 {
+				continue
+			}
+			v := b.Fwd.Targets[i]
+			kind := graph.KindGeneric
+			if b.Fwd.Kinds != nil {
+				kind = b.Fwd.Kinds[i]
+			}
+
+			cands := make([]candidate, 0, 4)
+			if isPresent(v) {
+				cands = append(cands, candidate{v, FieldProperty, res.PropRank[v]})
+			}
+			cands = append(cands, candidate{v, FieldID, res.IDRank[v]})
+			if isPresent(u) {
+				cands = append(cands,
+					candidate{u, FieldProperty, res.PropRank[u]},
+					candidate{u, FieldID, res.IDRank[u]})
+			}
+
+			min := cands[0]
+			for _, c := range cands[1:] {
+				if c.score < min.score {
+					min = c
+				}
+			}
+			if min.score >= opt.Threshold {
+				rep.Ambiguous = append(rep.Ambiguous, Relation{From: u, To: v, Kind: kind})
+				continue
+			}
+			for _, c := range cands {
+				if c.score >= opt.Threshold || c.score > min.score*slack {
+					continue
+				}
+				peer := u
+				if c.vertex == u {
+					peer = v
+				}
+				addSuspect(c.vertex, c.field, peer)
+				rep.Repairs = append(rep.Repairs, repairFor(c, u, v, kind, isPresent))
+			}
+		}
+	}
+
+	vertices := make([]uint32, 0, len(suspectPeers))
+	for v := range suspectPeers {
+		vertices = append(vertices, v)
+	}
+	sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+	for _, v := range vertices {
+		for _, f := range []Field{FieldID, FieldProperty} {
+			peers, ok := suspectPeers[v][f]
+			if !ok {
+				continue
+			}
+			score := res.IDRank[v]
+			if f == FieldProperty {
+				score = res.PropRank[v]
+			}
+			rep.Suspects = append(rep.Suspects, Suspect{
+				Vertex: v, Field: f, Score: score, Peers: dedupSorted(peers),
+			})
+		}
+	}
+	sort.Slice(rep.Repairs, func(i, j int) bool {
+		a, b := rep.Repairs[i], rep.Repairs[j]
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Source < b.Source
+	})
+	rep.Repairs = dedupRepairs(rep.Repairs)
+	return rep
+}
+
+// repairFor translates a root-cause attribution for unpaired relation
+// u->v (kind k) into a concrete repair recommendation.
+func repairFor(c candidate, u, v uint32, k graph.EdgeKind, isPresent func(uint32) bool) Repair {
+	switch {
+	case c.vertex == v && c.field == FieldProperty:
+		// v fails to point back: rebuild its property from u's identity.
+		return Repair{Target: v, Source: u, Op: RepairSetProperty, Kind: k.Counterpart()}
+	case c.vertex == v && c.field == FieldID:
+		// The identity u refers to is not carried by a credible object:
+		// rewrite the (mis-ID'd) object's identity from u's property.
+		return Repair{Target: v, Source: u, Op: RepairSetID, Kind: k}
+	case c.vertex == u && c.field == FieldProperty:
+		// u's pointer itself is bogus: drop it (its replacement, if any,
+		// is recommended by the relations that point at u unanswered).
+		return Repair{Target: u, Source: v, Op: RepairDropPointer, Kind: k}
+	default: // c.vertex == u && c.field == FieldID
+		// u's identity is wrong, so v's point-back cannot reach it:
+		// overwrite u's identity with the one v's property refers to.
+		return Repair{Target: u, Source: v, Op: RepairSetID, Kind: k.Counterpart()}
+	}
+}
+
+// Suspected reports whether the given field of vertex v is in the report.
+func (r *Report) Suspected(v uint32, f Field) bool {
+	for _, s := range r.Suspects {
+		if s.Vertex == v && s.Field == f {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupSorted(xs []uint32) []uint32 {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupRepairs(rs []Repair) []Repair {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := out[len(out)-1]
+		if r != last {
+			out = append(out, r)
+		}
+	}
+	return out
+}

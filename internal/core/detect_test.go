@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"faultyrank/internal/graph"
+)
+
+// chainGraph builds a healthy "directory tree": root 0 with children
+// 1..k, all relations paired, then applies a mutation function to the
+// edge list before building.
+func treeEdges(k int) []graph.Edge {
+	var edges []graph.Edge
+	for c := uint32(1); c <= uint32(k); c++ {
+		edges = append(edges,
+			graph.Edge{Src: 0, Dst: c, Kind: graph.KindDirent},
+			graph.Edge{Src: c, Dst: 0, Kind: graph.KindLinkEA})
+	}
+	return edges
+}
+
+// TestDetectMissingPointBack: drop one child's LinkEA; that child's
+// property must be the sole suspect.
+func TestDetectMissingPointBack(t *testing.T) {
+	const k = 5
+	edges := treeEdges(k)
+	// remove child 3's point-back
+	var mutated []graph.Edge
+	for _, e := range edges {
+		if e.Src == 3 && e.Dst == 0 {
+			continue
+		}
+		mutated = append(mutated, e)
+	}
+	b := graph.NewBidirected(k+1, mutated, 0)
+	opt := DefaultOptions()
+	res := Run(b, opt)
+	rep := Detect(b, res, nil, opt)
+	if len(rep.Suspects) != 1 || !rep.Suspected(3, FieldProperty) {
+		t.Fatalf("suspects: %+v", rep.Suspects)
+	}
+	want := Repair{Target: 3, Source: 0, Op: RepairSetProperty, Kind: graph.KindLinkEA}
+	if len(rep.Repairs) != 1 || rep.Repairs[0] != want {
+		t.Fatalf("repairs: %+v, want %+v", rep.Repairs, want)
+	}
+	if rep.Checked != 2 { // vertices 0 and 3 touch the unpaired edge
+		t.Errorf("checked = %d, want 2", rep.Checked)
+	}
+}
+
+// TestDetectWipedProperties: wipe the root's entire DIRENT (paper Fig. 7
+// dangling case 1). The root's property rank collapses to ~0 and every
+// child's unanswered point-back attributes to it.
+func TestDetectWipedProperties(t *testing.T) {
+	const k = 4
+	var edges []graph.Edge
+	for c := uint32(1); c <= k; c++ {
+		edges = append(edges, graph.Edge{Src: c, Dst: 0, Kind: graph.KindLinkEA})
+	}
+	b := graph.NewBidirected(k+1, edges, 0)
+	opt := DefaultOptions()
+	res := Run(b, opt)
+	if res.PropRank[0] > 0.05 {
+		t.Errorf("wiped property rank = %f, want ~0", res.PropRank[0])
+	}
+	rep := Detect(b, res, nil, opt)
+	if !rep.Suspected(0, FieldProperty) {
+		t.Fatalf("root property not suspected: %+v", rep.Suspects)
+	}
+	// One set-property repair per child, rebuilding the DIRENT entries.
+	var rebuilt int
+	for _, r := range rep.Repairs {
+		if r.Target == 0 && r.Op == RepairSetProperty && r.Kind == graph.KindDirent {
+			rebuilt++
+		}
+	}
+	if rebuilt != k {
+		t.Errorf("rebuilt %d dirent entries, want %d; repairs=%+v", rebuilt, k, rep.Repairs)
+	}
+}
+
+// TestDetectDanglingToPhantom: the root also references a FID that no
+// scanned object carries (child with corrupted id). The phantom's id is
+// weak (single referrer), the orphaned object's id collapses; both
+// surface, and the orphan receives a set-id recommendation.
+func TestDetectDanglingToPhantom(t *testing.T) {
+	// Vertices: 0 root, 1-2 healthy children, 3 orphan (wrong id),
+	// 4 phantom (the FID root still references).
+	edges := treeEdges(2)
+	edges = append(edges,
+		graph.Edge{Src: 0, Dst: 4, Kind: graph.KindDirent}, // dangling
+		graph.Edge{Src: 3, Dst: 0, Kind: graph.KindLinkEA}) // orphan points back
+	present := []bool{true, true, true, true, false}
+	b := graph.NewBidirected(5, edges, 0)
+	opt := DefaultOptions()
+	res := Run(b, opt)
+	rep := Detect(b, res, present, opt)
+	if !rep.Suspected(3, FieldID) {
+		t.Fatalf("orphan id not suspected: %+v", rep.Suspects)
+	}
+	// No property repair may target the phantom.
+	for _, r := range rep.Repairs {
+		if r.Target == 4 && r.Op == RepairSetProperty {
+			t.Errorf("repair targets phantom property: %+v", r)
+		}
+	}
+}
+
+// TestDetectAmbiguousTwoNodeMismatch: with only two vertices and one
+// unpaired edge, the paper says the root cause is a mystery — detection
+// must report the relation as ambiguous rather than guess.
+func TestDetectAmbiguousTwoNodeMismatch(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, Kind: graph.KindDirent}}
+	b := graph.NewBidirected(2, edges, 0)
+	opt := DefaultOptions()
+	res := Run(b, opt)
+	rep := Detect(b, res, nil, opt)
+	// Whatever the scores do on this degenerate graph, the relation must
+	// be surfaced one way or the other, and never silently dropped.
+	if len(rep.Suspects) == 0 && len(rep.Ambiguous) == 0 {
+		t.Fatalf("relation lost: %+v", rep)
+	}
+	if rep.Checked != 2 {
+		t.Errorf("checked = %d, want 2", rep.Checked)
+	}
+}
+
+// TestDetectDoubleReference: two parents claim the same child; the child
+// answers only one. The bogus claimer's pointer is attributed, not the
+// child's fields.
+func TestDetectDoubleReference(t *testing.T) {
+	// 0 legitimate parent <-> 2 child (paired); 1 impostor -> 2 unpaired.
+	// Both parents are anchored by their own healthy children (3 for 0,
+	// 4 for 1) so their ids/properties have support.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 2, Kind: graph.KindDirent},
+		{Src: 2, Dst: 0, Kind: graph.KindLinkEA},
+		{Src: 0, Dst: 3, Kind: graph.KindDirent},
+		{Src: 3, Dst: 0, Kind: graph.KindLinkEA},
+		{Src: 1, Dst: 4, Kind: graph.KindDirent},
+		{Src: 4, Dst: 1, Kind: graph.KindLinkEA},
+		{Src: 1, Dst: 2, Kind: graph.KindDirent}, // duplicate claim
+	}
+	b := graph.NewBidirected(5, edges, 0)
+	opt := DefaultOptions()
+	res := Run(b, opt)
+	rep := Detect(b, res, nil, opt)
+	// The child 2 is doubly referenced but consistent with parent 0;
+	// its fields must not be flagged.
+	if rep.Suspected(2, FieldID) || rep.Suspected(2, FieldProperty) {
+		t.Errorf("healthy child flagged: %+v", rep.Suspects)
+	}
+	// The duplicate relation is either attributed to 1's property or
+	// reported ambiguous for the user — never attributed to the child.
+	attributed := rep.Suspected(1, FieldProperty)
+	ambiguous := false
+	for _, a := range rep.Ambiguous {
+		if a.From == 1 && a.To == 2 {
+			ambiguous = true
+		}
+	}
+	if !attributed && !ambiguous {
+		t.Fatalf("duplicate claim unaccounted: %+v", rep)
+	}
+}
+
+func TestFieldAndRepairOpStrings(t *testing.T) {
+	if FieldID.String() != "id" || FieldProperty.String() != "property" {
+		t.Error("Field strings wrong")
+	}
+	ops := map[RepairOp]string{
+		RepairSetProperty: "set-property",
+		RepairSetID:       "set-id",
+		RepairDropPointer: "drop-pointer",
+		RepairOp(99):      "repair(?)",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestReportSuspectedHelper(t *testing.T) {
+	rep := &Report{Suspects: []Suspect{{Vertex: 7, Field: FieldID}}}
+	if !rep.Suspected(7, FieldID) || rep.Suspected(7, FieldProperty) || rep.Suspected(8, FieldID) {
+		t.Error("Suspected helper wrong")
+	}
+}

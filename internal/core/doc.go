@@ -1,0 +1,13 @@
+// Package core implements the FaultyRank algorithm — the paper's primary
+// contribution (§III): an iterative, PageRank-inspired computation that
+// assigns every metadata object two credibility scores, an ID rank and a
+// Property rank, by propagating credit along the point-to / point-back
+// edges of the metadata graph. Metadata fields whose final score is
+// extremely low lack support from their neighbours and are reported as
+// the root cause of an inconsistency, together with a recommended repair.
+//
+// Scores are maintained in the paper's scale (every vertex starts at 1.0,
+// total mass N is conserved); Result.NormalizedID/NormalizedProp divide by
+// N to match the presentation of Table II, where the four example ranks
+// sum to ~1.0.
+package core

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"faultyrank/internal/graph"
+)
+
+// randomConsistentTree builds a random directory-tree-shaped metadata
+// graph: every namespace and layout relation paired, like a healthy
+// file system. Returns the edges plus, for each vertex, whether it is a
+// "file" with layout children.
+func randomConsistentTree(r *rand.Rand, nDirs, filesPerDir, maxStripes int) (int, []graph.Edge) {
+	var edges []graph.Edge
+	next := uint32(1) // 0 is the root
+	addPair := func(parent, child uint32, fwd, back graph.EdgeKind) {
+		edges = append(edges,
+			graph.Edge{Src: parent, Dst: child, Kind: fwd},
+			graph.Edge{Src: child, Dst: parent, Kind: back})
+	}
+	dirs := []uint32{0}
+	for d := 0; d < nDirs; d++ {
+		parent := dirs[r.Intn(len(dirs))]
+		dir := next
+		next++
+		addPair(parent, dir, graph.KindDirent, graph.KindLinkEA)
+		dirs = append(dirs, dir)
+	}
+	for _, dir := range dirs {
+		for f := 0; f < 1+r.Intn(filesPerDir); f++ {
+			file := next
+			next++
+			addPair(dir, file, graph.KindDirent, graph.KindLinkEA)
+			for s := 0; s < 1+r.Intn(maxStripes); s++ {
+				obj := next
+				next++
+				addPair(file, obj, graph.KindLOVEA, graph.KindFilterFID)
+			}
+		}
+	}
+	return int(next), edges
+}
+
+// TestFuzzSingleBrokenRelationNeverSilent: drop one random point-back
+// from a random consistent tree. The detector must surface the broken
+// relation — as a suspect or, in genuinely underdetermined spots, as an
+// ambiguous relation — but never stay silent. This is the safety
+// property behind "a checker may be imprecise, but it must not miss".
+func TestFuzzSingleBrokenRelationNeverSilent(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n, edges := randomConsistentTree(r, 2+r.Intn(6), 3, 4)
+		// Pick a random point-back edge (LinkEA or filter-fid) to drop.
+		var idxs []int
+		for i, e := range edges {
+			if e.Kind == graph.KindLinkEA || e.Kind == graph.KindFilterFID {
+				idxs = append(idxs, i)
+			}
+		}
+		victim := idxs[r.Intn(len(idxs))]
+		broken := append(append([]graph.Edge{}, edges[:victim]...), edges[victim+1:]...)
+
+		b := graph.NewBidirected(n, broken, 0)
+		opt := DefaultOptions()
+		res := Run(b, opt)
+		rep := Detect(b, res, nil, opt)
+		if len(rep.Suspects) == 0 && len(rep.Ambiguous) == 0 {
+			t.Fatalf("seed %d: dropped edge %v->%v (%v) went unnoticed",
+				seed, edges[victim].Src, edges[victim].Dst, edges[victim].Kind)
+		}
+		// If attributed, the attribution must involve one endpoint of
+		// the broken relation.
+		src, dst := edges[victim].Src, edges[victim].Dst
+		for _, s := range rep.Suspects {
+			if s.Vertex != src && s.Vertex != dst {
+				t.Fatalf("seed %d: suspect %d not an endpoint of broken %d->%d",
+					seed, s.Vertex, src, dst)
+			}
+		}
+	}
+}
+
+// TestFuzzAttributionIsUsuallyExact: across many random single-fault
+// drops, the most common outcome is an exact rank-level attribution of
+// the dropped point-back's owner. Pure rank evidence cannot decide
+// every case (leaf relations with little surrounding support fall into
+// the ambiguous bucket — paper §III-F's "only the users may know");
+// the checker's structural passes then resolve most of those, which is
+// covered by the campaign tests. Here we bound the rank-only rate.
+func TestFuzzAttributionIsUsuallyExact(t *testing.T) {
+	exact, total := 0, 0
+	for seed := int64(100); seed < 160; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n, edges := randomConsistentTree(r, 3, 3, 3)
+		var idxs []int
+		for i, e := range edges {
+			if e.Kind == graph.KindLinkEA || e.Kind == graph.KindFilterFID {
+				idxs = append(idxs, i)
+			}
+		}
+		victim := idxs[r.Intn(len(idxs))]
+		owner := edges[victim].Src
+		broken := append(append([]graph.Edge{}, edges[:victim]...), edges[victim+1:]...)
+		b := graph.NewBidirected(n, broken, 0)
+		opt := DefaultOptions()
+		res := Run(b, opt)
+		rep := Detect(b, res, nil, opt)
+		total++
+		if rep.Suspected(owner, FieldProperty) {
+			exact++
+		}
+	}
+	if frac := float64(exact) / float64(total); frac < 0.5 {
+		t.Fatalf("exact rank-only attribution rate %.2f (%d/%d) below 0.5", frac, exact, total)
+	}
+}
+
+// TestFuzzConsistentTreesStayClean: no fault, no findings — across many
+// random tree shapes and sizes.
+func TestFuzzConsistentTreesStayClean(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n, edges := randomConsistentTree(r, 1+r.Intn(10), 4, 5)
+		b := graph.NewBidirected(n, edges, 0)
+		opt := DefaultOptions()
+		res := Run(b, opt)
+		rep := Detect(b, res, nil, opt)
+		if len(rep.Suspects) != 0 || len(rep.Ambiguous) != 0 {
+			msg := ""
+			for _, s := range rep.Suspects {
+				msg += fmt.Sprintf(" v%d.%v=%.3f", s.Vertex, s.Field, s.Score)
+			}
+			t.Fatalf("seed %d (n=%d): false positives:%s ambiguous=%d",
+				seed, n, msg, len(rep.Ambiguous))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import "faultyrank/internal/par"
+
+// SinkPolicy selects how the rank mass held by sink vertices (no outgoing
+// edges in the graph being walked) is redistributed each iteration.
+// The paper (§III-D) assumes sinks "point to all other vertices".
+type SinkPolicy uint8
+
+const (
+	// SinkToOthers spreads each sink's mass uniformly over the other
+	// N-1 vertices (the paper's wording; the default).
+	SinkToOthers SinkPolicy = iota
+	// SinkToAll spreads sink mass over all N vertices, self included —
+	// the classic PageRank dangling-node treatment.
+	SinkToAll
+	// SinkDrop discards sink mass (ablation only; total mass decays).
+	SinkDrop
+)
+
+func (p SinkPolicy) String() string {
+	switch p {
+	case SinkToOthers:
+		return "others"
+	case SinkToAll:
+		return "all"
+	case SinkDrop:
+		return "drop"
+	default:
+		return "sink(?)"
+	}
+}
+
+// Options configures a FaultyRank run. The zero value is not valid; use
+// DefaultOptions, which reproduces the paper's constants.
+type Options struct {
+	// Epsilon is the convergence bound: iteration stops when the maximum
+	// absolute per-vertex change of the ID rank between two consecutive
+	// iterations falls below it. The paper uses ε=0.1 on ranks
+	// initialised to 1.0, reporting convergence in <20 iterations.
+	Epsilon float64
+
+	// MaxIterations caps the loop regardless of convergence.
+	MaxIterations int
+
+	// UnpairedWeight is the relative weight of an unpaired edge in the
+	// reversed-graph distribution (§III-D). The paper fixes it at 1/10:
+	// a property that points at a credible ID without receiving the
+	// acknowledging point-back earns only a tenth of the credit.
+	UnpairedWeight float64
+
+	// LeakyDistribution changes how the weighted distribution is
+	// normalised. The default (false) follows the paper's Fig. 4
+	// exactly: a vertex's ID mass is split among its referrers in
+	// proportion to edge weights, so all of it is always handed out —
+	// with the side effect that a vertex referenced by a *single*
+	// unpaired pointer still passes its full mass back, propping up a
+	// misdirected pointer ("phantom bounce"). With true, shares are
+	// weight/in-degree instead: discounted edges leak their remainder,
+	// so the property rank of a lone wishful pointer decays by
+	// UnpairedWeight per iteration and collapses on its own. Kept as an
+	// ablation; the default checker closes the same gap structurally.
+	LeakyDistribution bool
+
+	// SinkPolicy picks the dangling-mass treatment for both phases.
+	SinkPolicy SinkPolicy
+
+	// Smoothing blends each update with the previous iterate:
+	// rank' = Smoothing·rank + (1-Smoothing)·gathered. It leaves the
+	// fixed point untouched but damps the period-2 oscillation that
+	// pure power iteration exhibits on tree-shaped metadata graphs
+	// (directory trees are near-bipartite), which is what lets runs
+	// converge in the <20 iterations the paper reports. 0 disables it
+	// (the paper-literal update); negative is invalid.
+	Smoothing float64
+
+	// Threshold classifies a metadata field as faulty during detection:
+	// fields of S_chk vertices whose score (on the mass-N scale, where
+	// the mean is 1.0) falls below it are root-cause candidates. The
+	// paper applies 0.1 to sum-normalised ranks of its 4-vertex example
+	// (mean 0.25), i.e. 0.4 on the mass-N scale used here.
+	Threshold float64
+
+	// AttributionSlack widens root-cause attribution: within one
+	// unpaired relation, fields below Threshold whose score is within
+	// AttributionSlack× of the relation's minimum are co-flagged. 1.0
+	// flags only the strict minimum; <=0 uses the default (2.0).
+	AttributionSlack float64
+
+	// Workers bounds the goroutines used by the parallel kernels;
+	// <=0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: ε=0.1, unpaired weight 1/10, sink mass to the other N-1
+// vertices, detection threshold 0.1×N-normalised (0.4 on the mean-1 scale).
+func DefaultOptions() Options {
+	return Options{
+		Epsilon:          0.1,
+		MaxIterations:    100,
+		UnpairedWeight:   0.1,
+		SinkPolicy:       SinkToOthers,
+		Smoothing:        0.5,
+		Threshold:        0.4,
+		AttributionSlack: 2.0,
+		Workers:          par.DefaultWorkers(),
+	}
+}
+
+func (o Options) attributionSlack() float64 {
+	if o.AttributionSlack <= 0 {
+		return 2.0
+	}
+	return o.AttributionSlack
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return par.DefaultWorkers()
+	}
+	return o.Workers
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/par"
+)
+
+// Result holds the converged credibility scores of a FaultyRank run.
+// IDRank and PropRank are on the paper's scale: every vertex starts at
+// 1.0 and total mass N is conserved, so a "healthy" score hovers near
+// 1.0 and a fault collapses toward 0.
+type Result struct {
+	IDRank   []float64
+	PropRank []float64
+
+	Iterations int
+	Converged  bool
+	// Diffs records the max-abs ID-rank change after each iteration
+	// (the convergence trace; useful for the ablation benches).
+	Diffs []float64
+}
+
+// NormalizedID returns IDRank divided by N, the sum-to-one presentation
+// used by Table II of the paper.
+func (r *Result) NormalizedID() []float64 { return normalized(r.IDRank) }
+
+// NormalizedProp returns PropRank divided by N (see NormalizedID).
+func (r *Result) NormalizedProp() []float64 { return normalized(r.PropRank) }
+
+func normalized(xs []float64) []float64 {
+	n := float64(len(xs))
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / n
+	}
+	return out
+}
+
+// Run executes the FaultyRank iterative algorithm (paper Alg. 1) on a
+// bidirected metadata graph.
+//
+// Each iteration has two phases:
+//
+//	Phase A (ID ranks, over G):   id'[u]   = Σ_{v→u∈G} prop[v]/outdeg(v)
+//	Phase B (Prop ranks, over Gᵣ): prop'[u] = Σ_{u→v∈G} id'[v]·w(u→v)/W(v)
+//
+// where w is 1 for paired edges and Options.UnpairedWeight for unpaired
+// ones, and W(v) is the total weight of v's reversed-graph out-edges
+// (§III-D's weighted distribution). Both phases are pull-style gathers
+// over CSR adjacency — race-free and deterministic under parallelism.
+// Sink mass is redistributed according to Options.SinkPolicy.
+func Run(b *graph.Bidirected, opt Options) *Result {
+	n := b.N()
+	res := &Result{
+		IDRank:   make([]float64, n),
+		PropRank: make([]float64, n),
+	}
+	if n == 0 {
+		res.Converged = true
+		return res
+	}
+	workers := opt.workers()
+
+	// Initial ranks: 1.0 per vertex (paper §III-C).
+	for i := 0; i < n; i++ {
+		res.IDRank[i] = 1
+		res.PropRank[i] = 1
+	}
+
+	// invOut[v] = 1/outdeg_G(v), 0 for sinks: phase A divisor.
+	// invW[v]   = 1/W(v) with W(v) = paired_in(v) + w·unpaired_in(v),
+	//             0 when v has no in-edges (a reversed-graph sink).
+	invOut := make([]float64, n)
+	invW := make([]float64, n)
+	par.ForRange(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if d := b.Fwd.Degree(uint32(v)); d > 0 {
+				invOut[v] = 1 / float64(d)
+			}
+			if opt.LeakyDistribution {
+				// Ablation: divide by the raw in-degree; unpaired
+				// edges leak (1 - UnpairedWeight) of their share.
+				if d := b.PairedIn[v] + b.UnpairedIn[v]; d > 0 {
+					invW[v] = 1 / float64(d)
+				}
+			} else {
+				w := float64(b.PairedIn[v]) + opt.UnpairedWeight*float64(b.UnpairedIn[v])
+				if w > 0 {
+					invW[v] = 1 / w
+				}
+			}
+		}
+	})
+
+	newID := make([]float64, n)
+	newProp := make([]float64, n)
+	sigma := opt.Smoothing
+	blend := 1 - sigma
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		// ---- Phase A: gather property mass along forward edges ------
+		// (pull form: iterate u's in-neighbours via the reversed CSR).
+		sinkA := sinkMass(res.PropRank, invOut, workers)
+		baseA, perSinkA := sinkShares(sinkA, n, opt.SinkPolicy)
+		par.ForRange(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				u := uint32(v)
+				s, e := b.Rev.EdgeRange(u)
+				acc := baseA
+				for i := s; i < e; i++ {
+					src := b.Rev.Targets[i]
+					acc += res.PropRank[src] * invOut[src]
+				}
+				if perSinkA != 0 && invOut[v] == 0 && b.Fwd.Degree(u) == 0 {
+					// SinkToOthers: a sink does not credit itself.
+					acc -= res.PropRank[v] * perSinkA
+				}
+				newID[v] = sigma*res.IDRank[v] + blend*acc
+			}
+		})
+
+		// ---- Phase B: gather ID mass along reversed edges -----------
+		// (pull form: u's in-neighbours in Gᵣ are its out-neighbours in
+		// G; the edge weight depends on whether u→v is paired).
+		sinkB := sinkMass(newID, invW, workers)
+		baseB, perSinkB := sinkShares(sinkB, n, opt.SinkPolicy)
+		par.ForRange(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				u := uint32(v)
+				s, e := b.Fwd.EdgeRange(u)
+				acc := baseB
+				for i := s; i < e; i++ {
+					dst := b.Fwd.Targets[i]
+					w := opt.UnpairedWeight
+					if b.FwdPaired[i] == 1 {
+						w = 1
+					}
+					acc += newID[dst] * w * invW[dst]
+				}
+				if perSinkB != 0 && invW[v] == 0 {
+					acc -= newID[v] * perSinkB
+				}
+				newProp[v] = sigma*res.PropRank[v] + blend*acc
+			}
+		})
+
+		// ---- Convergence: max |Δ id_rank| ---------------------------
+		// The smoothing blend scales every step by (1-σ); dividing it
+		// back out keeps Epsilon comparable to the paper's unsmoothed
+		// criterion regardless of σ.
+		diff := maxAbsDiff(res.IDRank, newID, workers)
+		if blend > 0 {
+			diff /= blend
+		}
+		res.Diffs = append(res.Diffs, diff)
+		res.IDRank, newID = newID, res.IDRank
+		res.PropRank, newProp = newProp, res.PropRank
+		res.Iterations = iter + 1
+		if diff < opt.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+// sinkMass sums rank[v] over vertices whose inverse divisor is zero,
+// i.e. the sinks of the graph orientation the divisor belongs to.
+func sinkMass(rank, invDiv []float64, workers int) float64 {
+	return par.MapReduceFloat64(len(rank), workers, func(i int) float64 {
+		if invDiv[i] == 0 {
+			return rank[i]
+		}
+		return 0
+	})
+}
+
+// sinkShares converts total sink mass into the per-vertex additive base
+// and, for SinkToOthers, the per-sink self-exclusion factor.
+func sinkShares(mass float64, n int, policy SinkPolicy) (base, perSink float64) {
+	if mass == 0 {
+		return 0, 0
+	}
+	switch policy {
+	case SinkToAll:
+		return mass / float64(n), 0
+	case SinkDrop:
+		return 0, 0
+	default: // SinkToOthers
+		if n <= 1 {
+			return 0, 0
+		}
+		per := 1 / float64(n-1)
+		return mass * per, per
+	}
+}
+
+func maxAbsDiff(a, b []float64, workers int) float64 {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	w := workers
+	if w <= 0 {
+		w = par.DefaultWorkers()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	partial := make([]float64, nChunks)
+	par.ForRange(n, w, func(lo, hi int) {
+		var m float64
+		for i := lo; i < hi; i++ {
+			d := math.Abs(a[i] - b[i])
+			if d > m {
+				m = d
+			}
+		}
+		partial[lo/chunk] = m
+	})
+	var m float64
+	for _, p := range partial {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}

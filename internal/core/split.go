@@ -1,0 +1,142 @@
+package core
+
+import (
+	"faultyrank/internal/graph"
+)
+
+// The paper notes (§III-B, §VIII) that FaultyRank folds all of an
+// object's properties into one Property rank and leaves "separating
+// multiple properties" to future work. This file implements that
+// extension: edges are partitioned into relation classes — the
+// namespace plane (DIRENT ↔ LinkEA) and the layout plane (LOVEA ↔
+// filter-fid) — and the iterative algorithm runs on each plane's
+// subgraph independently. A vertex then carries one ID rank and one
+// Property rank *per class*, so a corrupted LinkEA no longer dilutes
+// (or hides behind) a healthy LOVEA on the same inode.
+
+// PropertyClass identifies a relation plane.
+type PropertyClass uint8
+
+const (
+	// ClassNamespace covers DIRENT and LinkEA relations.
+	ClassNamespace PropertyClass = iota
+	// ClassLayout covers LOVEA and filter-fid relations.
+	ClassLayout
+	// ClassOther covers generic/unknown edges.
+	ClassOther
+	// NumClasses is the number of relation planes.
+	NumClasses = 3
+)
+
+func (c PropertyClass) String() string {
+	switch c {
+	case ClassNamespace:
+		return "namespace"
+	case ClassLayout:
+		return "layout"
+	default:
+		return "other"
+	}
+}
+
+// ClassOf maps an edge kind to its relation plane.
+func ClassOf(k graph.EdgeKind) PropertyClass {
+	switch k {
+	case graph.KindDirent, graph.KindLinkEA:
+		return ClassNamespace
+	case graph.KindLOVEA, graph.KindFilterFID:
+		return ClassLayout
+	default:
+		return ClassOther
+	}
+}
+
+// ClassResult is the rank outcome of one relation plane.
+type ClassResult struct {
+	Class  PropertyClass
+	Graph  *graph.Bidirected
+	Result *Result
+	// Active[v] is true when vertex v participates in this plane (has
+	// at least one edge of the class); ranks of inactive vertices carry
+	// no signal and are skipped by detection.
+	Active []bool
+}
+
+// SplitResult bundles the per-plane outcomes.
+type SplitResult struct {
+	N       int
+	Classes []*ClassResult
+}
+
+// RunSplit partitions the edge list by relation class, builds one
+// bidirected subgraph per non-empty class over the same vertex space,
+// and runs the FaultyRank iteration on each.
+func RunSplit(n int, edges []graph.Edge, opt Options) *SplitResult {
+	buckets := make([][]graph.Edge, NumClasses)
+	for _, e := range edges {
+		c := ClassOf(e.Kind)
+		buckets[c] = append(buckets[c], e)
+	}
+	out := &SplitResult{N: n}
+	for ci, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		b := graph.NewBidirected(n, bucket, opt.Workers)
+		res := Run(b, opt)
+		active := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if b.OutDegree(uint32(v)) > 0 || b.InDegree(uint32(v)) > 0 {
+				active[v] = true
+			}
+		}
+		out.Classes = append(out.Classes, &ClassResult{
+			Class: PropertyClass(ci), Graph: b, Result: res, Active: active,
+		})
+	}
+	return out
+}
+
+// ClassSuspect is a per-plane root-cause attribution.
+type ClassSuspect struct {
+	Class PropertyClass
+	Suspect
+}
+
+// SplitReport aggregates per-plane detection.
+type SplitReport struct {
+	Suspects  []ClassSuspect
+	Repairs   []Repair
+	Ambiguous []Relation
+}
+
+// DetectSplit runs root-cause attribution independently per plane. The
+// present slice has the same meaning as in Detect. Because each plane's
+// sink set differs (a file is a layout *source* but a namespace *leaf*),
+// thresholds apply to each plane's own mass distribution, which is the
+// precision benefit of the split.
+func DetectSplit(sr *SplitResult, present []bool, opt Options) *SplitReport {
+	rep := &SplitReport{}
+	for _, cr := range sr.Classes {
+		r := Detect(cr.Graph, cr.Result, present, opt)
+		for _, s := range r.Suspects {
+			if !cr.Active[s.Vertex] {
+				continue
+			}
+			rep.Suspects = append(rep.Suspects, ClassSuspect{Class: cr.Class, Suspect: s})
+		}
+		rep.Repairs = append(rep.Repairs, r.Repairs...)
+		rep.Ambiguous = append(rep.Ambiguous, r.Ambiguous...)
+	}
+	return rep
+}
+
+// SuspectedIn reports whether field f of vertex v is flagged in class c.
+func (r *SplitReport) SuspectedIn(c PropertyClass, v uint32, f Field) bool {
+	for _, s := range r.Suspects {
+		if s.Class == c && s.Vertex == v && s.Field == f {
+			return true
+		}
+	}
+	return false
+}

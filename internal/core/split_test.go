@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"faultyrank/internal/graph"
+)
+
+// twoPlaneEdges models a directory (0) with files 1,2; file 1 has
+// stripe objects 3,4 — both namespace and layout planes populated.
+func twoPlaneEdges() (int, []graph.Edge) {
+	return 5, []graph.Edge{
+		{Src: 0, Dst: 1, Kind: graph.KindDirent},
+		{Src: 1, Dst: 0, Kind: graph.KindLinkEA},
+		{Src: 0, Dst: 2, Kind: graph.KindDirent},
+		{Src: 2, Dst: 0, Kind: graph.KindLinkEA},
+		{Src: 1, Dst: 3, Kind: graph.KindLOVEA},
+		{Src: 3, Dst: 1, Kind: graph.KindFilterFID},
+		{Src: 1, Dst: 4, Kind: graph.KindLOVEA},
+		{Src: 4, Dst: 1, Kind: graph.KindFilterFID},
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[graph.EdgeKind]PropertyClass{
+		graph.KindDirent:    ClassNamespace,
+		graph.KindLinkEA:    ClassNamespace,
+		graph.KindLOVEA:     ClassLayout,
+		graph.KindFilterFID: ClassLayout,
+		graph.KindGeneric:   ClassOther,
+	}
+	for k, want := range cases {
+		if got := ClassOf(k); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", k, got, want)
+		}
+	}
+	for c := PropertyClass(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+}
+
+func TestRunSplitConsistentGraph(t *testing.T) {
+	n, edges := twoPlaneEdges()
+	sr := RunSplit(n, edges, DefaultOptions())
+	if len(sr.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2 (namespace + layout)", len(sr.Classes))
+	}
+	rep := DetectSplit(sr, nil, DefaultOptions())
+	if len(rep.Suspects) != 0 {
+		t.Fatalf("suspects on consistent graph: %+v", rep.Suspects)
+	}
+	// Activity masks: the stripe objects are layout-only; the directory
+	// is namespace-only; file 1 is in both.
+	for _, cr := range sr.Classes {
+		switch cr.Class {
+		case ClassNamespace:
+			if cr.Active[3] || cr.Active[4] || !cr.Active[0] || !cr.Active[1] {
+				t.Errorf("namespace activity wrong: %v", cr.Active)
+			}
+		case ClassLayout:
+			if cr.Active[0] || cr.Active[2] || !cr.Active[1] || !cr.Active[3] {
+				t.Errorf("layout activity wrong: %v", cr.Active)
+			}
+		}
+	}
+}
+
+// TestSplitIsolatesPlaneFault is the point of the extension: file 1's
+// LinkEA is corrupted (namespace plane) while its layout relations stay
+// healthy. The split run must flag exactly the namespace property of
+// file 1 and keep its layout property clean.
+func TestSplitIsolatesPlaneFault(t *testing.T) {
+	n, edges := twoPlaneEdges()
+	// Remove 1's LinkEA (1 -> 0).
+	var mutated []graph.Edge
+	for _, e := range edges {
+		if e.Src == 1 && e.Dst == 0 && e.Kind == graph.KindLinkEA {
+			continue
+		}
+		mutated = append(mutated, e)
+	}
+	opt := DefaultOptions()
+	sr := RunSplit(n, mutated, opt)
+	rep := DetectSplit(sr, nil, opt)
+	if !rep.SuspectedIn(ClassNamespace, 1, FieldProperty) {
+		t.Fatalf("namespace property of 1 not flagged: %+v", rep.Suspects)
+	}
+	if rep.SuspectedIn(ClassLayout, 1, FieldProperty) {
+		t.Fatalf("layout property of 1 wrongly flagged: %+v", rep.Suspects)
+	}
+	// Contrast with the merged run: the healthy layout edges prop up
+	// file 1's single blended property rank, so the paper's merged
+	// algorithm cannot attribute this fault — the relation falls into
+	// the ambiguous bucket (user input needed). This dilution is
+	// precisely why the paper lists property separation as future work,
+	// and what the split extension fixes.
+	b := graph.NewBidirected(n, mutated, 0)
+	res := Run(b, opt)
+	merged := Detect(b, res, nil, opt)
+	if merged.Suspected(1, FieldProperty) {
+		t.Log("note: merged run attributed the fault too (threshold-sensitive)")
+	} else if len(merged.Ambiguous) == 0 {
+		t.Fatalf("merged run neither attributed nor surfaced the relation: %+v", merged)
+	}
+}
+
+// TestSplitLayoutFault mirrors the isolation check on the other plane.
+func TestSplitLayoutFault(t *testing.T) {
+	n, edges := twoPlaneEdges()
+	// Remove object 4's filter-fid (4 -> 1).
+	var mutated []graph.Edge
+	for _, e := range edges {
+		if e.Src == 4 && e.Dst == 1 && e.Kind == graph.KindFilterFID {
+			continue
+		}
+		mutated = append(mutated, e)
+	}
+	opt := DefaultOptions()
+	sr := RunSplit(n, mutated, opt)
+	rep := DetectSplit(sr, nil, opt)
+	if !rep.SuspectedIn(ClassLayout, 4, FieldProperty) {
+		t.Fatalf("layout property of 4 not flagged: %+v", rep.Suspects)
+	}
+	if rep.SuspectedIn(ClassNamespace, 1, FieldProperty) ||
+		rep.SuspectedIn(ClassNamespace, 0, FieldProperty) {
+		t.Fatalf("namespace plane polluted: %+v", rep.Suspects)
+	}
+}
+
+func TestRunSplitEmptyAndGenericEdges(t *testing.T) {
+	sr := RunSplit(3, nil, DefaultOptions())
+	if len(sr.Classes) != 0 {
+		t.Fatalf("classes on empty edge list: %d", len(sr.Classes))
+	}
+	sr = RunSplit(3, []graph.Edge{{Src: 0, Dst: 1, Kind: graph.KindGeneric}}, DefaultOptions())
+	if len(sr.Classes) != 1 || sr.Classes[0].Class != ClassOther {
+		t.Fatalf("generic edges: %+v", sr.Classes)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestVariantSweep brute-forces algorithm variants against the paper's
+// Table II values to identify the exact formulation the authors used.
+// It is exploratory (always passes); kept for provenance of the chosen
+// defaults.
+func TestVariantSweep(t *testing.T) {
+	// Graph: a=0,b=1,c=2,d=3; edges a->b, a->c, b->a, d->b.
+	type edge struct{ s, d int }
+	edges := []edge{{0, 1}, {0, 2}, {1, 0}, {3, 1}}
+	const n = 4
+	paired := map[[2]int]bool{{0, 1}: true, {1, 0}: true}
+	outdeg := make([]int, n)
+	indeg := make([]int, n)
+	for _, e := range edges {
+		outdeg[e.s]++
+		indeg[e.d]++
+	}
+	targetID := []float64{0.35, 0.39, 0.2, 0.05}
+	targetProp := []float64{0.39, 0.35, 0.05, 0.2}
+
+	type cfg struct {
+		weightMode string  // "plain", "wnorm", "wscale"
+		sink       string  // "all", "others", "sources", "drop", "floor"
+		init       float64 // 1 or 0.25
+		cumulative bool
+		iters      int // 0 = to convergence (200)
+	}
+	best := math.Inf(1)
+	var bestCfg cfg
+	var bestID, bestProp []float64
+	type scored struct {
+		err  float64
+		c    cfg
+		id   []float64
+		prop []float64
+	}
+	var all []scored
+
+	run := func(c cfg) ([]float64, []float64) {
+		id := make([]float64, n)
+		prop := make([]float64, n)
+		for i := range id {
+			id[i], prop[i] = c.init, c.init
+		}
+		// weighted out-degree of v in reversed graph
+		wrev := make([]float64, n)
+		for _, e := range edges {
+			w := 0.1
+			if paired[[2]int{e.s, e.d}] {
+				w = 1
+			}
+			wrev[e.d] += w
+		}
+		maxIter := c.iters
+		if maxIter == 0 {
+			maxIter = 200
+		}
+		for it := 0; it < maxIter; it++ {
+			newID := make([]float64, n)
+			if c.cumulative {
+				copy(newID, id)
+			}
+			var sinkMass float64
+			for v := 0; v < n; v++ {
+				if outdeg[v] == 0 {
+					sinkMass += prop[v]
+				}
+			}
+			for _, e := range edges {
+				newID[e.d] += prop[e.s] / float64(outdeg[e.s])
+			}
+			applySink(newID, sinkMass, c.sink, outdeg, indeg, prop, true)
+			newProp := make([]float64, n)
+			if c.cumulative {
+				copy(newProp, prop)
+			}
+			var sinkB float64
+			for v := 0; v < n; v++ {
+				if indeg[v] == 0 {
+					sinkB += newID[v]
+				}
+			}
+			for _, e := range edges {
+				// reversed edge e.d -> e.s distributing id[e.d]
+				switch c.weightMode {
+				case "plain":
+					newProp[e.s] += newID[e.d] / float64(indeg[e.d])
+				case "wnorm":
+					w := 0.1
+					if paired[[2]int{e.s, e.d}] {
+						w = 1
+					}
+					newProp[e.s] += newID[e.d] * w / wrev[e.d]
+				case "wscale":
+					w := 0.1
+					if paired[[2]int{e.s, e.d}] {
+						w = 1
+					}
+					newProp[e.s] += newID[e.d] * w / float64(indeg[e.d])
+				}
+			}
+			applySink(newProp, sinkB, c.sink, indeg, outdeg, newID, false)
+			id, prop = newID, newProp
+			if c.cumulative {
+				// normalise to keep totals bounded
+				var s float64
+				for _, x := range id {
+					s += x
+				}
+				for i := range id {
+					id[i] *= float64(n) / s
+				}
+				s = 0
+				for _, x := range prop {
+					s += x
+				}
+				for i := range prop {
+					prop[i] *= float64(n) / s
+				}
+			}
+		}
+		return id, prop
+	}
+
+	norm := func(xs []float64) []float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		out := make([]float64, len(xs))
+		if s == 0 {
+			return out
+		}
+		for i, x := range xs {
+			out[i] = x / s
+		}
+		return out
+	}
+
+	for _, wm := range []string{"plain", "wnorm", "wscale"} {
+		for _, sk := range []string{"all", "others", "sources", "drop", "floor"} {
+			for _, init := range []float64{1, 0.25} {
+				for _, cum := range []bool{false, true} {
+					for _, iters := range []int{1, 2, 3, 5, 0} {
+						c := cfg{wm, sk, init, cum, iters}
+						id, prop := run(c)
+						nid, nprop := norm(id), norm(prop)
+						var err float64
+						for i := 0; i < n; i++ {
+							err = math.Max(err, math.Abs(nid[i]-targetID[i]))
+							err = math.Max(err, math.Abs(nprop[i]-targetProp[i]))
+						}
+						all = append(all, scored{err, c, nid, nprop})
+						if err < best {
+							best = err
+							bestCfg = c
+							bestID, bestProp = nid, nprop
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("best err=%.4f cfg=%+v", best, bestCfg)
+	t.Logf("  id=%s", fmtv(bestID))
+	t.Logf("  pr=%s", fmtv(bestProp))
+	sort.Slice(all, func(i, j int) bool { return all[i].err < all[j].err })
+	for i := 0; i < 10 && i < len(all); i++ {
+		t.Logf("#%d err=%.4f cfg=%+v id=%s pr=%s", i, all[i].err, all[i].c, fmtv(all[i].id), fmtv(all[i].prop))
+	}
+}
+
+func applySink(rank []float64, mass float64, policy string, deg, otherDeg []int, prev []float64, phaseA bool) {
+	n := len(rank)
+	if mass == 0 && policy != "floor" {
+		return
+	}
+	switch policy {
+	case "all":
+		for i := range rank {
+			rank[i] += mass / float64(n)
+		}
+	case "others":
+		for i := range rank {
+			share := mass
+			if deg[i] == 0 {
+				share -= prev[i]
+			}
+			rank[i] += share / float64(n-1)
+		}
+	case "sources":
+		var nsrc int
+		for i := range rank {
+			if otherDeg[i] == 0 {
+				nsrc++
+			}
+		}
+		if nsrc == 0 {
+			for i := range rank {
+				rank[i] += mass / float64(n)
+			}
+			return
+		}
+		for i := range rank {
+			if otherDeg[i] == 0 {
+				rank[i] += mass / float64(nsrc)
+			}
+		}
+	case "floor":
+		for i := range rank {
+			if rank[i] < 0.05 {
+				rank[i] = 0.05
+			}
+		}
+	case "drop":
+	}
+}
+
+func fmtv(xs []float64) string {
+	s := ""
+	for _, x := range xs {
+		s += fmt.Sprintf("%.3f ", x)
+	}
+	return s
+}

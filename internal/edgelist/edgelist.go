@@ -1,0 +1,165 @@
+// Package edgelist reads and writes graph edge lists in the two formats
+// the benchmark tooling uses: the whitespace text format of SNAP
+// datasets ("src dst" per line, '#' comments) and a compact binary
+// format (8 bytes per edge) for fast reloads. The FaultyRank prototype
+// measures "graph building" time starting from an edge-list file
+// (paper §V-C1); these readers are that input path.
+package edgelist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+
+	"faultyrank/internal/graph"
+)
+
+// BinaryMagic heads the binary format ("FREL1\n" padded into 8 bytes).
+var BinaryMagic = [8]byte{'F', 'R', 'E', 'L', '1', '\n', 0, 0}
+
+// WriteText writes edges as "src dst" lines.
+func WriteText(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses "src dst" lines, skipping blank lines and '#'/'%'
+// comments (both appear in SNAP dumps). It returns the edges and the
+// smallest vertex count that contains them.
+func ReadText(r io.Reader) ([]graph.Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	maxV := uint32(0)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		// skip leading spaces
+		i := 0
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+			i++
+		}
+		if i == len(b) || b[i] == '#' || b[i] == '%' {
+			continue
+		}
+		src, n, err := parseUint(b[i:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("edgelist: line %d: %v", line, err)
+		}
+		i += n
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+			i++
+		}
+		dst, _, err := parseUint(b[i:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("edgelist: line %d: %v", line, err)
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+		if src > maxV {
+			maxV = src
+		}
+		if dst > maxV {
+			maxV = dst
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	if len(edges) > 0 {
+		n = int(maxV) + 1
+	}
+	return edges, n, nil
+}
+
+func parseUint(b []byte) (uint32, int, error) {
+	i := 0
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		i++
+	}
+	if i == 0 {
+		return 0, 0, fmt.Errorf("expected integer, got %q", string(b))
+	}
+	v, err := strconv.ParseUint(string(b[:i]), 10, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(v), i, nil
+}
+
+// WriteBinary writes the compact binary format:
+//
+//	8-byte magic | u64 edge count | edges × { u32 src, u32 dst }
+func WriteBinary(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(BinaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [8]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) ([]graph.Edge, int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, err
+	}
+	if magic != BinaryMagic {
+		return nil, 0, fmt.Errorf("edgelist: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	m := binary.LittleEndian.Uint64(hdr[:])
+	const maxEdges = 1 << 33
+	if m > maxEdges {
+		return nil, 0, fmt.Errorf("edgelist: implausible edge count %d", m)
+	}
+	edges := make([]graph.Edge, m)
+	maxV := uint32(0)
+	var rec [8]byte
+	for i := range edges {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, 0, fmt.Errorf("edgelist: truncated at edge %d: %v", i, err)
+		}
+		e := graph.Edge{
+			Src: binary.LittleEndian.Uint32(rec[0:]),
+			Dst: binary.LittleEndian.Uint32(rec[4:]),
+		}
+		edges[i] = e
+		if e.Src > maxV {
+			maxV = e.Src
+		}
+		if e.Dst > maxV {
+			maxV = e.Dst
+		}
+	}
+	n := 0
+	if len(edges) > 0 {
+		n = int(maxV) + 1
+	}
+	return edges, n, nil
+}

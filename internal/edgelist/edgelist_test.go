@@ -1,0 +1,114 @@
+package edgelist
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"faultyrank/internal/graph"
+)
+
+func randomEdges(r *rand.Rand, n, m int) []graph.Edge {
+	out := make([]graph.Edge, m)
+	for i := range out {
+		out[i] = graph.Edge{Src: uint32(r.Intn(n)), Dst: uint32(r.Intn(n))}
+	}
+	return out
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		edges := randomEdges(r, 1+r.Intn(100), r.Intn(500))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, edges); err != nil {
+			return false
+		}
+		got, _, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		if len(edges) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(edges, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		edges := randomEdges(r, 1+r.Intn(100), r.Intn(500))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, edges); err != nil {
+			return false
+		}
+		got, _, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(edges) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(edges, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTextSNAPStyle(t *testing.T) {
+	in := `# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 4 Edges: 3
+% another comment style
+0	1
+1 2
+
+3 0
+`
+	edges, n, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 0}}
+	if !reflect.DeepEqual(edges, want) || n != 4 {
+		t.Fatalf("got %v n=%d", edges, n)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, _, err := ReadText(strings.NewReader("abc def\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := ReadText(strings.NewReader("1\n")); err == nil {
+		t.Error("missing dst accepted")
+	}
+	if _, _, err := ReadText(strings.NewReader("99999999999 1\n")); err == nil {
+		t.Error("overflow accepted")
+	}
+	edges, n, err := ReadText(strings.NewReader("# only comments\n"))
+	if err != nil || len(edges) != 0 || n != 0 {
+		t.Errorf("comment-only: %v %d %v", edges, n, err)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, _, err := ReadBinary(bytes.NewReader(make([]byte, 16))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	WriteBinary(&buf, []graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}})
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func fig3Bidi(t *testing.T) *Bidirected {
+	t.Helper()
+	edges := []Edge{
+		{0, 1, KindDirent},
+		{0, 2, KindDirent},
+		{1, 0, KindLinkEA},
+		{3, 1, KindFilterFID},
+	}
+	return NewBidirected(4, edges, 0)
+}
+
+func TestBidirectedPairing(t *testing.T) {
+	b := fig3Bidi(t)
+	// a<->b paired; a->c and d->b unpaired.
+	st := b.Stats(0)
+	if st.PairedEdges != 2 || st.UnpairedEdges != 2 {
+		t.Fatalf("paired=%d unpaired=%d, want 2/2", st.PairedEdges, st.UnpairedEdges)
+	}
+	if st.Sinks != 1 { // c has no out-edges
+		t.Errorf("sinks = %d, want 1", st.Sinks)
+	}
+	if st.Sources != 1 { // d has no in-edges
+		t.Errorf("sources = %d, want 1", st.Sources)
+	}
+	if st.Vertices != 4 || st.Edges != 4 {
+		t.Errorf("V=%d E=%d", st.Vertices, st.Edges)
+	}
+}
+
+func TestBidirectedUnpairedSets(t *testing.T) {
+	b := fig3Bidi(t)
+	for v, want := range map[uint32]bool{0: true, 1: true, 2: true, 3: true} {
+		if got := b.HasUnpairedEdge(v); got != want {
+			t.Errorf("HasUnpairedEdge(%d) = %v, want %v", v, got, want)
+		}
+	}
+	if got := b.UnpairedOut(0); !reflect.DeepEqual(got, []uint32{2}) {
+		t.Errorf("UnpairedOut(a) = %v, want [2]", got)
+	}
+	if got := b.UnpairedOut(3); !reflect.DeepEqual(got, []uint32{1}) {
+		t.Errorf("UnpairedOut(d) = %v, want [1]", got)
+	}
+	if got := b.UnpairedIncoming(2); !reflect.DeepEqual(got, []uint32{0}) {
+		t.Errorf("UnpairedIncoming(c) = %v, want [0]", got)
+	}
+	if got := b.UnpairedIncoming(1); !reflect.DeepEqual(got, []uint32{3}) {
+		t.Errorf("UnpairedIncoming(b) = %v, want [3]", got)
+	}
+	if got := b.UnpairedOut(1); len(got) != 0 {
+		t.Errorf("UnpairedOut(b) = %v, want empty", got)
+	}
+}
+
+func TestBidirectedInCounts(t *testing.T) {
+	b := fig3Bidi(t)
+	// a: one paired in-edge (b->a); b: one paired (a->b) + one unpaired
+	// (d->b); c: one unpaired (a->c); d: none.
+	wantPaired := []int32{1, 1, 0, 0}
+	wantUnpaired := []int32{0, 1, 1, 0}
+	if !reflect.DeepEqual(b.PairedIn, wantPaired) {
+		t.Errorf("PairedIn = %v, want %v", b.PairedIn, wantPaired)
+	}
+	if !reflect.DeepEqual(b.UnpairedIn, wantUnpaired) {
+		t.Errorf("UnpairedIn = %v, want %v", b.UnpairedIn, wantUnpaired)
+	}
+}
+
+// TestPairingSymmetryProperty: an edge u->v is paired exactly when the
+// graph also contains v->u, and rev-pairing mirrors forward-pairing.
+func TestPairingSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		edges := randomEdges(r, n, r.Intn(200))
+		b := NewBidirected(n, edges, 1+r.Intn(4))
+		for v := 0; v < n; v++ {
+			u := uint32(v)
+			s, e := b.Fwd.EdgeRange(u)
+			for i := s; i < e; i++ {
+				want := b.Fwd.HasEdge(b.Fwd.Targets[i], u)
+				if (b.FwdPaired[i] == 1) != want {
+					return false
+				}
+			}
+			s, e = b.Rev.EdgeRange(u)
+			for i := s; i < e; i++ {
+				want := b.Fwd.HasEdge(u, b.Rev.Targets[i])
+				if (b.RevPaired[i] == 1) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetricGraphFullyPaired: a graph containing v->u for every u->v
+// has no unpaired edges and no S_chk members.
+func TestSymmetricGraphFullyPaired(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		var edges []Edge
+		for i := 0; i < r.Intn(100); i++ {
+			u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+			edges = append(edges, Edge{u, v, KindDirent}, Edge{v, u, KindLinkEA})
+		}
+		b := NewBidirected(n, edges, 0)
+		st := b.Stats(0)
+		if st.UnpairedEdges != 0 {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if b.HasUnpairedEdge(uint32(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInCountsMatchRevDegrees: PairedIn+UnpairedIn equals in-degree.
+func TestInCountsMatchRevDegrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		edges := randomEdges(r, n, r.Intn(250))
+		b := NewBidirected(n, edges, 3)
+		for v := 0; v < n; v++ {
+			if int(b.PairedIn[v]+b.UnpairedIn[v]) != b.InDegree(uint32(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntypedBidirected(t *testing.T) {
+	edges := []Edge{{0, 1, 0}, {1, 0, 0}, {2, 0, 0}}
+	b := NewBidirectedUntyped(3, edges, 0)
+	if b.Fwd.Kinds != nil || b.Rev.Kinds != nil {
+		t.Error("untyped graph should not allocate kind arrays")
+	}
+	st := b.Stats(0)
+	if st.PairedEdges != 2 || st.UnpairedEdges != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if b.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}

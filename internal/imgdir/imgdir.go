@@ -1,0 +1,99 @@
+// Package imgdir persists a simulated cluster's server images as files
+// in a directory (<label>.img), the hand-off format between the CLI
+// tools: frmkfs writes a cluster, frinject corrupts it, faultyrank and
+// frlfsck check it.
+package imgdir
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+// Save writes every image to dir as <label>.img (dir is created).
+func Save(dir string, images []*ldiskfs.Image) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, img := range images {
+		label := img.Label()
+		if label == "" {
+			return fmt.Errorf("imgdir: image without label")
+		}
+		path := filepath.Join(dir, label+".img")
+		if err := os.WriteFile(path, img.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads every *.img in dir, returning them in canonical order
+// (mdt* first, then ost* by numeric suffix).
+func Load(dir string) ([]*ldiskfs.Image, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".img") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("imgdir: no *.img files in %s", dir)
+	}
+	sort.Slice(names, func(i, j int) bool { return imgLess(names[i], names[j]) })
+	var images []*ldiskfs.Image
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		img, err := ldiskfs.FromBytes(raw)
+		if err != nil {
+			return nil, fmt.Errorf("imgdir: %s: %w", name, err)
+		}
+		images = append(images, img)
+	}
+	return images, nil
+}
+
+// imgLess orders mdt images before ost images, then by the numeric
+// suffix, then lexically.
+func imgLess(a, b string) bool {
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return ra < rb
+	}
+	na, nb := trailingNum(a), trailingNum(b)
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func rank(name string) int {
+	if strings.HasPrefix(name, "mdt") {
+		return 0
+	}
+	return 1
+}
+
+func trailingNum(name string) int {
+	name = strings.TrimSuffix(name, ".img")
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	n := 0
+	for _, c := range name[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

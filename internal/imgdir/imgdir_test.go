@@ -1,0 +1,83 @@
+package imgdir
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func mkImage(t *testing.T, label string) *ldiskfs.Image {
+	t.Helper()
+	img := ldiskfs.MustNew(ldiskfs.CompactGeometry())
+	img.SetLabel(label)
+	if _, err := img.AllocInode(ldiskfs.TypeFile); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Save deliberately out of order.
+	images := []*ldiskfs.Image{
+		mkImage(t, "ost10"), mkImage(t, "ost2"), mkImage(t, "mdt0"), mkImage(t, "ost0"),
+	}
+	if err := Save(dir, images); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mdt0", "ost0", "ost2", "ost10"}
+	if len(got) != len(want) {
+		t.Fatalf("loaded %d images", len(got))
+	}
+	for i, img := range got {
+		if img.Label() != want[i] {
+			t.Errorf("position %d: %q, want %q", i, img.Label(), want[i])
+		}
+		if img.InodeCount() != 1 {
+			t.Errorf("%s: inode count %d", img.Label(), img.InodeCount())
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := Load("/nonexistent-dir-xyz"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "bad.img"), []byte("garbage"), 0o644)
+	if _, err := Load(dir); err == nil {
+		t.Error("garbage image accepted")
+	}
+}
+
+func TestSaveUnlabeled(t *testing.T) {
+	img := ldiskfs.MustNew(ldiskfs.CompactGeometry())
+	if err := Save(t.TempDir(), []*ldiskfs.Image{img}); err == nil {
+		t.Error("unlabeled image accepted")
+	}
+}
+
+func TestSaveOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	a := mkImage(t, "mdt0")
+	if err := Save(dir, []*ldiskfs.Image{a}); err != nil {
+		t.Fatal(err)
+	}
+	a.AllocInode(ldiskfs.TypeDir)
+	if err := Save(dir, []*ldiskfs.Image{a}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil || got[0].InodeCount() != 2 {
+		t.Fatalf("overwrite lost data: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+package ldiskfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTag(b byte) (t [16]byte) {
+	for i := range t {
+		t[i] = b
+	}
+	return
+}
+
+func TestDirentAddLookupRemove(t *testing.T) {
+	im := newTestImage(t)
+	dir, _ := im.AllocInode(TypeDir)
+	child, _ := im.AllocInode(TypeFile)
+	d := Dirent{Ino: child, Type: TypeFile, Tag: mkTag(7), Name: "hello.txt"}
+	if err := im.AddDirent(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := im.LookupDirent(dir, "hello.txt")
+	if err != nil || !ok || got != d {
+		t.Fatalf("lookup = %+v %v %v", got, ok, err)
+	}
+	if err := im.AddDirent(dir, d); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	if err := im.RemoveDirent(dir, "hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := im.LookupDirent(dir, "hello.txt"); ok {
+		t.Error("entry survived removal")
+	}
+	if err := im.RemoveDirent(dir, "hello.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing: %v", err)
+	}
+}
+
+func TestDirentValidation(t *testing.T) {
+	im := newTestImage(t)
+	dir, _ := im.AllocInode(TypeDir)
+	file, _ := im.AllocInode(TypeFile)
+	if err := im.AddDirent(file, Dirent{Ino: dir, Name: "x"}); !errors.Is(err, ErrNotDir) {
+		t.Errorf("add to non-dir: %v", err)
+	}
+	if err := im.AddDirent(dir, Dirent{Ino: 0, Name: "x"}); err == nil {
+		t.Error("zero-ino dirent accepted")
+	}
+	if err := im.AddDirent(dir, Dirent{Ino: file, Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := im.Dirents(file); !errors.Is(err, ErrNotDir) {
+		t.Errorf("dirents of file: %v", err)
+	}
+	free := im.MaxInode() // allocated? ensure unallocated slot
+	if im.InodeAllocated(free) {
+		t.Skip("unexpectedly full image")
+	}
+	if _, err := im.Dirents(free); !errors.Is(err, ErrNotAllocated) {
+		t.Errorf("dirents of free inode: %v", err)
+	}
+}
+
+func TestDirentManyEntriesSpillBlocks(t *testing.T) {
+	im := newTestImage(t)
+	dir, _ := im.AllocInode(TypeDir)
+	const n = 600 // forces multiple blocks and the indirect block (1KiB blocks)
+	for i := 0; i < n; i++ {
+		child, err := im.AllocInode(TypeFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("file-%05d", i)
+		if err := im.AddDirent(dir, Dirent{Ino: child, Type: TypeFile, Tag: mkTag(byte(i)), Name: name}); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	ents, err := im.Dirents(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != n {
+		t.Fatalf("entries = %d, want %d", len(ents), n)
+	}
+	seen := make(map[string]bool)
+	for _, e := range ents {
+		seen[e.Name] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct names = %d", len(seen))
+	}
+	// directory size reflects the block span
+	sz, _ := im.Size(dir)
+	if sz == 0 || sz%uint64(im.Geometry().BlockSize) != 0 {
+		t.Errorf("dir size = %d", sz)
+	}
+	// removal from a middle block works
+	if err := im.RemoveDirent(dir, "file-00300"); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ = im.Dirents(dir)
+	if len(ents) != n-1 {
+		t.Errorf("after removal: %d", len(ents))
+	}
+}
+
+func TestDirentRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := MustNew(CompactGeometry())
+		dir, _ := im.AllocInode(TypeDir)
+		want := make(map[string]Dirent)
+		for i := 0; i < r.Intn(60); i++ {
+			child, err := im.AllocInode(TypeFile)
+			if err != nil {
+				return false
+			}
+			nameLen := 1 + r.Intn(30)
+			nameBytes := make([]byte, nameLen)
+			for j := range nameBytes {
+				nameBytes[j] = byte('a' + r.Intn(26))
+			}
+			name := fmt.Sprintf("%s-%d", nameBytes, i)
+			d := Dirent{Ino: child, Type: TypeFile, Tag: mkTag(byte(r.Intn(256))), Name: name}
+			if err := im.AddDirent(dir, d); err != nil {
+				return false
+			}
+			want[name] = d
+		}
+		got, err := im.Dirents(dir)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for _, d := range got {
+			if want[d.Name] != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirentCorruptedBlockPartialParse(t *testing.T) {
+	im := newTestImage(t)
+	dir, _ := im.AllocInode(TypeDir)
+	for i := 0; i < 5; i++ {
+		child, _ := im.AllocInode(TypeFile)
+		im.AddDirent(dir, Dirent{Ino: child, Type: TypeFile, Name: fmt.Sprintf("f%d", i)})
+	}
+	// Corrupt the nameLen of the third entry: entries are 26+2 bytes.
+	rec, _ := im.inode(dir)
+	blocks := im.direntBlocks(rec)
+	data, _ := im.blockData(blocks[0])
+	entrySize := direntFixed + 2
+	data[2*entrySize+25] = 0 // nameLen of 3rd entry -> malformed
+	ents, err := im.Dirents(dir)
+	if err == nil {
+		t.Error("corruption not reported")
+	}
+	if len(ents) != 2 {
+		t.Errorf("surviving entries = %d, want 2", len(ents))
+	}
+}
+
+func TestFreeInodeReleasesDirentBlocks(t *testing.T) {
+	im := newTestImage(t)
+	dir, _ := im.AllocInode(TypeDir)
+	for i := 0; i < 100; i++ {
+		child, _ := im.AllocInode(TypeFile)
+		im.AddDirent(dir, Dirent{Ino: child, Type: TypeFile, Name: fmt.Sprintf("f%03d", i)})
+	}
+	used := im.BlockCount()
+	if used == 0 {
+		t.Fatal("no blocks in use")
+	}
+	if err := im.FreeInode(dir); err != nil {
+		t.Fatal(err)
+	}
+	if im.BlockCount() != 0 {
+		t.Errorf("blocks leaked: %d", im.BlockCount())
+	}
+}
+
+func TestAllocatedInodesSweep(t *testing.T) {
+	im := newTestImage(t)
+	var want []Ino
+	for i := 0; i < 10; i++ {
+		ino, _ := im.AllocInode(TypeFile)
+		want = append(want, ino)
+	}
+	im.FreeInode(want[4])
+	var got []Ino
+	err := im.AllocatedInodes(func(ino Ino, ft FileType) error {
+		if ft != TypeFile {
+			t.Errorf("type of %d = %v", ino, ft)
+		}
+		got = append(got, ino)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("swept %d inodes, want 9", len(got))
+	}
+	stop := errors.New("stop")
+	count := 0
+	err = im.AllocatedInodes(func(Ino, FileType) error {
+		count++
+		if count == 3 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || count != 3 {
+		t.Errorf("early stop: err=%v count=%d", err, count)
+	}
+}

@@ -1,0 +1,279 @@
+package ldiskfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestImage(t *testing.T) *Image {
+	t.Helper()
+	im, err := New(CompactGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	if err := CompactGeometry().Validate(); err != nil {
+		t.Fatalf("compact geometry invalid: %v", err)
+	}
+	bad := []Geometry{
+		{BlockSize: 100, InodeSize: 256, InodesPerGroup: 64, BlocksPerGroup: 64},
+		{BlockSize: 1024, InodeSize: 100, InodesPerGroup: 64, BlocksPerGroup: 64},
+		{BlockSize: 1024, InodeSize: 256, InodesPerGroup: 4, BlocksPerGroup: 64},
+		{BlockSize: 1024, InodeSize: 256, InodesPerGroup: 63, BlocksPerGroup: 64},
+		{BlockSize: 1024, InodeSize: 256, InodesPerGroup: 64, BlocksPerGroup: 8},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("bad geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestNewAndFromBytes(t *testing.T) {
+	im := newTestImage(t)
+	im.SetLabel("mdt0")
+	ino, err := im.AllocInode(TypeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), im.Bytes()...)
+	got, err := FromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label() != "mdt0" {
+		t.Errorf("label = %q", got.Label())
+	}
+	if !got.InodeAllocated(ino) {
+		t.Error("allocation lost in round trip")
+	}
+	typ, err := got.Type(ino)
+	if err != nil || typ != TypeDir {
+		t.Errorf("type = %v, %v", typ, err)
+	}
+}
+
+func TestFromBytesRejectsGarbage(t *testing.T) {
+	if _, err := FromBytes(nil); !errors.Is(err, ErrBadImage) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := FromBytes(make([]byte, 4096)); !errors.Is(err, ErrBadImage) {
+		t.Errorf("zeros: %v", err)
+	}
+	im := newTestImage(t)
+	trunc := im.Bytes()[:len(im.Bytes())-10]
+	if _, err := FromBytes(trunc); !errors.Is(err, ErrBadImage) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+func TestAllocFreeInode(t *testing.T) {
+	im := newTestImage(t)
+	a, _ := im.AllocInode(TypeFile)
+	b, _ := im.AllocInode(TypeDir)
+	if a == b {
+		t.Fatal("duplicate inode numbers")
+	}
+	if im.InodeCount() != 2 {
+		t.Fatalf("count = %d", im.InodeCount())
+	}
+	if err := im.FreeInode(a); err != nil {
+		t.Fatal(err)
+	}
+	if im.InodeAllocated(a) {
+		t.Error("freed inode still allocated")
+	}
+	if err := im.FreeInode(a); !errors.Is(err, ErrNotAllocated) {
+		t.Errorf("double free: %v", err)
+	}
+	// freed slot is reused
+	c, _ := im.AllocInode(TypeObject)
+	if c != a {
+		t.Errorf("expected reuse of %d, got %d", a, c)
+	}
+}
+
+func TestAllocGrowsGroups(t *testing.T) {
+	im := newTestImage(t)
+	per := im.Geometry().InodesPerGroup
+	for i := 0; i < per+3; i++ {
+		if _, err := im.AllocInode(TypeFile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if im.Groups() < 2 {
+		t.Fatalf("groups = %d, want >= 2", im.Groups())
+	}
+	if im.InodeCount() != int64(per+3) {
+		t.Fatalf("count = %d", im.InodeCount())
+	}
+	// image still parses after growth
+	if _, err := FromBytes(im.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarFields(t *testing.T) {
+	im := newTestImage(t)
+	ino, _ := im.AllocInode(TypeFile)
+	if err := im.SetSize(ino, 123456); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := im.Size(ino); sz != 123456 {
+		t.Errorf("size = %d", sz)
+	}
+	if err := im.SetTimes(ino, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	a, m, c, err := im.Times(ino)
+	if err != nil || a != 1 || m != 2 || c != 3 {
+		t.Errorf("times = %d %d %d %v", a, m, c, err)
+	}
+	if err := im.SetOwner(ino, 1000, 2000); err != nil {
+		t.Fatal(err)
+	}
+	uid, gid, err := im.Owner(ino)
+	if err != nil || uid != 1000 || gid != 2000 {
+		t.Errorf("owner = %d %d %v", uid, gid, err)
+	}
+	if _, err := im.Size(0); !errors.Is(err, ErrBadInode) {
+		t.Errorf("size(0): %v", err)
+	}
+	if _, err := im.Size(im.MaxInode() + 1); !errors.Is(err, ErrBadInode) {
+		t.Errorf("size(max+1): %v", err)
+	}
+}
+
+func TestXattrBasic(t *testing.T) {
+	im := newTestImage(t)
+	ino, _ := im.AllocInode(TypeFile)
+	if err := im.SetXattr(ino, "lma", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.SetXattr(ino, "link", []byte("parent")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := im.GetXattr(ino, "lma")
+	if err != nil || !ok || !bytes.Equal(v, []byte{1, 2, 3}) {
+		t.Fatalf("lma = %v %v %v", v, ok, err)
+	}
+	// replace
+	if err := im.SetXattr(ino, "lma", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = im.GetXattr(ino, "lma")
+	if !bytes.Equal(v, []byte{9}) {
+		t.Fatalf("replaced lma = %v", v)
+	}
+	xs, err := im.Xattrs(ino)
+	if err != nil || len(xs) != 2 {
+		t.Fatalf("xattrs = %v %v", xs, err)
+	}
+	if err := im.RemoveXattr(ino, "link"); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.RemoveXattr(ino, "link"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing: %v", err)
+	}
+	if _, ok, _ := im.GetXattr(ino, "link"); ok {
+		t.Error("removed xattr still present")
+	}
+	if _, err := im.Xattrs(Ino(9999999)); err == nil {
+		t.Error("xattrs of invalid inode")
+	}
+}
+
+func TestXattrOverflowToBlock(t *testing.T) {
+	im := newTestImage(t)
+	ino, _ := im.AllocInode(TypeFile)
+	big := bytes.Repeat([]byte{0xAB}, 500) // > inline area of 256B inode
+	if err := im.SetXattr(ino, "lov", big); err != nil {
+		t.Fatal(err)
+	}
+	if im.BlockCount() == 0 {
+		t.Error("no overflow block allocated")
+	}
+	v, ok, err := im.GetXattr(ino, "lov")
+	if err != nil || !ok || !bytes.Equal(v, big) {
+		t.Fatalf("overflowed value mismatch: %d bytes, ok=%v err=%v", len(v), ok, err)
+	}
+	// shrink back: overflow block released, value back inline
+	if err := im.SetXattr(ino, "lov", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if im.BlockCount() != 0 {
+		t.Errorf("overflow block not released: %d", im.BlockCount())
+	}
+	v, _, _ = im.GetXattr(ino, "lov")
+	if !bytes.Equal(v, []byte{1}) {
+		t.Fatalf("shrunk value = %v", v)
+	}
+	// larger than a block is rejected
+	huge := make([]byte, im.Geometry().BlockSize+1)
+	if err := im.SetXattr(ino, "x", huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge xattr: %v", err)
+	}
+}
+
+func TestXattrRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		im := MustNew(CompactGeometry())
+		ino, _ := im.AllocInode(TypeFile)
+		want := make(map[string][]byte)
+		for i := 0; i < r.Intn(6); i++ {
+			name := string(rune('a'+i)) + "attr"
+			val := make([]byte, r.Intn(40))
+			r.Read(val)
+			want[name] = val
+			if err := im.SetXattr(ino, name, val); err != nil {
+				return false
+			}
+		}
+		got, err := im.Xattrs(ino)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if !bytes.Equal(got[k], v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	im := newTestImage(t)
+	ino, _ := im.AllocInode(TypeFile)
+	im.SetXattr(ino, "lma", []byte{1, 2, 3, 4})
+	off, err := im.InodeOffset(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stomp the inline EA area
+	if err := im.CorruptBytes(off+int64(inodeHeaderSize), bytes.Repeat([]byte{0xFF}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.Xattrs(ino); err == nil {
+		t.Error("corrupted EA area parsed cleanly")
+	}
+	if err := im.CorruptBytes(-1, []byte{0}); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if err := im.CorruptBytes(int64(len(im.Bytes())), []byte{0}); err == nil {
+		t.Error("out-of-range offset accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package ldiskfs implements a simplified ldiskfs/ext4-style disk image:
+// a superblock, block groups with inode/block bitmaps, fixed-size inodes
+// with inline extended-attribute areas (plus overflow xattr blocks), and
+// directory-entry blocks. Lustre (paper §II-A) stores every piece of
+// checking-relevant metadata in exactly these structures — inode EAs
+// (LMA, LinkEA, LOVEA, filter-fid) and directory entries — so this
+// substrate lets the FaultyRank scanner parse metadata from raw bytes
+// the same way the paper's scanner walks a real ldiskfs device, and lets
+// the fault injector corrupt metadata at the byte level.
+//
+// The format is deliberately Lustre-agnostic: EA names and values are
+// opaque, and directory entries carry an opaque 16-byte tag (ldiskfs
+// extends ext4 dirents with the child's Lustre FID; package lustre
+// defines the encodings).
+package ldiskfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic identifies a serialized image ("LDFSIM01" as little-endian u64).
+const Magic uint64 = 0x31304D495346444C
+
+// Geometry fixes the on-disk layout constants of an image.
+type Geometry struct {
+	BlockSize      int // bytes per block (power of two)
+	InodeSize      int // bytes per inode (power of two, >= 256)
+	InodesPerGroup int // inodes in each block group
+	BlocksPerGroup int // total blocks in each group, incl. metadata
+}
+
+// DefaultGeometry mirrors common ldiskfs settings scaled for in-memory
+// images: 4 KiB blocks, 512 B inodes (large inodes are the mechanism
+// real ldiskfs uses to keep Lustre EAs inline), 4096 inodes per group.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		BlockSize:      4096,
+		InodeSize:      512,
+		InodesPerGroup: 4096,
+		BlocksPerGroup: 1024,
+	}
+}
+
+// CompactGeometry is a small-image variant used by tests.
+func CompactGeometry() Geometry {
+	return Geometry{
+		BlockSize:      1024,
+		InodeSize:      256,
+		InodesPerGroup: 64,
+		BlocksPerGroup: 64,
+	}
+}
+
+// Validate checks internal consistency of the geometry.
+func (g Geometry) Validate() error {
+	switch {
+	case g.BlockSize < 512 || g.BlockSize&(g.BlockSize-1) != 0:
+		return fmt.Errorf("ldiskfs: bad block size %d", g.BlockSize)
+	case g.InodeSize < inodeHeaderSize+64 || g.InodeSize&(g.InodeSize-1) != 0:
+		return fmt.Errorf("ldiskfs: bad inode size %d", g.InodeSize)
+	case g.InodesPerGroup < 8:
+		return fmt.Errorf("ldiskfs: too few inodes per group (%d)", g.InodesPerGroup)
+	case g.InodesPerGroup%8 != 0:
+		return fmt.Errorf("ldiskfs: inodes per group must be a multiple of 8")
+	}
+	if g.inodeTableBlocks()*2 > g.BlocksPerGroup {
+		return fmt.Errorf("ldiskfs: group too small: %d table blocks, %d total",
+			g.inodeTableBlocks(), g.BlocksPerGroup)
+	}
+	if g.InodesPerGroup/8 > g.BlockSize {
+		return fmt.Errorf("ldiskfs: inode bitmap exceeds one block")
+	}
+	if g.dataBlocksPerGroup() > 8*g.BlockSize {
+		return fmt.Errorf("ldiskfs: block bitmap exceeds one block")
+	}
+	return nil
+}
+
+// inodeTableBlocks is the number of blocks the inode table occupies.
+func (g Geometry) inodeTableBlocks() int {
+	return (g.InodesPerGroup*g.InodeSize + g.BlockSize - 1) / g.BlockSize
+}
+
+// metaBlocksPerGroup: inode bitmap + block bitmap + inode table.
+func (g Geometry) metaBlocksPerGroup() int { return 2 + g.inodeTableBlocks() }
+
+// dataBlocksPerGroup is the number of allocatable data blocks per group.
+func (g Geometry) dataBlocksPerGroup() int { return g.BlocksPerGroup - g.metaBlocksPerGroup() }
+
+// groupBytes is the byte size of one block group.
+func (g Geometry) groupBytes() int { return g.BlocksPerGroup * g.BlockSize }
+
+// Superblock layout (block 0 of the image, little-endian):
+//
+//	off  size  field
+//	  0     8  magic
+//	  8     4  block size
+//	 12     4  inode size
+//	 16     4  inodes per group
+//	 20     4  blocks per group
+//	 24     4  group count
+//	 28     8  allocated inode count
+//	 36     8  allocated data block count
+//	 44     8  label length + label bytes (max 64)
+const (
+	sbMagicOff       = 0
+	sbBlockSizeOff   = 8
+	sbInodeSizeOff   = 12
+	sbInoPerGrpOff   = 16
+	sbBlkPerGrpOff   = 20
+	sbGroupCountOff  = 24
+	sbInodeCountOff  = 28
+	sbBlockCountOff  = 36
+	sbLabelLenOff    = 44
+	sbLabelOff       = 48
+	sbLabelMax       = 64
+	superblockBlocks = 1
+)
+
+// Inode header layout (little-endian). The remainder of the inode, from
+// inodeHeaderSize to InodeSize, is the inline extended-attribute area.
+//
+//	off  size  field
+//	  0     2  mode (FileType)
+//	  2     2  link count
+//	  4     8  size (bytes)
+//	 12     8  atime (unix ns)
+//	 20     8  mtime
+//	 28     8  ctime
+//	 36     4  uid
+//	 40     4  gid
+//	 44     8  xattr overflow block (global block number, 0 = none)
+//	 52     8  indirect dirent block (global block number, 0 = none)
+//	 60  8*8=64  direct dirent block pointers (global, 0 = none)
+//	124     4  generation
+const (
+	inoModeOff      = 0
+	inoLinksOff     = 2
+	inoSizeOff      = 4
+	inoAtimeOff     = 12
+	inoMtimeOff     = 20
+	inoCtimeOff     = 28
+	inoUIDOff       = 36
+	inoGIDOff       = 40
+	inoXattrBlkOff  = 44
+	inoIndirectOff  = 52
+	inoDirectOff    = 60
+	numDirect       = 8
+	inoGenOff       = 60 + numDirect*8
+	inodeHeaderSize = inoGenOff + 4
+)
+
+// FileType is the inode mode as understood by this substrate.
+type FileType uint16
+
+const (
+	// TypeFree marks an unallocated inode slot.
+	TypeFree FileType = iota
+	// TypeFile is a regular file inode (an MDT file object).
+	TypeFile
+	// TypeDir is a directory inode.
+	TypeDir
+	// TypeObject is an OST stripe-object inode.
+	TypeObject
+	// TypeSymlink is a symbolic-link inode (target stored as an EA).
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeFree:
+		return "free"
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeObject:
+		return "object"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("type(%d)", uint16(t))
+	}
+}
+
+// Ino is a 1-based inode number; 0 is invalid.
+type Ino uint64
+
+var le = binary.LittleEndian

@@ -1,0 +1,246 @@
+package lfsck
+
+import (
+	"fmt"
+	"testing"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/inject"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+)
+
+func testCluster(t testing.TB) *lustre.Cluster {
+	t.Helper()
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 4, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("/proj%d", d)
+		if err := c.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 4; f++ {
+			if _, err := c.Create(fmt.Sprintf("%s/file%d", dir, f), 3*64<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+const target = "/proj1/file2"
+
+func runLFSCK(t testing.TB, c *lustre.Cluster, opt Options) *Result {
+	t.Helper()
+	res, err := Run(checker.ClusterImages(c), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCleanClusterNoActions(t *testing.T) {
+	c := testCluster(t)
+	res := runLFSCK(t, c, Options{})
+	if len(res.Actions) != 0 {
+		t.Fatalf("actions on clean cluster: %+v", res.Actions)
+	}
+	if res.Stats.InodesChecked == 0 || res.Stats.RPCs == 0 {
+		t.Errorf("stats empty: %+v", res.Stats)
+	}
+	if res.Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+}
+
+// TestTable1Behaviours verifies the LFSCK behaviour matrix of paper
+// Table I against the injected scenarios: LFSCK repairs the cases where
+// its fixed "MDS wins" rule happens to match the root cause, and parks
+// or mangles the rest.
+func TestTable1Behaviours(t *testing.T) {
+	// Dangling reference, root cause "b's id is wrong": LFSCK recreates
+	// an empty stub under the referenced FID and parks the real object
+	// — it never repairs b's id.
+	t.Run("dangling-object-id", func(t *testing.T) {
+		c := testCluster(t)
+		inj, err := inject.Inject(c, inject.DanglingObjectID, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runLFSCK(t, c, Options{})
+		if !res.HasAction(LayoutRecreateObject, inj.VictimFID) {
+			t.Errorf("no stub recreation: %+v", res.Actions)
+		}
+		if !res.HasAction(LayoutLostFoundObject, inj.NewFID) {
+			t.Errorf("real object not parked: %+v", res.Actions)
+		}
+	})
+
+	// Dangling reference, root cause "a's property wrong" (wiped dir):
+	// LFSCK cannot identify the directory as faulty; the children are
+	// unreferenced and go to lost+found.
+	t.Run("dangling-dirent", func(t *testing.T) {
+		c := testCluster(t)
+		if _, err := inject.Inject(c, inject.DanglingDirent, target); err != nil {
+			t.Fatal(err)
+		}
+		res := runLFSCK(t, c, Options{})
+		parked := res.ActionsOfKind(NSLostFound)
+		if len(parked) != 4 { // the four files of /proj1
+			t.Errorf("parked %d namespace objects, want 4: %+v", len(parked), res.Actions)
+		}
+	})
+
+	// Unreferenced object: LFSCK parks it; it never considers that the
+	// owner's LOVEA lost the entry.
+	t.Run("unreferenced-object", func(t *testing.T) {
+		c := testCluster(t)
+		inj, err := inject.Inject(c, inject.UnrefLOVEADropped, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runLFSCK(t, c, Options{})
+		if !res.HasAction(LayoutLostFoundObject, inj.PeerFID) {
+			t.Errorf("dropped object not parked: %+v", res.Actions)
+		}
+	})
+
+	// Mismatch, root cause "b's property wrong": the one case the MDS-
+	// wins rule repairs correctly.
+	t.Run("mismatch-filterfid", func(t *testing.T) {
+		c := testCluster(t)
+		inj, err := inject.Inject(c, inject.MismatchFilterFID, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runLFSCK(t, c, Options{})
+		if !res.HasAction(LayoutFixFilterFID, inj.VictimFID) {
+			t.Fatalf("filter-fid not fixed: %+v", res.Actions)
+		}
+		// Verify the repair is actually correct here.
+		chk, err := checker.Run(checker.ClusterImages(c), checker.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chk.Stats.UnpairedEdges != 0 {
+			t.Errorf("mismatch repair left %d unpaired edges", chk.Stats.UnpairedEdges)
+		}
+	})
+
+	// Mismatch, root cause "a's id wrong": LFSCK trusts the local inode,
+	// rewrites the dirent from the corrupted LMA, and then overwrites
+	// every object's filter-fid — accepting the wrong identity instead
+	// of repairing it.
+	t.Run("mismatch-file-id", func(t *testing.T) {
+		c := testCluster(t)
+		inj, err := inject.Inject(c, inject.MismatchFileID, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runLFSCK(t, c, Options{})
+		if !res.HasAction(NSFixDirentFID, inj.VictimFID) {
+			t.Errorf("dirent not rewritten from corrupted LMA: %+v", res.Actions)
+		}
+		fixed := res.ActionsOfKind(LayoutFixFilterFID)
+		if len(fixed) != 3 { // all three stripes re-pointed at the wrong id
+			t.Errorf("filter-fids overwritten = %d, want 3", len(fixed))
+		}
+	})
+
+	// Stale objects after a lost file: parked one by one; the file is
+	// never reconstructed.
+	t.Run("stale-objects", func(t *testing.T) {
+		c := testCluster(t)
+		if _, err := inject.Inject(c, inject.UnrefStaleObject, target); err != nil {
+			t.Fatal(err)
+		}
+		res := runLFSCK(t, c, Options{})
+		parked := res.ActionsOfKind(LayoutLostFoundObject)
+		if len(parked) != 3 {
+			t.Errorf("parked %d objects, want 3: %+v", len(parked), res.Actions)
+		}
+	})
+}
+
+func TestDryRunDoesNotMutate(t *testing.T) {
+	c := testCluster(t)
+	if _, err := inject.Inject(c, inject.DanglingObjectID, target); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), c.MDT.Img.Bytes()...)
+	res := runLFSCK(t, c, Options{DryRun: true})
+	if len(res.Actions) == 0 {
+		t.Fatal("dry run found nothing")
+	}
+	after := c.MDT.Img.Bytes()
+	if len(before) != len(after) {
+		t.Fatal("image grew during dry run")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("image mutated at byte %d during dry run", i)
+		}
+	}
+}
+
+func TestNamespaceLinkEAFix(t *testing.T) {
+	c := testCluster(t)
+	// Corrupt a file's LinkEA (wrong parent): LFSCK rewrites it from
+	// the parent's dirent — correct here, since the parent is right.
+	ent, err := c.Stat(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, _ := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lustre.FID{Seq: 0xBAD, Oid: 9}, Name: "file2"}})
+	if err := c.MDT.Img.SetXattr(ent.Ino, lustre.XattrLink, link); err != nil {
+		t.Fatal(err)
+	}
+	res := runLFSCK(t, c, Options{})
+	if !res.HasAction(NSFixLinkEA, ent.FID) {
+		t.Fatalf("linkEA not fixed: %+v", res.Actions)
+	}
+	raw, _, _ := c.MDT.Img.GetXattr(ent.Ino, lustre.XattrLink)
+	links, _ := lustre.DecodeLinkEA(raw)
+	parent, _ := c.Stat("/proj1")
+	if len(links) != 1 || links[0].Parent != parent.FID {
+		t.Errorf("linkEA after repair: %+v", links)
+	}
+}
+
+func TestLFSCKOverTCP(t *testing.T) {
+	c := testCluster(t)
+	inj, err := inject.Inject(c, inject.MismatchFilterFID, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runLFSCK(t, c, Options{UseTCP: true})
+	if !res.HasAction(LayoutFixFilterFID, inj.VictimFID) {
+		t.Fatalf("tcp run missed the fault: %+v", res.Actions)
+	}
+	if res.Stats.RPCs == 0 {
+		t.Error("no RPCs counted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Options{}); err == nil {
+		t.Error("no images accepted")
+	}
+	img := ldiskfs.MustNew(ldiskfs.CompactGeometry())
+	if _, err := Run([]*ldiskfs.Image{img}, Options{}); err == nil {
+		t.Error("single image accepted")
+	}
+}
+
+func TestActionKindStrings(t *testing.T) {
+	for k := ActionKind(0); k < 8; k++ {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", k)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package lfsck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/wire"
+)
+
+// namespacePhase is LFSCK phase 1: a sequential sweep of the MDT
+// namespace. For every directory entry the child's LinkEA is
+// cross-checked; the parent's view always wins. Afterwards, namespace
+// objects no directory references are parked in lost+found.
+func (r *runner) namespacePhase() error {
+	type inodeRec struct {
+		ino ldiskfs.Ino
+		typ ldiskfs.FileType
+		fid lustre.FID
+	}
+	var inodes []inodeRec
+	err := r.mdt.AllocatedInodes(func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+		fid := lustre.FID{}
+		if raw, ok, _ := r.mdt.GetXattr(ino, lustre.XattrLMA); ok {
+			if f, err := lustre.DecodeLMA(raw); err == nil {
+				fid = f
+			}
+		}
+		inodes = append(inodes, inodeRec{ino: ino, typ: t, fid: fid})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	referenced := map[lustre.FID]bool{lustre.RootFID: true}
+	for _, rec := range inodes {
+		r.res.Stats.InodesChecked++
+		if rec.typ != ldiskfs.TypeDir {
+			continue
+		}
+		ents, _ := r.mdt.Dirents(rec.ino)
+		for _, de := range ents {
+			childFID := lustre.FIDFromBytes(de.Tag[:])
+			childIno := de.Ino
+			// ldiskfs resolves names by local inode; the FID in the
+			// entry is auxiliary. A dead inode makes the entry dangling
+			// (removed); a live inode whose LMA disagrees gets the entry
+			// rewritten from the LMA — the local inode is trusted, so a
+			// corrupted identity is accepted as the new truth (Table I:
+			// LFSCK cannot identify "a's id is wrong").
+			if !r.mdt.InodeAllocated(childIno) {
+				r.act(NSDropDirent, childFID, "dangling entry %q in %v", de.Name, rec.fid)
+				if !r.opt.DryRun {
+					_ = r.mdt.RemoveDirent(rec.ino, de.Name)
+				}
+				continue
+			}
+			if raw, ok, _ := r.mdt.GetXattr(childIno, lustre.XattrLMA); ok {
+				if lma, err := lustre.DecodeLMA(raw); err == nil && !lma.IsZero() && lma != childFID {
+					r.act(NSFixDirentFID, childFID,
+						"entry %q FID rewritten %v -> %v from child LMA", de.Name, childFID, lma)
+					childFID = lma
+					if !r.opt.DryRun {
+						_ = r.mdt.RemoveDirent(rec.ino, de.Name)
+						_ = r.mdt.AddDirent(rec.ino, ldiskfs.Dirent{
+							Ino: childIno, Type: de.Type, Tag: lma.Bytes(), Name: de.Name,
+						})
+					}
+				}
+			}
+			referenced[childFID] = true
+			// Cross-check the child's LinkEA; the parent wins.
+			ok := false
+			if raw, has, _ := r.mdt.GetXattr(childIno, lustre.XattrLink); has {
+				if links, err := lustre.DecodeLinkEA(raw); err == nil {
+					for _, l := range links {
+						if l.Parent == rec.fid && l.Name == de.Name {
+							ok = true
+							break
+						}
+					}
+				}
+			}
+			if !ok && !rec.fid.IsZero() {
+				r.act(NSFixLinkEA, childFID, "rewrote LinkEA of %q from parent %v", de.Name, rec.fid)
+				if !r.opt.DryRun {
+					link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: rec.fid, Name: de.Name}})
+					if err == nil {
+						_ = r.mdt.SetXattr(childIno, lustre.XattrLink, link)
+					}
+				}
+			}
+		}
+	}
+
+	// Unreferenced namespace objects go to lost+found — LFSCK does not
+	// try to decide whether a parent lost its entries.
+	for _, rec := range inodes {
+		if rec.fid.IsZero() || referenced[rec.fid] || rec.fid.Seq == LostSeq {
+			continue
+		}
+		if rec.typ != ldiskfs.TypeDir && rec.typ != ldiskfs.TypeFile && rec.typ != ldiskfs.TypeSymlink {
+			continue
+		}
+		r.act(NSLostFound, rec.fid, "unreferenced %v moved to lost+found", rec.typ)
+		if !r.opt.DryRun {
+			if err := r.nsToLostFound(rec.ino, rec.fid, rec.typ); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// layoutPhase is LFSCK phase 2: for every MDT file, every LOVEA stripe
+// is verified against its OST with one StatFID round trip. The MDS view
+// always wins: missing objects are recreated as empty stubs, and
+// disagreeing filter-fids are overwritten.
+func (r *runner) layoutPhase() error {
+	type fileRec struct {
+		ino ldiskfs.Ino
+		fid lustre.FID
+	}
+	var files []fileRec
+	err := r.mdt.AllocatedInodes(func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+		if t != ldiskfs.TypeFile {
+			return nil
+		}
+		if raw, ok, _ := r.mdt.GetXattr(ino, lustre.XattrLMA); ok {
+			if f, err := lustre.DecodeLMA(raw); err == nil && !f.IsZero() {
+				files = append(files, fileRec{ino: ino, fid: f})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Batched mode: sweep the layouts once, prefetch every referenced
+	// object in BatchSize round trips per OST, then evaluate against
+	// the prefetched answers.
+	var preOST []map[lustre.FID]wire.FIDInfo
+	if r.opt.BatchSize > 1 {
+		queries := make([][]lustre.FID, len(r.ostStat))
+		for _, f := range files {
+			raw, ok, _ := r.mdt.GetXattr(f.ino, lustre.XattrLOV)
+			if !ok {
+				continue
+			}
+			layout, err := lustre.DecodeLOVEA(raw)
+			if err != nil {
+				continue
+			}
+			for _, s := range layout.Stripes {
+				if !s.ObjectFID.IsZero() && int(s.OSTIndex) < len(queries) {
+					queries[s.OSTIndex] = append(queries[s.OSTIndex], s.ObjectFID)
+				}
+			}
+		}
+		preOST = make([]map[lustre.FID]wire.FIDInfo, len(r.ostStat))
+		for i := range queries {
+			m, err := r.resolveAll(r.ostBatch[i], queries[i])
+			if err != nil {
+				return err
+			}
+			preOST[i] = m
+		}
+	}
+
+	statOST := func(ost int, fid lustre.FID) (wire.FIDInfo, error) {
+		if preOST != nil {
+			return preOST[ost][fid], nil
+		}
+		return r.ostStat[ost](fid)
+	}
+
+	for _, f := range files {
+		r.res.Stats.InodesChecked++
+		raw, ok, _ := r.mdt.GetXattr(f.ino, lustre.XattrLOV)
+		if !ok {
+			continue
+		}
+		layout, err := lustre.DecodeLOVEA(raw)
+		if err != nil {
+			continue // corrupt layout: phase 1 of real LFSCK would rebuild via OI scrub
+		}
+		for idx, s := range layout.Stripes {
+			if s.ObjectFID.IsZero() {
+				continue
+			}
+			if int(s.OSTIndex) >= len(r.ostStat) {
+				continue
+			}
+			info, err := statOST(int(s.OSTIndex), s.ObjectFID)
+			if err != nil {
+				return err
+			}
+			if !info.Exists {
+				// Dangling layout reference: the MDS wins, so a stub
+				// object is recreated under the referenced FID. If the
+				// real object is out there under a corrupted id, it is
+				// stranded (root cause 1 of Table I is never considered).
+				r.act(LayoutRecreateObject, s.ObjectFID,
+					"recreated empty stub for stripe %d of %v on ost%d", idx, f.fid, s.OSTIndex)
+				if !r.opt.DryRun {
+					if err := r.recreateStub(int(s.OSTIndex), s.ObjectFID, f.fid, uint32(idx)); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			// Mismatch check: the object's filter-fid must acknowledge
+			// this file and stripe index; otherwise it is overwritten.
+			match := false
+			if ffRaw, has := info.Xattrs[lustre.XattrFilterFID]; has {
+				if ff, err := lustre.DecodeFilterFID(ffRaw); err == nil {
+					match = ff.ParentFID == f.fid && int(ff.StripeIndex) == idx
+				}
+			}
+			if !match {
+				r.act(LayoutFixFilterFID, s.ObjectFID,
+					"overwrote filter-fid of %v from MDS (%v stripe %d)", s.ObjectFID, f.fid, idx)
+				if !r.opt.DryRun {
+					if err := r.overwriteFilterFID(int(s.OSTIndex), s.ObjectFID, f.fid, uint32(idx)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// orphanPhase is LFSCK phase 3: every OST object checks back with the
+// MDT (one round trip per object). Objects whose owner does not exist
+// or does not reference them are parked in lost+found.
+func (r *runner) orphanPhase() error {
+	for ostIdx, img := range r.osts {
+		type objRec struct {
+			ino ldiskfs.Ino
+			fid lustre.FID
+		}
+		var objs []objRec
+		err := img.AllocatedInodes(func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+			if t != ldiskfs.TypeObject {
+				return nil
+			}
+			if raw, ok, _ := img.GetXattr(ino, lustre.XattrLMA); ok {
+				if f, err := lustre.DecodeLMA(raw); err == nil && !f.IsZero() {
+					objs = append(objs, objRec{ino: ino, fid: f})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Batched mode: prefetch every object's owner from the MDT in
+		// BatchSize round trips.
+		var preMDT map[lustre.FID]wire.FIDInfo
+		if r.opt.BatchSize > 1 {
+			var owners []lustre.FID
+			for _, o := range objs {
+				if raw, ok, _ := img.GetXattr(o.ino, lustre.XattrFilterFID); ok {
+					if ff, err := lustre.DecodeFilterFID(raw); err == nil && !ff.ParentFID.IsZero() {
+						owners = append(owners, ff.ParentFID)
+					}
+				}
+			}
+			m, err := r.resolveAll(r.mdtBatch, owners)
+			if err != nil {
+				return err
+			}
+			preMDT = m
+		}
+		statMDT := func(fid lustre.FID) (wire.FIDInfo, error) {
+			if preMDT != nil {
+				return preMDT[fid], nil
+			}
+			return r.mdtStat(fid)
+		}
+		for _, o := range objs {
+			r.res.Stats.InodesChecked++
+			var owner lustre.FID
+			var stripe uint32
+			if raw, ok, _ := img.GetXattr(o.ino, lustre.XattrFilterFID); ok {
+				if ff, err := lustre.DecodeFilterFID(raw); err == nil {
+					owner, stripe = ff.ParentFID, ff.StripeIndex
+				}
+			}
+			claimed := false
+			if !owner.IsZero() {
+				info, err := statMDT(owner)
+				if err != nil {
+					return err
+				}
+				if info.Exists {
+					if lovRaw, has := info.Xattrs[lustre.XattrLOV]; has {
+						if layout, err := lustre.DecodeLOVEA(lovRaw); err == nil &&
+							int(stripe) < len(layout.Stripes) {
+							claimed = layout.Stripes[stripe].ObjectFID == o.fid
+						}
+					}
+				}
+			}
+			if !claimed {
+				r.act(LayoutLostFoundObject, o.fid,
+					"object %v on ost%d unclaimed; parked in lost+found", o.fid, ostIdx)
+				if !r.opt.DryRun {
+					if err := r.objectToLostFound(ostIdx, img, o.ino, o.fid); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// --- repair helpers ---------------------------------------------------------
+
+// lostFound returns (creating on demand) the MDT /lost+found directory.
+func (r *runner) lostFound() (ldiskfs.Ino, lustre.FID, error) {
+	if r.res.lostFoundIno != 0 {
+		return r.res.lostFoundIno, r.res.lostFoundFID, nil
+	}
+	rootIno, ok := r.mdtIndex[lustre.RootFID]
+	if !ok {
+		return 0, lustre.FID{}, errors.New("lfsck: no root on MDT")
+	}
+	if de, found, _ := r.mdt.LookupDirent(rootIno, "lost+found"); found {
+		r.res.lostFoundIno = de.Ino
+		r.res.lostFoundFID = lustre.FIDFromBytes(de.Tag[:])
+		return de.Ino, r.res.lostFoundFID, nil
+	}
+	fid := r.allocFID()
+	ino, err := r.mdt.AllocInode(ldiskfs.TypeDir)
+	if err != nil {
+		return 0, lustre.FID{}, err
+	}
+	if err := r.mdt.SetXattr(ino, lustre.XattrLMA, lustre.EncodeLMA(fid)); err != nil {
+		return 0, lustre.FID{}, err
+	}
+	link, _ := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lustre.RootFID, Name: "lost+found"}})
+	if err := r.mdt.SetXattr(ino, lustre.XattrLink, link); err != nil {
+		return 0, lustre.FID{}, err
+	}
+	if err := r.mdt.AddDirent(rootIno, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeDir, Tag: fid.Bytes(), Name: "lost+found",
+	}); err != nil {
+		return 0, lustre.FID{}, err
+	}
+	r.res.lostFoundIno, r.res.lostFoundFID = ino, fid
+	return ino, fid, nil
+}
+
+// nsToLostFound reattaches an unreferenced namespace object.
+func (r *runner) nsToLostFound(ino ldiskfs.Ino, fid lustre.FID, typ ldiskfs.FileType) error {
+	lfIno, lfFID, err := r.lostFound()
+	if err != nil {
+		return err
+	}
+	name := "obj-" + strings.Trim(fid.String(), "[]")
+	link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lfFID, Name: name}})
+	if err != nil {
+		return err
+	}
+	if err := r.mdt.SetXattr(ino, lustre.XattrLink, link); err != nil {
+		return err
+	}
+	err = r.mdt.AddDirent(lfIno, ldiskfs.Dirent{
+		Ino: ino, Type: typ, Tag: fid.Bytes(), Name: name,
+	})
+	if errors.Is(err, ldiskfs.ErrExist) {
+		return nil
+	}
+	return err
+}
+
+// recreateStub creates an empty object under the FID the MDS references.
+func (r *runner) recreateStub(ost int, objFID, owner lustre.FID, stripe uint32) error {
+	if ost >= len(r.osts) {
+		return fmt.Errorf("lfsck: no ost%d", ost)
+	}
+	img := r.osts[ost]
+	ino, err := img.AllocInode(ldiskfs.TypeObject)
+	if err != nil {
+		return err
+	}
+	if err := img.SetXattr(ino, lustre.XattrLMA, lustre.EncodeLMA(objFID)); err != nil {
+		return err
+	}
+	ff := lustre.EncodeFilterFID(lustre.FilterFID{ParentFID: owner, StripeIndex: stripe})
+	return img.SetXattr(ino, lustre.XattrFilterFID, ff)
+}
+
+// overwriteFilterFID rewrites an object's point-back from the MDS view.
+func (r *runner) overwriteFilterFID(ost int, objFID, owner lustre.FID, stripe uint32) error {
+	if ost >= len(r.osts) {
+		return fmt.Errorf("lfsck: no ost%d", ost)
+	}
+	img := r.osts[ost]
+	// Resolve the object locally (linear OI walk is acceptable: this
+	// path runs once per repaired object, not per checked object).
+	var target ldiskfs.Ino
+	err := img.AllocatedInodes(func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+		if target != 0 {
+			return nil
+		}
+		if raw, ok, _ := img.GetXattr(ino, lustre.XattrLMA); ok {
+			if f, err := lustre.DecodeLMA(raw); err == nil && f == objFID {
+				target = ino
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if target == 0 {
+		return fmt.Errorf("lfsck: object %v vanished", objFID)
+	}
+	ff := lustre.EncodeFilterFID(lustre.FilterFID{ParentFID: owner, StripeIndex: stripe})
+	return img.SetXattr(target, lustre.XattrFilterFID, ff)
+}
+
+// objectToLostFound parks an unclaimed OST object: a stub file under
+// /lost+found references it. The object's data survives but its
+// original identity/ownership is never investigated — the conservative
+// behaviour Table I documents.
+func (r *runner) objectToLostFound(ost int, img *ldiskfs.Image, ino ldiskfs.Ino, objFID lustre.FID) error {
+	lfIno, lfFID, err := r.lostFound()
+	if err != nil {
+		return err
+	}
+	ownerFID := r.allocFID()
+	name := "obj-" + strings.Trim(objFID.String(), "[]")
+	fileIno, err := r.mdt.AllocInode(ldiskfs.TypeFile)
+	if err != nil {
+		return err
+	}
+	if err := r.mdt.SetXattr(fileIno, lustre.XattrLMA, lustre.EncodeLMA(ownerFID)); err != nil {
+		return err
+	}
+	link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lfFID, Name: name}})
+	if err != nil {
+		return err
+	}
+	if err := r.mdt.SetXattr(fileIno, lustre.XattrLink, link); err != nil {
+		return err
+	}
+	lov, err := lustre.EncodeLOVEA(lustre.Layout{
+		StripeSize: 64 << 10,
+		Stripes:    []lustre.StripeEntry{{OSTIndex: uint32(ost), ObjectFID: objFID}},
+	})
+	if err != nil {
+		return err
+	}
+	if err := r.mdt.SetXattr(fileIno, lustre.XattrLOV, lov); err != nil {
+		return err
+	}
+	if sz, serr := img.Size(ino); serr == nil {
+		_ = r.mdt.SetSize(fileIno, sz)
+	}
+	if err := r.mdt.AddDirent(lfIno, ldiskfs.Dirent{
+		Ino: fileIno, Type: ldiskfs.TypeFile, Tag: ownerFID.Bytes(), Name: name,
+	}); err != nil && !errors.Is(err, ldiskfs.ErrExist) {
+		return err
+	}
+	ff := lustre.EncodeFilterFID(lustre.FilterFID{ParentFID: ownerFID, StripeIndex: 0})
+	return img.SetXattr(ino, lustre.XattrFilterFID, ff)
+}

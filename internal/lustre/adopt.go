@@ -1,0 +1,113 @@
+package lustre
+
+import (
+	"fmt"
+	"strings"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+// Adopt rebuilds a Cluster handle from existing server images (MDTs
+// first, then OSTs in index order — the order imgdir.Load produces).
+// The FID index is reconstructed by scanning every image's LMA
+// attributes, and the FID allocators resume past the highest object id
+// seen, so adopted clusters can keep creating files. Structural damage
+// is tolerated: an adopted cluster may be inconsistent (that is what
+// the checkers are for); only a missing root directory is fatal.
+func Adopt(images []*ldiskfs.Image) (*Cluster, error) {
+	if len(images) < 2 {
+		return nil, fmt.Errorf("lustre: adopt needs MDT + at least one OST")
+	}
+	if !strings.HasPrefix(images[0].Label(), "mdt") {
+		return nil, fmt.Errorf("lustre: first image %q is not an MDT", images[0].Label())
+	}
+	nMDT := 0
+	for _, img := range images {
+		if strings.HasPrefix(img.Label(), "mdt") {
+			nMDT++
+		}
+	}
+	c := &Cluster{
+		Cfg: Config{
+			NumOSTs:     len(images) - nMDT,
+			NumMDTs:     nMDT,
+			StripeSize:  64 << 10,
+			StripeCount: -1,
+			Geometry:    images[0].Geometry(),
+		},
+		dirCache: make(map[string]dirRef),
+		fidLoc:   make(map[FID]Location),
+	}
+	// Index the MDTs.
+	for i := 0; i < nMDT; i++ {
+		img := images[i]
+		mdt := &MDT{Img: img, Index: i, seq: MDTSeqBase + uint64(i)<<20}
+		err := img.AllocatedInodes(func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+			raw, ok, err := img.GetXattr(ino, XattrLMA)
+			if err != nil || !ok {
+				return nil
+			}
+			fid, err := DecodeLMA(raw)
+			if err != nil || fid.IsZero() {
+				return nil
+			}
+			if _, dup := c.fidLoc[fid]; !dup {
+				c.fidLoc[fid] = Location{OST: -1, MDT: i, Ino: ino}
+			}
+			switch t {
+			case ldiskfs.TypeDir:
+				c.nDirs++
+			case ldiskfs.TypeFile, ldiskfs.TypeSymlink:
+				c.nFiles++
+			}
+			if fid.Seq >= mdt.seq {
+				mdt.seq = fid.Seq
+				if fid.Oid > mdt.nextOid {
+					mdt.nextOid = fid.Oid
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.MDTs = append(c.MDTs, mdt)
+	}
+	c.MDT = c.MDTs[0]
+	// Index the OSTs.
+	for i, img := range images[nMDT:] {
+		ost := &OST{Img: img, Index: i, seq: OSTSeqBase + uint64(i)}
+		err := img.AllocatedInodes(func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+			raw, ok, err := img.GetXattr(ino, XattrLMA)
+			if err != nil || !ok {
+				return nil
+			}
+			fid, err := DecodeLMA(raw)
+			if err != nil || fid.IsZero() {
+				return nil
+			}
+			if _, dup := c.fidLoc[fid]; !dup {
+				c.fidLoc[fid] = Location{OST: i, Ino: ino}
+			}
+			if t == ldiskfs.TypeObject {
+				c.nObjects++
+			}
+			if fid.Seq >= ost.seq && fid.Oid > ost.nextOid {
+				ost.seq = fid.Seq
+				ost.nextOid = fid.Oid
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.OSTs = append(c.OSTs, ost)
+	}
+	root, ok := c.fidLoc[RootFID]
+	if !ok || !root.OnMDT() || root.MDT != 0 {
+		return nil, fmt.Errorf("lustre: adopt: no root directory (FID %v) on MDT0", RootFID)
+	}
+	c.rootIno = root.Ino
+	c.dirCache["/"] = dirRef{ino: root.Ino, fid: RootFID, mdt: 0}
+	return c, nil
+}

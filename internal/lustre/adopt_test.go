@@ -1,0 +1,125 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func populatedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := newTestCluster(t)
+	c.MkdirAll("/a/b")
+	for i := 0; i < 5; i++ {
+		if _, err := c.Create(fmt.Sprintf("/a/b/f%d", i), 2*64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func clusterImages(c *Cluster) []*ldiskfs.Image {
+	images := []*ldiskfs.Image{c.MDT.Img}
+	for _, o := range c.OSTs {
+		images = append(images, o.Img)
+	}
+	return images
+}
+
+func TestAdoptRoundTrip(t *testing.T) {
+	orig := populatedCluster(t)
+	adopted, err := Adopt(clusterImages(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Namespace is fully navigable.
+	ent, err := adopted.Stat("/a/b/f3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	origEnt, _ := orig.Stat("/a/b/f3")
+	if ent.FID != origEnt.FID || ent.Ino != origEnt.Ino {
+		t.Fatalf("stat mismatch: %+v vs %+v", ent, origEnt)
+	}
+	// FID index covers objects on OSTs.
+	raw, _, _ := adopted.MDT.Img.GetXattr(ent.Ino, XattrLOV)
+	layout, err := DecodeLOVEA(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range layout.Stripes {
+		loc, ok := adopted.Lookup(s.ObjectFID)
+		if !ok || loc.OnMDT() {
+			t.Fatalf("object %v not indexed", s.ObjectFID)
+		}
+	}
+	dirs, files, objs := adopted.Counts()
+	odirs, ofiles, oobjs := orig.Counts()
+	if dirs != odirs || files != ofiles || objs != oobjs {
+		t.Errorf("counts: %d/%d/%d vs %d/%d/%d", dirs, files, objs, odirs, ofiles, oobjs)
+	}
+}
+
+// TestAdoptedClusterCanCreate: FID allocators resume past existing ids,
+// so new files never collide.
+func TestAdoptedClusterCanCreate(t *testing.T) {
+	orig := populatedCluster(t)
+	existing := make(map[FID]bool)
+	for fid := range orig.fidLoc {
+		existing[fid] = true
+	}
+	adopted, err := Adopt(clusterImages(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ent, err := adopted.Create(fmt.Sprintf("/a/new%d", i), 3*64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if existing[ent.FID] {
+			t.Fatalf("new file reused FID %v", ent.FID)
+		}
+		raw, _, _ := adopted.MDT.Img.GetXattr(ent.Ino, XattrLOV)
+		layout, _ := DecodeLOVEA(raw)
+		for _, s := range layout.Stripes {
+			if existing[s.ObjectFID] {
+				t.Fatalf("new object reused FID %v", s.ObjectFID)
+			}
+		}
+	}
+}
+
+func TestAdoptValidation(t *testing.T) {
+	if _, err := Adopt(nil); err == nil {
+		t.Error("nil images accepted")
+	}
+	img := ldiskfs.MustNew(ldiskfs.CompactGeometry())
+	img.SetLabel("ost0")
+	img2 := ldiskfs.MustNew(ldiskfs.CompactGeometry())
+	img2.SetLabel("ost1")
+	if _, err := Adopt([]*ldiskfs.Image{img, img2}); err == nil {
+		t.Error("OST-first order accepted")
+	}
+	mdt := ldiskfs.MustNew(ldiskfs.CompactGeometry())
+	mdt.SetLabel("mdt0")
+	if _, err := Adopt([]*ldiskfs.Image{mdt, img}); err == nil {
+		t.Error("rootless MDT accepted")
+	}
+}
+
+func TestAdoptToleratesDamage(t *testing.T) {
+	orig := populatedCluster(t)
+	// Corrupt one file's LMA: adoption must still succeed (checkers will
+	// deal with the inconsistency).
+	ent, _ := orig.Stat("/a/b/f1")
+	orig.MDT.Img.SetXattr(ent.Ino, XattrLMA, []byte{1, 2, 3})
+	adopted, err := Adopt(clusterImages(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adopted.Stat("/a/b/f0"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package lustre
+
+import (
+	"errors"
+	"fmt"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+// Common errors.
+var (
+	ErrExist    = errors.New("lustre: already exists")
+	ErrNotExist = errors.New("lustre: no such file or directory")
+	ErrNotDir   = errors.New("lustre: not a directory")
+	ErrIsDir    = errors.New("lustre: is a directory")
+	ErrNotEmpty = errors.New("lustre: directory not empty")
+)
+
+// Config configures a simulated cluster.
+type Config struct {
+	// NumOSTs is the number of object storage targets (paper testbed: 8).
+	NumOSTs int
+	// NumMDTs is the number of metadata targets. 0 or 1 gives the
+	// paper's single-MDS layout; more enables DNE-style distributed
+	// namespaces: new directories are placed round-robin across MDTs
+	// (like `lfs mkdir -i`), files live on their parent's MDT, and
+	// directory entries reference children across MDTs by FID.
+	NumMDTs int
+	// StripeSize in bytes (the paper shrinks it to 64 KiB to amplify
+	// layout metadata; Lustre's default is 1 MiB).
+	StripeSize int
+	// StripeCount limits objects per file; <=0 means -1 (all OSTs),
+	// matching the paper's setup.
+	StripeCount int
+	// Geometry of the backing images; zero value = ldiskfs.DefaultGeometry.
+	Geometry ldiskfs.Geometry
+}
+
+// DefaultConfig mirrors the paper's testbed: 8 OSTs, 64 KiB stripes,
+// stripe_count -1.
+func DefaultConfig() Config {
+	return Config{NumOSTs: 8, StripeSize: 64 << 10, StripeCount: -1}
+}
+
+// MDT is the metadata target: the namespace image plus FID allocation.
+type MDT struct {
+	Img     *ldiskfs.Image
+	Index   int
+	nextOid uint32
+	seq     uint64
+}
+
+// AllocFID hands out the next MDT FID.
+func (m *MDT) AllocFID() FID {
+	m.nextOid++
+	if m.nextOid == 0 { // sequence exhausted, move to the next
+		m.seq++
+		m.nextOid = 1
+	}
+	return FID{Seq: m.seq, Oid: m.nextOid}
+}
+
+// OST is one object storage target.
+type OST struct {
+	Img     *ldiskfs.Image
+	Index   int
+	nextOid uint32
+	seq     uint64
+}
+
+// AllocFID hands out the next object FID on this OST.
+func (o *OST) AllocFID() FID {
+	o.nextOid++
+	if o.nextOid == 0 {
+		o.seq++
+		o.nextOid = 1
+	}
+	return FID{Seq: o.seq, Oid: o.nextOid}
+}
+
+// Location says where the inode carrying a FID lives.
+type Location struct {
+	OST int // -1 for a metadata target
+	MDT int // meaningful only when OST < 0
+	Ino ldiskfs.Ino
+}
+
+// OnMDT reports whether the location is on a metadata target.
+func (l Location) OnMDT() bool { return l.OST < 0 }
+
+// Cluster is a simulated Lustre instance: one MDT plus NumOSTs OSTs,
+// with client-level namespace operations that maintain every redundant
+// metadata pair the checkers cross-check (DIRENT↔LinkEA, LOVEA↔filter-fid).
+type Cluster struct {
+	Cfg Config
+	// MDT is the primary metadata target (MDTs[0]); most single-MDS
+	// call sites use it directly.
+	MDT  *MDT
+	MDTs []*MDT
+	OSTs []*OST
+
+	rootIno ldiskfs.Ino
+	// dirCache accelerates path resolution; the on-image metadata stays
+	// authoritative (the cache is never consulted by scanners).
+	dirCache map[string]dirRef
+	// fidLoc indexes every live FID for fault injection and tests.
+	fidLoc map[FID]Location
+	// rr is the round-robin cursor for stripe placement.
+	rr int
+	// files/dirs track counts for reporting.
+	nFiles, nDirs, nObjects int64
+}
+
+type dirRef struct {
+	ino ldiskfs.Ino
+	fid FID
+	mdt int // which MDT the directory inode lives on
+}
+
+// NewCluster builds an empty cluster with a root directory.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.NumOSTs <= 0 {
+		return nil, fmt.Errorf("lustre: need at least one OST")
+	}
+	if cfg.NumMDTs <= 0 {
+		cfg.NumMDTs = 1
+	}
+	if cfg.StripeSize <= 0 {
+		cfg.StripeSize = 64 << 10
+	}
+	if cfg.Geometry == (ldiskfs.Geometry{}) {
+		cfg.Geometry = ldiskfs.DefaultGeometry()
+	}
+	c := &Cluster{
+		Cfg:      cfg,
+		dirCache: make(map[string]dirRef),
+		fidLoc:   make(map[FID]Location),
+	}
+	for i := 0; i < cfg.NumMDTs; i++ {
+		img, err := ldiskfs.New(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		img.SetLabel(fmt.Sprintf("mdt%d", i))
+		// Each MDT owns a disjoint FID sequence range, as in Lustre.
+		c.MDTs = append(c.MDTs, &MDT{Img: img, Index: i, seq: MDTSeqBase + uint64(i)<<20})
+	}
+	c.MDT = c.MDTs[0]
+	for i := 0; i < cfg.NumOSTs; i++ {
+		img, err := ldiskfs.New(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		img.SetLabel(fmt.Sprintf("ost%d", i))
+		c.OSTs = append(c.OSTs, &OST{Img: img, Index: i, seq: OSTSeqBase + uint64(i)})
+	}
+	// Root directory: fixed FID on MDT0, LinkEA pointing at itself (the
+	// root is its own parent, so the scanner sees a self-paired relation).
+	mdtImg := c.MDT.Img
+	rootIno, err := mdtImg.AllocInode(ldiskfs.TypeDir)
+	if err != nil {
+		return nil, err
+	}
+	if err := mdtImg.SetXattr(rootIno, XattrLMA, EncodeLMA(RootFID)); err != nil {
+		return nil, err
+	}
+	link, err := EncodeLinkEA([]LinkEntry{{Parent: RootFID, Name: "/"}})
+	if err != nil {
+		return nil, err
+	}
+	if err := mdtImg.SetXattr(rootIno, XattrLink, link); err != nil {
+		return nil, err
+	}
+	c.rootIno = rootIno
+	c.dirCache["/"] = dirRef{ino: rootIno, fid: RootFID, mdt: 0}
+	c.fidLoc[RootFID] = Location{OST: -1, MDT: 0, Ino: rootIno}
+	c.nDirs = 1
+	return c, nil
+}
+
+// RootIno returns the MDT inode of the root directory.
+func (c *Cluster) RootIno() ldiskfs.Ino { return c.rootIno }
+
+// Lookup returns the location of a FID, if it is live.
+func (c *Cluster) Lookup(f FID) (Location, bool) {
+	loc, ok := c.fidLoc[f]
+	return loc, ok
+}
+
+// Counts returns (directories, files, stripe objects) created and alive.
+func (c *Cluster) Counts() (dirs, files, objects int64) {
+	return c.nDirs, c.nFiles, c.nObjects
+}
+
+// TotalInodes returns the allocated inode count across all servers —
+// the x-axis of paper Table VI.
+func (c *Cluster) TotalInodes() int64 {
+	var n int64
+	for _, m := range c.MDTs {
+		n += m.Img.InodeCount()
+	}
+	for _, o := range c.OSTs {
+		n += o.Img.InodeCount()
+	}
+	return n
+}
+
+// MDTInodes returns the allocated inode count across all MDTs.
+func (c *Cluster) MDTInodes() int64 {
+	var n int64
+	for _, m := range c.MDTs {
+		n += m.Img.InodeCount()
+	}
+	return n
+}
+
+// Images returns all server images keyed by label ("mdt0", "ost0", ...).
+func (c *Cluster) Images() map[string]*ldiskfs.Image {
+	out := make(map[string]*ldiskfs.Image, len(c.MDTs)+len(c.OSTs))
+	for _, m := range c.MDTs {
+		out[m.Img.Label()] = m.Img
+	}
+	for _, o := range c.OSTs {
+		out[o.Img.Label()] = o.Img
+	}
+	return out
+}
+
+// ostImage returns the image of OST i.
+func (c *Cluster) ostImage(i int) (*ldiskfs.Image, error) {
+	if i < 0 || i >= len(c.OSTs) {
+		return nil, fmt.Errorf("lustre: no OST %d", i)
+	}
+	return c.OSTs[i].Img, nil
+}
+
+// mdtImage returns the image of MDT i.
+func (c *Cluster) mdtImage(i int) (*ldiskfs.Image, error) {
+	if i < 0 || i >= len(c.MDTs) {
+		return nil, fmt.Errorf("lustre: no MDT %d", i)
+	}
+	return c.MDTs[i].Img, nil
+}
+
+// ImageFor resolves a Location to its backing image.
+func (c *Cluster) ImageFor(loc Location) (*ldiskfs.Image, error) {
+	if loc.OnMDT() {
+		return c.mdtImage(loc.MDT)
+	}
+	return c.ostImage(loc.OST)
+}
+
+// mdtForNewDir picks the MDT a new directory is placed on: round-robin
+// across MDTs by directory count, approximating balanced `lfs mkdir -i`
+// placement. Single-MDT clusters always answer 0.
+func (c *Cluster) mdtForNewDir() int {
+	if len(c.MDTs) == 1 {
+		return 0
+	}
+	return int(c.nDirs) % len(c.MDTs)
+}
+
+// stripeObjectCount follows the paper's sizing (§V-A): one object per
+// StripeSize bytes, capped by the effective stripe count, minimum one.
+func (c *Cluster) stripeObjectCount(size int64) int {
+	limit := c.Cfg.StripeCount
+	if limit <= 0 || limit > c.Cfg.NumOSTs {
+		limit = c.Cfg.NumOSTs
+	}
+	n := int((size + int64(c.Cfg.StripeSize) - 1) / int64(c.Cfg.StripeSize))
+	if n < 1 {
+		n = 1
+	}
+	if n > limit {
+		n = limit
+	}
+	return n
+}

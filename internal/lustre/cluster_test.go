@@ -1,0 +1,299 @@
+package lustre
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func testConfig() Config {
+	return Config{NumOSTs: 4, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry()}
+}
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterRoot(t *testing.T) {
+	c := newTestCluster(t)
+	ent, err := c.Stat("/")
+	if err != nil || ent.FID != RootFID || ent.Type != ldiskfs.TypeDir {
+		t.Fatalf("root stat: %+v %v", ent, err)
+	}
+	// Root LinkEA points to itself.
+	raw, ok, err := c.MDT.Img.GetXattr(c.RootIno(), XattrLink)
+	if err != nil || !ok {
+		t.Fatal("root has no LinkEA")
+	}
+	links, err := DecodeLinkEA(raw)
+	if err != nil || len(links) != 1 || links[0].Parent != RootFID {
+		t.Fatalf("root linkEA: %+v %v", links, err)
+	}
+	if got := len(c.Images()); got != 5 {
+		t.Errorf("images = %d, want 5", got)
+	}
+	dirs, files, objs := c.Counts()
+	if dirs != 1 || files != 0 || objs != 0 {
+		t.Errorf("counts = %d %d %d", dirs, files, objs)
+	}
+	if _, err := NewCluster(Config{NumOSTs: 0}); err == nil {
+		t.Error("zero OSTs accepted")
+	}
+}
+
+func TestMkdirAndStat(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.Mkdir("/home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/home"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	if err := c.Mkdir("/missing/sub"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("mkdir under missing parent: %v", err)
+	}
+	if err := c.MkdirAll("/home/alice/projects/deep"); err != nil {
+		t.Fatal(err)
+	}
+	ent, err := c.Stat("/home/alice/projects/deep")
+	if err != nil || ent.Type != ldiskfs.TypeDir {
+		t.Fatalf("stat deep dir: %+v %v", ent, err)
+	}
+	// MkdirAll is idempotent.
+	if err := c.MkdirAll("/home/alice"); err != nil {
+		t.Fatal(err)
+	}
+	// Metadata cross-check: child's LinkEA names the parent's FID.
+	parent, _ := c.Stat("/home/alice/projects")
+	raw, _, _ := c.MDT.Img.GetXattr(ent.Ino, XattrLink)
+	links, _ := DecodeLinkEA(raw)
+	if len(links) != 1 || links[0].Parent != parent.FID || links[0].Name != "deep" {
+		t.Errorf("linkEA = %+v, want parent %v", links, parent.FID)
+	}
+}
+
+func TestCreateFileStripes(t *testing.T) {
+	c := newTestCluster(t)
+	cases := []struct {
+		size    int64
+		objects int
+	}{
+		{0, 1},              // empty file still gets one object
+		{1, 1},              // < one stripe
+		{64 << 10, 1},       // exactly one stripe
+		{64<<10 + 1, 2},     // just over
+		{3 * 64 << 10, 3},   //
+		{4 * 64 << 10, 4},   // = NumOSTs
+		{100 * 64 << 10, 4}, // capped at NumOSTs (stripe_count -1)
+	}
+	for i, tc := range cases {
+		p := fmt.Sprintf("/f%d", i)
+		ent, err := c.Create(p, tc.size)
+		if err != nil {
+			t.Fatalf("create %s: %v", p, err)
+		}
+		raw, ok, err := c.MDT.Img.GetXattr(ent.Ino, XattrLOV)
+		if err != nil || !ok {
+			t.Fatalf("%s: no LOVEA", p)
+		}
+		layout, err := DecodeLOVEA(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(layout.Stripes) != tc.objects {
+			t.Errorf("%s (size %d): %d objects, want %d", p, tc.size, len(layout.Stripes), tc.objects)
+		}
+		// Every stripe object exists, has matching filter-fid, and the
+		// object sizes sum to the file size.
+		var total uint64
+		for sIdx, s := range layout.Stripes {
+			loc, ok := c.Lookup(s.ObjectFID)
+			if !ok || loc.OnMDT() {
+				t.Fatalf("%s stripe %d: object %v not tracked", p, sIdx, s.ObjectFID)
+			}
+			img, err := c.ImageFor(loc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffRaw, ok, err := img.GetXattr(loc.Ino, XattrFilterFID)
+			if err != nil || !ok {
+				t.Fatalf("%s stripe %d: no filter-fid", p, sIdx)
+			}
+			ff, err := DecodeFilterFID(ffRaw)
+			if err != nil || ff.ParentFID != ent.FID || ff.StripeIndex != uint32(sIdx) {
+				t.Errorf("%s stripe %d: filter-fid %+v", p, sIdx, ff)
+			}
+			sz, _ := img.Size(loc.Ino)
+			total += sz
+		}
+		if total != uint64(tc.size) {
+			t.Errorf("%s: object bytes %d != size %d", p, total, tc.size)
+		}
+	}
+}
+
+func TestCreateDuplicateAndBadPaths(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.Create("/a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("/a", 10); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if _, err := c.Create("relative", 1); err == nil {
+		t.Error("relative path accepted")
+	}
+	if _, err := c.Create("/", 1); err == nil {
+		t.Error("create on root accepted")
+	}
+	if _, err := c.Stat("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat missing: %v", err)
+	}
+}
+
+func TestUnlinkReleasesObjects(t *testing.T) {
+	c := newTestCluster(t)
+	before := c.TotalInodes()
+	if _, err := c.Create("/big", 4*64<<10); err != nil {
+		t.Fatal(err)
+	}
+	_, files, objs := c.Counts()
+	if files != 1 || objs != 4 {
+		t.Fatalf("counts after create: files=%d objs=%d", files, objs)
+	}
+	if err := c.Unlink("/big"); err != nil {
+		t.Fatal(err)
+	}
+	_, files, objs = c.Counts()
+	if files != 0 || objs != 0 {
+		t.Errorf("counts after unlink: files=%d objs=%d", files, objs)
+	}
+	if c.TotalInodes() != before {
+		t.Errorf("inodes leaked: %d -> %d", before, c.TotalInodes())
+	}
+	if err := c.Unlink("/big"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double unlink: %v", err)
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/d/sub")
+	if err := c.Rmdir("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("rmdir non-empty: %v", err)
+	}
+	if err := c.Rmdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("removed dir still stats: %v", err)
+	}
+	if _, err := c.Create("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/f"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("rmdir on file: %v", err)
+	}
+	if err := c.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// recreate the same name as a directory (cache must not go stale)
+	if err := c.Mkdir("/f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardLink(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/x")
+	ent, err := c.Create("/x/orig", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Link("/x/orig", "/x/alias"); err != nil {
+		t.Fatal(err)
+	}
+	alias, err := c.Stat("/x/alias")
+	if err != nil || alias.FID != ent.FID || alias.Ino != ent.Ino {
+		t.Fatalf("alias stat: %+v %v", alias, err)
+	}
+	raw, _, _ := c.MDT.Img.GetXattr(ent.Ino, XattrLink)
+	links, _ := DecodeLinkEA(raw)
+	if len(links) != 2 {
+		t.Fatalf("linkEA entries = %d, want 2", len(links))
+	}
+	if err := c.Link("/x/orig", "/x/alias"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate link: %v", err)
+	}
+	if err := c.Link("/x", "/x2"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("link dir: %v", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/r")
+	for i := 0; i < 5; i++ {
+		c.Create(fmt.Sprintf("/r/f%d", i), int64(i*1000))
+	}
+	ents, err := c.ReadDir("/r")
+	if err != nil || len(ents) != 5 {
+		t.Fatalf("readdir: %d entries, %v", len(ents), err)
+	}
+	if _, err := c.ReadDir("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("readdir missing: %v", err)
+	}
+}
+
+func TestFIDAllocatorRollover(t *testing.T) {
+	m := &MDT{seq: MDTSeqBase}
+	m.nextOid = 0xFFFFFFFF - 1
+	a := m.AllocFID()
+	b := m.AllocFID() // rolls the sequence
+	if a.Seq != MDTSeqBase || b.Seq != MDTSeqBase+1 || b.Oid != 1 {
+		t.Errorf("rollover: %v then %v", a, b)
+	}
+	o := &OST{seq: OSTSeqBase + 2}
+	f := o.AllocFID()
+	if f.Seq != OSTSeqBase+2 || f.Oid != 1 {
+		t.Errorf("ost fid: %v", f)
+	}
+}
+
+func TestObjectBytes(t *testing.T) {
+	// 200 KiB over 2 objects of 64 KiB stripes: chunks 64+64+64+8;
+	// object 0 gets chunks 0,2 = 128K; object 1 gets chunks 1,3 = 64K+8K.
+	ss := 64 << 10
+	size := int64(200 << 10)
+	if got := objectBytes(size, 0, 2, ss); got != uint64(128<<10) {
+		t.Errorf("obj0 = %d", got)
+	}
+	if got := objectBytes(size, 1, 2, ss); got != uint64(72<<10) {
+		t.Errorf("obj1 = %d", got)
+	}
+	if objectBytes(0, 0, 1, ss) != 0 {
+		t.Error("empty file object bytes")
+	}
+}
+
+func TestTotalAndMDTInodes(t *testing.T) {
+	c := newTestCluster(t)
+	c.Create("/f", 4*64<<10)
+	if c.MDTInodes() != 2 { // root + file
+		t.Errorf("mdt inodes = %d", c.MDTInodes())
+	}
+	if c.TotalInodes() != 2+4 {
+		t.Errorf("total inodes = %d", c.TotalInodes())
+	}
+}

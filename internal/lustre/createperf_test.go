@@ -1,0 +1,24 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func BenchmarkCreateThroughput(b *testing.B) {
+	c, _ := NewCluster(Config{NumOSTs: 8, StripeSize: 64 << 10, Geometry: ldiskfs.DefaultGeometry()})
+	c.MkdirAll("/d")
+	dir := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1400 == 0 {
+			dir++
+			c.MkdirAll(fmt.Sprintf("/d/s%d", dir))
+		}
+		if _, err := c.Create(fmt.Sprintf("/d/s%d/f%d", dir, i), 128<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func dneCluster(t *testing.T, nMDT int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{
+		NumOSTs: 4, NumMDTs: nMDT, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDNEClusterLayout(t *testing.T) {
+	c := dneCluster(t, 3)
+	if len(c.MDTs) != 3 || c.MDT != c.MDTs[0] {
+		t.Fatalf("MDTs: %d", len(c.MDTs))
+	}
+	if got := len(c.Images()); got != 7 {
+		t.Fatalf("images = %d, want 7", got)
+	}
+	// FID sequences are disjoint across MDTs.
+	a := c.MDTs[0].AllocFID()
+	b := c.MDTs[1].AllocFID()
+	if a.Seq == b.Seq {
+		t.Errorf("MDT sequences collide: %v vs %v", a, b)
+	}
+}
+
+func TestDNEDirectoriesSpreadAcrossMDTs(t *testing.T) {
+	c := dneCluster(t, 3)
+	homes := make(map[int]int)
+	for i := 0; i < 9; i++ {
+		p := fmt.Sprintf("/dir%02d", i)
+		if err := c.Mkdir(p); err != nil {
+			t.Fatal(err)
+		}
+		ent, err := c.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[ent.MDT]++
+	}
+	if len(homes) != 3 {
+		t.Fatalf("directories on %d MDTs, want 3: %v", len(homes), homes)
+	}
+}
+
+func TestDNECrossMDTNamespaceOps(t *testing.T) {
+	c := dneCluster(t, 2)
+	// Build a path that crosses MDTs and exercise every operation.
+	if err := c.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	var sawRemote bool
+	for _, p := range []string{"/a", "/a/b", "/a/b/c"} {
+		ent, err := c.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ent.MDT != 0 {
+			sawRemote = true
+		}
+	}
+	if !sawRemote {
+		t.Fatal("no remote directory created — placement not spreading")
+	}
+	ent, err := c.Create("/a/b/c/file", 3*64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirEnt, _ := c.Stat("/a/b/c")
+	if ent.MDT != dirEnt.MDT {
+		t.Errorf("file homed on MDT %d, parent on %d", ent.MDT, dirEnt.MDT)
+	}
+	if err := c.Link("/a/b/c/file", "/a/alias"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/a/alias", "/a/b/alias2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Truncate("/a/b/c/file", 5*64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Symlink("/a/b/c/file", "/a/sym"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Readlink("/a/sym"); got != "/a/b/c/file" {
+		t.Errorf("readlink: %q", got)
+	}
+	if err := c.Unlink("/a/b/alias2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/a/b/c/file"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/a/sym"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	// Substrate-level integrity on all images.
+	for label, img := range c.Images() {
+		if errs := img.Validate(); len(errs) != 0 {
+			t.Fatalf("%s invalid: %v", label, errs)
+		}
+	}
+}
+
+func TestDNEAdoptRoundTrip(t *testing.T) {
+	c := dneCluster(t, 2)
+	c.MkdirAll("/x/y")
+	if _, err := c.Create("/x/y/f", 2*64<<10); err != nil {
+		t.Fatal(err)
+	}
+	var images []*ldiskfs.Image
+	for _, m := range c.MDTs {
+		images = append(images, m.Img)
+	}
+	for _, o := range c.OSTs {
+		images = append(images, o.Img)
+	}
+	adopted, err := Adopt(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adopted.MDTs) != 2 {
+		t.Fatalf("adopted MDTs = %d", len(adopted.MDTs))
+	}
+	ent, err := adopted.Stat("/x/y/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := c.Stat("/x/y/f")
+	if ent.FID != orig.FID || ent.MDT != orig.MDT {
+		t.Fatalf("adopted stat %+v vs %+v", ent, orig)
+	}
+	// New creations on the adopted cluster use non-colliding FIDs.
+	if _, err := adopted.Create("/x/y/new", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package lustre simulates the metadata plane of a Lustre parallel file
+// system on top of ldiskfs-style images (paper §II-A, Fig. 1): a
+// metadata target (MDT) holds the namespace — directories, files, their
+// LMA/LinkEA/LOVEA extended attributes and FID-carrying directory
+// entries — and object storage targets (OSTs) hold stripe objects with
+// LMA and filter-fid attributes pointing back at their owning file.
+//
+// Only metadata is materialised: file *contents* never influence either
+// checker (paper §V-A), so stripe objects record sizes without data
+// blocks. Everything checking-relevant lives in the raw server images,
+// which the scanner parses byte-by-byte and the injector corrupts.
+package lustre
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FID is a Lustre file identifier: a 64-bit sequence, a 32-bit object id
+// and a 32-bit version. FIDs are cluster-unique, which is what lets the
+// aggregator merge partial graphs without conflicts (paper §IV-B).
+type FID struct {
+	Seq uint64
+	Oid uint32
+	Ver uint32
+}
+
+// Well-known sequence bases, mirroring Lustre's FID namespace split.
+const (
+	// MDTSeqBase is the first sequence used for MDT objects.
+	MDTSeqBase uint64 = 0x200000400
+	// OSTSeqBase is the first sequence used for OST objects; each OST
+	// index gets its own sequence (OSTSeqBase + index).
+	OSTSeqBase uint64 = 0x100010000
+)
+
+// RootFID is the FID of the file system root directory.
+var RootFID = FID{Seq: 0x200000007, Oid: 1, Ver: 0}
+
+// IsZero reports whether the FID is the all-zero (invalid) value.
+func (f FID) IsZero() bool { return f == FID{} }
+
+// String renders the FID in Lustre's canonical [0xseq:0xoid:0xver] form.
+func (f FID) String() string {
+	return fmt.Sprintf("[0x%x:0x%x:0x%x]", f.Seq, f.Oid, f.Ver)
+}
+
+// Bytes encodes the FID into its fixed 16-byte little-endian form, the
+// representation used inside EAs and dirent tags.
+func (f FID) Bytes() [16]byte {
+	var b [16]byte
+	le.PutUint64(b[0:], f.Seq)
+	le.PutUint32(b[8:], f.Oid)
+	le.PutUint32(b[12:], f.Ver)
+	return b
+}
+
+// FIDFromBytes decodes a 16-byte FID.
+func FIDFromBytes(b []byte) FID {
+	if len(b) < 16 {
+		return FID{}
+	}
+	return FID{Seq: le.Uint64(b[0:]), Oid: le.Uint32(b[8:]), Ver: le.Uint32(b[12:])}
+}
+
+// ParseFID parses the canonical bracketed form produced by String.
+func ParseFID(s string) (FID, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return FID{}, fmt.Errorf("lustre: bad FID %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ":")
+	if len(parts) != 3 {
+		return FID{}, fmt.Errorf("lustre: bad FID %q", s)
+	}
+	var vals [3]uint64
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimPrefix(p, "0x"), 16, 64)
+		if err != nil {
+			return FID{}, fmt.Errorf("lustre: bad FID %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	if vals[1] > 0xFFFFFFFF || vals[2] > 0xFFFFFFFF {
+		return FID{}, fmt.Errorf("lustre: FID component overflow in %q", s)
+	}
+	return FID{Seq: vals[0], Oid: uint32(vals[1]), Ver: uint32(vals[2])}, nil
+}
+
+// Less imposes a total order (for deterministic iteration).
+func (f FID) Less(o FID) bool {
+	if f.Seq != o.Seq {
+		return f.Seq < o.Seq
+	}
+	if f.Oid != o.Oid {
+		return f.Oid < o.Oid
+	}
+	return f.Ver < o.Ver
+}

@@ -1,0 +1,55 @@
+package lustre
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestUnlinkOneOfManyNames: removing one name of a hard-linked file
+// keeps the inode, objects and remaining names intact; removing the
+// last name frees everything.
+func TestUnlinkOneOfManyNames(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/d")
+	ent, err := c.Create("/d/one", 2*64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Link("/d/one", "/d/two"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, objsBefore := c.Counts()
+
+	if err := c.Unlink("/d/one"); err != nil {
+		t.Fatal(err)
+	}
+	// The other name survives with the same inode and objects.
+	still, err := c.Stat("/d/two")
+	if err != nil || still.FID != ent.FID || still.Ino != ent.Ino {
+		t.Fatalf("surviving name: %+v %v", still, err)
+	}
+	if _, _, objs := c.Counts(); objs != objsBefore {
+		t.Fatalf("objects changed: %d -> %d", objsBefore, objs)
+	}
+	// The LinkEA has exactly the surviving record.
+	img, _ := c.EntryImage(still)
+	raw, _, _ := img.GetXattr(still.Ino, XattrLink)
+	links, _ := DecodeLinkEA(raw)
+	if len(links) != 1 || links[0].Name != "two" {
+		t.Fatalf("linkEA: %+v", links)
+	}
+	if _, err := c.Stat("/d/one"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("removed name still resolves: %v", err)
+	}
+
+	// Last name: full removal.
+	if err := c.Unlink("/d/two"); err != nil {
+		t.Fatal(err)
+	}
+	if img.InodeAllocated(still.Ino) {
+		t.Error("inode survived last unlink")
+	}
+	if _, _, objs := c.Counts(); objs != objsBefore-2 {
+		t.Errorf("objects not released: %d", objsBefore)
+	}
+}

@@ -1,0 +1,747 @@
+package lustre
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+// Entry describes a namespace object returned by Stat.
+type Entry struct {
+	FID  FID
+	Ino  ldiskfs.Ino
+	Type ldiskfs.FileType
+	Size uint64
+	// MDT is the index of the metadata target the inode lives on
+	// (always 0 on single-MDS clusters).
+	MDT int
+}
+
+// splitPath cleans p and returns (parent, base); p must be absolute.
+func splitPath(p string) (string, string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return "", "", fmt.Errorf("lustre: path %q not absolute", p)
+	}
+	p = path.Clean(p)
+	if p == "/" {
+		return "", "", fmt.Errorf("lustre: operation on root")
+	}
+	return path.Dir(p), path.Base(p), nil
+}
+
+// homeMDT resolves the MDT index of a FID known to live on a metadata
+// target, defaulting to the parent's MDT when the index has no record
+// (an inconsistent cluster being adopted for injection).
+func (c *Cluster) homeMDT(f FID, fallback int) int {
+	if loc, ok := c.fidLoc[f]; ok && loc.OnMDT() {
+		return loc.MDT
+	}
+	return fallback
+}
+
+// resolveDir resolves an absolute directory path to its inode, FID and
+// home MDT, walking dirents from the root and filling the cache.
+// Cross-MDT traversal follows the FID index: a dirent on one MDT may
+// name a directory homed on another.
+func (c *Cluster) resolveDir(p string) (dirRef, error) {
+	p = path.Clean(p)
+	if ref, ok := c.dirCache[p]; ok {
+		return ref, nil
+	}
+	parent, base, err := splitPath(p)
+	if err != nil {
+		return dirRef{}, err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return dirRef{}, err
+	}
+	pimg, err := c.mdtImage(pref.mdt)
+	if err != nil {
+		return dirRef{}, err
+	}
+	de, found, err := pimg.LookupDirent(pref.ino, base)
+	if err != nil {
+		return dirRef{}, err
+	}
+	if !found {
+		return dirRef{}, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if de.Type != ldiskfs.TypeDir {
+		return dirRef{}, fmt.Errorf("%w: %s", ErrNotDir, p)
+	}
+	fid := FIDFromBytes(de.Tag[:])
+	ref := dirRef{ino: de.Ino, fid: fid, mdt: c.homeMDT(fid, pref.mdt)}
+	c.dirCache[p] = ref
+	return ref, nil
+}
+
+// Stat resolves any absolute path to its MDT entry.
+func (c *Cluster) Stat(p string) (Entry, error) {
+	p = path.Clean(p)
+	if p == "/" {
+		return Entry{FID: RootFID, Ino: c.rootIno, Type: ldiskfs.TypeDir, MDT: 0}, nil
+	}
+	parent, base, err := splitPath(p)
+	if err != nil {
+		return Entry{}, err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return Entry{}, err
+	}
+	pimg, err := c.mdtImage(pref.mdt)
+	if err != nil {
+		return Entry{}, err
+	}
+	de, found, err := pimg.LookupDirent(pref.ino, base)
+	if err != nil {
+		return Entry{}, err
+	}
+	if !found {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	fid := FIDFromBytes(de.Tag[:])
+	home := c.homeMDT(fid, pref.mdt)
+	himg, err := c.mdtImage(home)
+	if err != nil {
+		return Entry{}, err
+	}
+	size, err := himg.Size(de.Ino)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{FID: fid, Ino: de.Ino, Type: de.Type, Size: size, MDT: home}, nil
+}
+
+// EntryImage returns the image holding an entry's inode.
+func (c *Cluster) EntryImage(e Entry) (*ldiskfs.Image, error) { return c.mdtImage(e.MDT) }
+
+// Mkdir creates one directory; the parent must exist. On multi-MDT
+// clusters the new directory may be placed on a different MDT than its
+// parent (a DNE "remote directory"): the parent's dirent names it by
+// FID, and its LinkEA points back across servers.
+func (c *Cluster) Mkdir(p string) error {
+	parent, base, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return err
+	}
+	pimg, err := c.mdtImage(pref.mdt)
+	if err != nil {
+		return err
+	}
+	if _, found, _ := pimg.LookupDirent(pref.ino, base); found {
+		return fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	home := c.mdtForNewDir()
+	mdt := c.MDTs[home]
+	fid := mdt.AllocFID()
+	ino, err := mdt.Img.AllocInode(ldiskfs.TypeDir)
+	if err != nil {
+		return err
+	}
+	if err := mdt.Img.SetXattr(ino, XattrLMA, EncodeLMA(fid)); err != nil {
+		return err
+	}
+	link, err := EncodeLinkEA([]LinkEntry{{Parent: pref.fid, Name: base}})
+	if err != nil {
+		return err
+	}
+	if err := mdt.Img.SetXattr(ino, XattrLink, link); err != nil {
+		return err
+	}
+	if err := pimg.AddDirent(pref.ino, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeDir, Tag: fid.Bytes(), Name: base,
+	}); err != nil {
+		return err
+	}
+	c.dirCache[path.Clean(p)] = dirRef{ino: ino, fid: fid, mdt: home}
+	c.fidLoc[fid] = Location{OST: -1, MDT: home, Ino: ino}
+	c.nDirs++
+	return nil
+}
+
+// MkdirAll creates a directory and any missing ancestors.
+func (c *Cluster) MkdirAll(p string) error {
+	p = path.Clean(p)
+	if p == "/" {
+		return nil
+	}
+	if _, ok := c.dirCache[p]; ok {
+		return nil
+	}
+	if _, err := c.resolveDir(p); err == nil {
+		return nil
+	}
+	parent := path.Dir(p)
+	if err := c.MkdirAll(parent); err != nil {
+		return err
+	}
+	err := c.Mkdir(p)
+	if errors.Is(err, ErrExist) {
+		return nil
+	}
+	return err
+}
+
+// Create makes a regular file of the given logical size: an MDT inode
+// (on the parent's MDT, as in Lustre) with LMA + LinkEA + LOVEA, a
+// FID-tagged dirent in its parent, and one stripe object per chunk
+// (capped at the stripe count) on round-robin OSTs, each carrying
+// LMA + filter-fid.
+func (c *Cluster) Create(p string, size int64) (Entry, error) {
+	parent, base, err := splitPath(p)
+	if err != nil {
+		return Entry{}, err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return Entry{}, err
+	}
+	home := pref.mdt
+	mdtSrv := c.MDTs[home]
+	mdt := mdtSrv.Img
+	if _, found, _ := mdt.LookupDirent(pref.ino, base); found {
+		return Entry{}, fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	fid := mdtSrv.AllocFID()
+	ino, err := mdt.AllocInode(ldiskfs.TypeFile)
+	if err != nil {
+		return Entry{}, err
+	}
+	if err := mdt.SetXattr(ino, XattrLMA, EncodeLMA(fid)); err != nil {
+		return Entry{}, err
+	}
+	link, err := EncodeLinkEA([]LinkEntry{{Parent: pref.fid, Name: base}})
+	if err != nil {
+		return Entry{}, err
+	}
+	if err := mdt.SetXattr(ino, XattrLink, link); err != nil {
+		return Entry{}, err
+	}
+	if err := mdt.SetSize(ino, uint64(size)); err != nil {
+		return Entry{}, err
+	}
+
+	// Allocate stripe objects round-robin across OSTs.
+	n := c.stripeObjectCount(size)
+	layout := Layout{StripeSize: uint32(c.Cfg.StripeSize)}
+	for s := 0; s < n; s++ {
+		ost := c.OSTs[(c.rr+s)%len(c.OSTs)]
+		objFID := ost.AllocFID()
+		objIno, err := ost.Img.AllocInode(ldiskfs.TypeObject)
+		if err != nil {
+			return Entry{}, err
+		}
+		if err := ost.Img.SetXattr(objIno, XattrLMA, EncodeLMA(objFID)); err != nil {
+			return Entry{}, err
+		}
+		ff := EncodeFilterFID(FilterFID{ParentFID: fid, StripeIndex: uint32(s)})
+		if err := ost.Img.SetXattr(objIno, XattrFilterFID, ff); err != nil {
+			return Entry{}, err
+		}
+		if err := ost.Img.SetSize(objIno, objectBytes(size, s, n, c.Cfg.StripeSize)); err != nil {
+			return Entry{}, err
+		}
+		layout.Stripes = append(layout.Stripes, StripeEntry{
+			OSTIndex: uint32(ost.Index), ObjectFID: objFID,
+		})
+		c.fidLoc[objFID] = Location{OST: ost.Index, Ino: objIno}
+		c.nObjects++
+	}
+	c.rr = (c.rr + n) % len(c.OSTs)
+
+	lov, err := EncodeLOVEA(layout)
+	if err != nil {
+		return Entry{}, err
+	}
+	if err := mdt.SetXattr(ino, XattrLOV, lov); err != nil {
+		return Entry{}, err
+	}
+	if err := mdt.AddDirent(pref.ino, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeFile, Tag: fid.Bytes(), Name: base,
+	}); err != nil {
+		return Entry{}, err
+	}
+	c.fidLoc[fid] = Location{OST: -1, MDT: home, Ino: ino}
+	c.nFiles++
+	return Entry{FID: fid, Ino: ino, Type: ldiskfs.TypeFile, Size: uint64(size), MDT: home}, nil
+}
+
+// objectBytes distributes a file's bytes over its n stripe objects:
+// chunk k (stripeSize bytes each, last one partial) belongs to object
+// k mod n.
+func objectBytes(size int64, obj, n, stripeSize int) uint64 {
+	if size <= 0 {
+		return 0
+	}
+	var total int64
+	for off := int64(obj) * int64(stripeSize); off < size; off += int64(n) * int64(stripeSize) {
+		chunk := size - off
+		if chunk > int64(stripeSize) {
+			chunk = int64(stripeSize)
+		}
+		total += chunk
+	}
+	return uint64(total)
+}
+
+// Unlink removes a regular file or symlink: its dirent, MDT inode, and
+// any stripe objects.
+func (c *Cluster) Unlink(p string) error {
+	parent, base, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return err
+	}
+	pimg, err := c.mdtImage(pref.mdt)
+	if err != nil {
+		return err
+	}
+	de, found, err := pimg.LookupDirent(pref.ino, base)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if de.Type == ldiskfs.TypeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	fid := FIDFromBytes(de.Tag[:])
+	home := c.homeMDT(fid, pref.mdt)
+	himg, err := c.mdtImage(home)
+	if err != nil {
+		return err
+	}
+	// A hard-linked file only loses this name: drop the dirent and the
+	// matching LinkEA record; the inode and its objects live on.
+	if raw, ok, _ := himg.GetXattr(de.Ino, XattrLink); ok {
+		if links, lerr := DecodeLinkEA(raw); lerr == nil && len(links) > 1 {
+			kept := links[:0]
+			for _, l := range links {
+				if l.Parent == pref.fid && l.Name == base {
+					continue
+				}
+				kept = append(kept, l)
+			}
+			if len(kept) < len(links) {
+				enc, eerr := EncodeLinkEA(kept)
+				if eerr != nil {
+					return eerr
+				}
+				if err := himg.SetXattr(de.Ino, XattrLink, enc); err != nil {
+					return err
+				}
+				return pimg.RemoveDirent(pref.ino, base)
+			}
+		}
+	}
+	// Release stripe objects named by the layout.
+	if lovRaw, ok, _ := himg.GetXattr(de.Ino, XattrLOV); ok {
+		if layout, err := DecodeLOVEA(lovRaw); err == nil {
+			for _, s := range layout.Stripes {
+				img, err := c.ostImage(int(s.OSTIndex))
+				if err != nil {
+					continue
+				}
+				if loc, ok := c.fidLoc[s.ObjectFID]; ok && !loc.OnMDT() {
+					if img.InodeAllocated(loc.Ino) {
+						_ = img.FreeInode(loc.Ino)
+					}
+					delete(c.fidLoc, s.ObjectFID)
+					c.nObjects--
+				}
+			}
+		}
+	}
+	if err := pimg.RemoveDirent(pref.ino, base); err != nil {
+		return err
+	}
+	if err := himg.FreeInode(de.Ino); err != nil {
+		return err
+	}
+	delete(c.fidLoc, fid)
+	c.nFiles--
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (c *Cluster) Rmdir(p string) error {
+	parent, base, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return err
+	}
+	pimg, err := c.mdtImage(pref.mdt)
+	if err != nil {
+		return err
+	}
+	de, found, err := pimg.LookupDirent(pref.ino, base)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if de.Type != ldiskfs.TypeDir {
+		return fmt.Errorf("%w: %s", ErrNotDir, p)
+	}
+	fid := FIDFromBytes(de.Tag[:])
+	home := c.homeMDT(fid, pref.mdt)
+	himg, err := c.mdtImage(home)
+	if err != nil {
+		return err
+	}
+	children, err := himg.Dirents(de.Ino)
+	if err != nil {
+		return err
+	}
+	if len(children) > 0 {
+		return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+	}
+	if err := pimg.RemoveDirent(pref.ino, base); err != nil {
+		return err
+	}
+	if err := himg.FreeInode(de.Ino); err != nil {
+		return err
+	}
+	delete(c.dirCache, path.Clean(p))
+	delete(c.fidLoc, fid)
+	c.nDirs--
+	return nil
+}
+
+// Link adds a hard link to an existing regular file: a new dirent plus a
+// LinkEA entry on the target (Lustre LinkEAs hold one record per name).
+func (c *Cluster) Link(oldPath, newPath string) error {
+	ent, err := c.Stat(oldPath)
+	if err != nil {
+		return err
+	}
+	if ent.Type == ldiskfs.TypeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, oldPath)
+	}
+	parent, base, err := splitPath(newPath)
+	if err != nil {
+		return err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return err
+	}
+	pimg, err := c.mdtImage(pref.mdt)
+	if err != nil {
+		return err
+	}
+	himg, err := c.mdtImage(ent.MDT)
+	if err != nil {
+		return err
+	}
+	if _, found, _ := pimg.LookupDirent(pref.ino, base); found {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	raw, ok, err := himg.GetXattr(ent.Ino, XattrLink)
+	if err != nil {
+		return err
+	}
+	var links []LinkEntry
+	if ok {
+		if links, err = DecodeLinkEA(raw); err != nil {
+			return err
+		}
+	}
+	links = append(links, LinkEntry{Parent: pref.fid, Name: base})
+	enc, err := EncodeLinkEA(links)
+	if err != nil {
+		return err
+	}
+	if err := himg.SetXattr(ent.Ino, XattrLink, enc); err != nil {
+		return err
+	}
+	return pimg.AddDirent(pref.ino, ldiskfs.Dirent{
+		Ino: ent.Ino, Type: ent.Type, Tag: ent.FID.Bytes(), Name: base,
+	})
+}
+
+// XattrSymlink stores a symbolic link's target path on its MDT inode.
+const XattrSymlink = "lnk"
+
+// Symlink creates a symbolic link at linkPath whose target is the given
+// path string. The target is not resolved or validated — like POSIX,
+// dangling symlinks are legal (and invisible to the checkers, which
+// only cross-check FID relations).
+func (c *Cluster) Symlink(target, linkPath string) error {
+	if target == "" {
+		return fmt.Errorf("lustre: empty symlink target")
+	}
+	parent, base, err := splitPath(linkPath)
+	if err != nil {
+		return err
+	}
+	pref, err := c.resolveDir(parent)
+	if err != nil {
+		return err
+	}
+	mdtSrv := c.MDTs[pref.mdt]
+	mdt := mdtSrv.Img
+	if _, found, _ := mdt.LookupDirent(pref.ino, base); found {
+		return fmt.Errorf("%w: %s", ErrExist, linkPath)
+	}
+	fid := mdtSrv.AllocFID()
+	ino, err := mdt.AllocInode(ldiskfs.TypeSymlink)
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, XattrLMA, EncodeLMA(fid)); err != nil {
+		return err
+	}
+	link, err := EncodeLinkEA([]LinkEntry{{Parent: pref.fid, Name: base}})
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, XattrLink, link); err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, XattrSymlink, []byte(target)); err != nil {
+		return err
+	}
+	if err := mdt.SetSize(ino, uint64(len(target))); err != nil {
+		return err
+	}
+	if err := mdt.AddDirent(pref.ino, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeSymlink, Tag: fid.Bytes(), Name: base,
+	}); err != nil {
+		return err
+	}
+	c.fidLoc[fid] = Location{OST: -1, MDT: pref.mdt, Ino: ino}
+	c.nFiles++
+	return nil
+}
+
+// Readlink returns a symlink's target path.
+func (c *Cluster) Readlink(p string) (string, error) {
+	ent, err := c.Stat(p)
+	if err != nil {
+		return "", err
+	}
+	if ent.Type != ldiskfs.TypeSymlink {
+		return "", fmt.Errorf("lustre: %s is not a symlink", p)
+	}
+	himg, err := c.mdtImage(ent.MDT)
+	if err != nil {
+		return "", err
+	}
+	raw, ok, err := himg.GetXattr(ent.Ino, XattrSymlink)
+	if err != nil || !ok {
+		return "", fmt.Errorf("lustre: %s has no target EA (%v)", p, err)
+	}
+	return string(raw), nil
+}
+
+// Truncate sets a file's logical size. Growth past the current stripe
+// span allocates additional objects (up to the stripe-count cap) and
+// extends the LOVEA; shrinking never deallocates objects — like Lustre,
+// the objects stay and only the recorded sizes change.
+func (c *Cluster) Truncate(p string, size int64) error {
+	ent, err := c.Stat(p)
+	if err != nil {
+		return err
+	}
+	if ent.Type != ldiskfs.TypeFile {
+		return fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	mdt, err := c.mdtImage(ent.MDT)
+	if err != nil {
+		return err
+	}
+	raw, ok, err := mdt.GetXattr(ent.Ino, XattrLOV)
+	if err != nil || !ok {
+		return fmt.Errorf("lustre: %s has no layout (%v)", p, err)
+	}
+	layout, err := DecodeLOVEA(raw)
+	if err != nil {
+		return err
+	}
+	want := c.stripeObjectCount(size)
+	if want > len(layout.Stripes) {
+		// Allocate the missing objects round-robin, continuing after
+		// the last stripe's OST.
+		next := 0
+		if n := len(layout.Stripes); n > 0 {
+			next = (int(layout.Stripes[n-1].OSTIndex) + 1) % len(c.OSTs)
+		}
+		for s := len(layout.Stripes); s < want; s++ {
+			ost := c.OSTs[next]
+			next = (next + 1) % len(c.OSTs)
+			objFID := ost.AllocFID()
+			objIno, err := ost.Img.AllocInode(ldiskfs.TypeObject)
+			if err != nil {
+				return err
+			}
+			if err := ost.Img.SetXattr(objIno, XattrLMA, EncodeLMA(objFID)); err != nil {
+				return err
+			}
+			ff := EncodeFilterFID(FilterFID{ParentFID: ent.FID, StripeIndex: uint32(s)})
+			if err := ost.Img.SetXattr(objIno, XattrFilterFID, ff); err != nil {
+				return err
+			}
+			layout.Stripes = append(layout.Stripes, StripeEntry{
+				OSTIndex: uint32(ost.Index), ObjectFID: objFID,
+			})
+			c.fidLoc[objFID] = Location{OST: ost.Index, Ino: objIno}
+			c.nObjects++
+		}
+		enc, err := EncodeLOVEA(layout)
+		if err != nil {
+			return err
+		}
+		if err := mdt.SetXattr(ent.Ino, XattrLOV, enc); err != nil {
+			return err
+		}
+	}
+	// Refresh per-object sizes over the (possibly larger) stripe set.
+	n := len(layout.Stripes)
+	for i, s := range layout.Stripes {
+		if s.ObjectFID.IsZero() {
+			continue
+		}
+		loc, ok := c.fidLoc[s.ObjectFID]
+		if !ok || loc.OnMDT() {
+			continue
+		}
+		img, err := c.ostImage(loc.OST)
+		if err != nil {
+			continue
+		}
+		if err := img.SetSize(loc.Ino, objectBytes(size, i, n, int(layout.StripeSize))); err != nil {
+			return err
+		}
+	}
+	return mdt.SetSize(ent.Ino, uint64(size))
+}
+
+// Rename moves an entry to a new absolute path, updating the dirent in
+// both parents and rewriting the moved object's LinkEA record — the two
+// redundant copies a checker cross-checks, kept in lockstep. The moved
+// inode stays on its home MDT; only the naming moves.
+func (c *Cluster) Rename(oldPath, newPath string) error {
+	oldParent, oldBase, err := splitPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newParent, newBase, err := splitPath(newPath)
+	if err != nil {
+		return err
+	}
+	opref, err := c.resolveDir(oldParent)
+	if err != nil {
+		return err
+	}
+	npref, err := c.resolveDir(newParent)
+	if err != nil {
+		return err
+	}
+	opimg, err := c.mdtImage(opref.mdt)
+	if err != nil {
+		return err
+	}
+	npimg, err := c.mdtImage(npref.mdt)
+	if err != nil {
+		return err
+	}
+	de, found, err := opimg.LookupDirent(opref.ino, oldBase)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldPath)
+	}
+	if de.Type == ldiskfs.TypeDir {
+		np := path.Clean(newPath) + "/"
+		if strings.HasPrefix(np, path.Clean(oldPath)+"/") {
+			return fmt.Errorf("lustre: cannot move %s into itself", oldPath)
+		}
+	}
+	if _, exists, _ := npimg.LookupDirent(npref.ino, newBase); exists {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	// Rewrite the LinkEA record that names the old parent, on the moved
+	// object's home MDT.
+	fid := FIDFromBytes(de.Tag[:])
+	home := c.homeMDT(fid, opref.mdt)
+	himg, err := c.mdtImage(home)
+	if err != nil {
+		return err
+	}
+	var links []LinkEntry
+	if raw, ok, _ := himg.GetXattr(de.Ino, XattrLink); ok {
+		if got, err := DecodeLinkEA(raw); err == nil {
+			links = got
+		}
+	}
+	replaced := false
+	for i := range links {
+		if links[i].Parent == opref.fid && links[i].Name == oldBase {
+			links[i] = LinkEntry{Parent: npref.fid, Name: newBase}
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		links = append(links, LinkEntry{Parent: npref.fid, Name: newBase})
+	}
+	enc, err := EncodeLinkEA(links)
+	if err != nil {
+		return err
+	}
+	if err := himg.SetXattr(de.Ino, XattrLink, enc); err != nil {
+		return err
+	}
+	if err := opimg.RemoveDirent(opref.ino, oldBase); err != nil {
+		return err
+	}
+	if err := npimg.AddDirent(npref.ino, ldiskfs.Dirent{
+		Ino: de.Ino, Type: de.Type, Tag: de.Tag, Name: newBase,
+	}); err != nil {
+		return err
+	}
+	if de.Type == ldiskfs.TypeDir {
+		// Directory paths moved: drop every cache entry under the old
+		// path and register the new location.
+		oldClean := path.Clean(oldPath)
+		for p := range c.dirCache {
+			if p == oldClean || strings.HasPrefix(p, oldClean+"/") {
+				delete(c.dirCache, p)
+			}
+		}
+		c.dirCache[path.Clean(newPath)] = dirRef{ino: de.Ino, fid: fid, mdt: home}
+	}
+	return nil
+}
+
+// ReadDir lists a directory's entries.
+func (c *Cluster) ReadDir(p string) ([]ldiskfs.Dirent, error) {
+	ref, err := c.resolveDir(p)
+	if err != nil {
+		return nil, err
+	}
+	img, err := c.mdtImage(ref.mdt)
+	if err != nil {
+		return nil, err
+	}
+	return img.Dirents(ref.ino)
+}

@@ -1,0 +1,126 @@
+package lustre
+
+import (
+	"errors"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func TestRenameFile(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/a")
+	c.MkdirAll("/b")
+	ent, err := c.Create("/a/old", 2*64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/a/old", "/b/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/a/old"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("old path still resolves: %v", err)
+	}
+	moved, err := c.Stat("/b/new")
+	if err != nil || moved.FID != ent.FID || moved.Ino != ent.Ino {
+		t.Fatalf("moved stat: %+v %v", moved, err)
+	}
+	// LinkEA names the new parent and name.
+	bEnt, _ := c.Stat("/b")
+	raw, _, _ := c.MDT.Img.GetXattr(ent.Ino, XattrLink)
+	links, _ := DecodeLinkEA(raw)
+	if len(links) != 1 || links[0].Parent != bEnt.FID || links[0].Name != "new" {
+		t.Errorf("linkEA after rename: %+v", links)
+	}
+}
+
+func TestRenameDirectoryUpdatesCache(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/x/y")
+	if _, err := c.Create("/x/y/f", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/x/y", "/x/z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/x/z/f"); err != nil {
+		t.Fatalf("file unreachable under new dir name: %v", err)
+	}
+	if _, err := c.Stat("/x/y/f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stale old dir path resolves: %v", err)
+	}
+	// The cluster can keep creating under the moved directory.
+	if _, err := c.Create("/x/z/g", 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameValidation(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/a/b")
+	c.Create("/a/f", 10)
+	if err := c.Rename("/a/missing", "/a/g"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing source: %v", err)
+	}
+	if err := c.Rename("/a/f", "/a/b"); !errors.Is(err, ErrExist) {
+		t.Errorf("existing target: %v", err)
+	}
+	if err := c.Rename("/a", "/a/b/inside"); err == nil {
+		t.Error("dir moved into itself")
+	}
+	if err := c.Rename("relative", "/a/x"); err == nil {
+		t.Error("relative source accepted")
+	}
+}
+
+// TestRenameKeepsConsistency: heavy rename churn must leave the
+// metadata graph fully paired.
+func TestRenameKeepsConsistency(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/p")
+	c.MkdirAll("/q")
+	for i := 0; i < 6; i++ {
+		name := string(rune('a' + i))
+		if _, err := c.Create("/p/"+name, 2*64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Rename("/p/a", "/q/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/q/a", "/p/a2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/p", "/pp"); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check every LinkEA against its parent's dirents manually.
+	var check func(dir string, dirIno ldiskfs.Ino, dirFID FID)
+	check = func(dir string, dirIno ldiskfs.Ino, dirFID FID) {
+		ents, err := c.MDT.Img.Dirents(dirIno)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, de := range ents {
+			raw, ok, _ := c.MDT.Img.GetXattr(de.Ino, XattrLink)
+			if !ok {
+				t.Errorf("%s/%s: no linkEA", dir, de.Name)
+				continue
+			}
+			links, _ := DecodeLinkEA(raw)
+			found := false
+			for _, l := range links {
+				if l.Parent == dirFID && l.Name == de.Name {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s/%s: linkEA does not answer dirent (%+v)", dir, de.Name, links)
+			}
+			if de.Type == ldiskfs.TypeDir {
+				check(dir+"/"+de.Name, de.Ino, FIDFromBytes(de.Tag[:]))
+			}
+		}
+	}
+	check("", c.RootIno(), RootFID)
+}

@@ -1,0 +1,71 @@
+package lustre
+
+import (
+	"errors"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func TestSymlinkCreateReadlink(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/d")
+	if _, err := c.Create("/d/real", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Symlink("/d/real", "/d/ln"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Readlink("/d/ln")
+	if err != nil || got != "/d/real" {
+		t.Fatalf("readlink = %q, %v", got, err)
+	}
+	ent, err := c.Stat("/d/ln")
+	if err != nil || ent.Type != ldiskfs.TypeSymlink {
+		t.Fatalf("stat: %+v %v", ent, err)
+	}
+	if ent.Size != uint64(len("/d/real")) {
+		t.Errorf("size = %d", ent.Size)
+	}
+	// Dangling targets are legal.
+	if err := c.Symlink("/nowhere", "/d/dangling"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymlinkErrors(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/d")
+	if err := c.Symlink("", "/d/ln"); err == nil {
+		t.Error("empty target accepted")
+	}
+	if err := c.Symlink("/x", "/missing/ln"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing parent: %v", err)
+	}
+	c.Symlink("/x", "/d/ln")
+	if err := c.Symlink("/y", "/d/ln"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if _, err := c.Readlink("/d"); err == nil {
+		t.Error("readlink on dir accepted")
+	}
+	if _, err := c.Readlink("/d/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("readlink missing: %v", err)
+	}
+}
+
+func TestSymlinkUnlink(t *testing.T) {
+	c := newTestCluster(t)
+	c.Symlink("/target", "/ln")
+	before := c.TotalInodes()
+	if err := c.Unlink("/ln"); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalInodes() != before-1 {
+		t.Errorf("inode not freed")
+	}
+	_, files, _ := c.Counts()
+	if files != 0 {
+		t.Errorf("files = %d", files)
+	}
+}

@@ -1,0 +1,135 @@
+package lustre
+
+import (
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+)
+
+func fileLayout(t *testing.T, c *Cluster, p string) Layout {
+	t.Helper()
+	ent, err := c.Stat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok, err := c.MDT.Img.GetXattr(ent.Ino, XattrLOV)
+	if err != nil || !ok {
+		t.Fatalf("no LOVEA on %s: %v", p, err)
+	}
+	layout, err := DecodeLOVEA(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return layout
+}
+
+func TestTruncateGrowAllocatesObjects(t *testing.T) {
+	c := newTestCluster(t) // 4 OSTs, 64 KiB stripes
+	if _, err := c.Create("/f", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fileLayout(t, c, "/f").Stripes); got != 1 {
+		t.Fatalf("initial stripes = %d", got)
+	}
+	if err := c.Truncate("/f", 3*64<<10); err != nil {
+		t.Fatal(err)
+	}
+	layout := fileLayout(t, c, "/f")
+	if len(layout.Stripes) != 3 {
+		t.Fatalf("stripes after grow = %d", len(layout.Stripes))
+	}
+	ent, _ := c.Stat("/f")
+	if ent.Size != 3*64<<10 {
+		t.Errorf("size = %d", ent.Size)
+	}
+	// New objects carry correct filter-fids and sizes sum to the file.
+	var total uint64
+	for i, s := range layout.Stripes {
+		loc, ok := c.Lookup(s.ObjectFID)
+		if !ok {
+			t.Fatalf("stripe %d object untracked", i)
+		}
+		img, _ := c.ImageFor(loc)
+		ffRaw, ok, _ := img.GetXattr(loc.Ino, XattrFilterFID)
+		if !ok {
+			t.Fatalf("stripe %d: no filter-fid", i)
+		}
+		ff, _ := DecodeFilterFID(ffRaw)
+		if ff.ParentFID != ent.FID || int(ff.StripeIndex) != i {
+			t.Errorf("stripe %d filter-fid: %+v", i, ff)
+		}
+		sz, _ := img.Size(loc.Ino)
+		total += sz
+	}
+	if total != uint64(3*64<<10) {
+		t.Errorf("object bytes = %d", total)
+	}
+}
+
+func TestTruncateShrinkKeepsObjects(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.Create("/f", 4*64<<10); err != nil {
+		t.Fatal(err)
+	}
+	_, _, before := c.Counts()
+	if err := c.Truncate("/f", 10); err != nil {
+		t.Fatal(err)
+	}
+	_, _, after := c.Counts()
+	if after != before {
+		t.Errorf("objects changed on shrink: %d -> %d", before, after)
+	}
+	layout := fileLayout(t, c, "/f")
+	if len(layout.Stripes) != 4 {
+		t.Errorf("stripes after shrink = %d", len(layout.Stripes))
+	}
+	ent, _ := c.Stat("/f")
+	if ent.Size != 10 {
+		t.Errorf("size = %d", ent.Size)
+	}
+}
+
+func TestTruncateErrors(t *testing.T) {
+	c := newTestCluster(t)
+	c.MkdirAll("/d")
+	if err := c.Truncate("/missing", 10); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := c.Truncate("/d", 10); err == nil {
+		t.Error("directory accepted")
+	}
+}
+
+func TestTruncateKeepsConsistency(t *testing.T) {
+	c := newTestCluster(t)
+	c.Create("/f", 64<<10)
+	c.Truncate("/f", 4*64<<10)
+	c.Truncate("/f", 0)
+	c.Truncate("/f", 2*64<<10)
+	// All relations must still pair after the churn: check manually
+	// (the checker-level assertion lives in workload tests to avoid an
+	// import cycle here).
+	ent, _ := c.Stat("/f")
+	layout := fileLayout(t, c, "/f")
+	for i, s := range layout.Stripes {
+		loc, ok := c.Lookup(s.ObjectFID)
+		if !ok {
+			t.Fatalf("stripe %d lost", i)
+		}
+		img, _ := c.ImageFor(loc)
+		if !img.InodeAllocated(loc.Ino) {
+			t.Fatalf("stripe %d inode freed", i)
+		}
+		ffRaw, ok, _ := img.GetXattr(loc.Ino, XattrFilterFID)
+		if !ok {
+			t.Fatalf("stripe %d: filter-fid missing", i)
+		}
+		ff, _ := DecodeFilterFID(ffRaw)
+		if ff.ParentFID != ent.FID {
+			t.Fatalf("stripe %d points at %v, want %v", i, ff.ParentFID, ent.FID)
+		}
+	}
+	if got, want := ldiskfs.Ino(0), ldiskfs.Ino(0); got != want {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,292 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/inject"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/repair"
+	"faultyrank/internal/scanner"
+)
+
+func newCluster(t testing.TB) *lustre.Cluster {
+	t.Helper()
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 4, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MkdirAll("/w")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Create(fmt.Sprintf("/w/f%02d", i), 2*64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func newTracker(t testing.TB, c *lustre.Cluster) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(checker.ClusterImages(c), checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// partialsEqual compares tracker-maintained partials with fresh full
+// scans, ignoring ordering differences within a server by comparing
+// sorted content.
+func assertSnapshotMatchesFullScan(t *testing.T, tr *Tracker, c *lustre.Cluster) {
+	t.Helper()
+	maintained := tr.Partials()
+	for i, img := range checker.ClusterImages(c) {
+		full, err := scanner.ScanImage(img, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := maintained[i]
+		if m.ServerLabel != full.ServerLabel {
+			t.Fatalf("label mismatch: %q vs %q", m.ServerLabel, full.ServerLabel)
+		}
+		if !reflect.DeepEqual(m.Objects, full.Objects) {
+			t.Fatalf("%s: objects diverge:\n maintained %v\n full %v",
+				m.ServerLabel, m.Objects, full.Objects)
+		}
+		if !reflect.DeepEqual(m.Edges, full.Edges) {
+			t.Fatalf("%s: edges diverge (%d vs %d)",
+				m.ServerLabel, len(m.Edges), len(full.Edges))
+		}
+		if m.Stats != full.Stats {
+			t.Fatalf("%s: stats diverge: %+v vs %+v", m.ServerLabel, m.Stats, full.Stats)
+		}
+	}
+}
+
+func TestInitialSnapshotMatchesFullScan(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	assertSnapshotMatchesFullScan(t, tr, c)
+}
+
+// TestIncrementalEquivalenceProperty: after arbitrary mutation batches,
+// Update() brings the maintained snapshot into exact agreement with a
+// full offline rescan — the core online-mode invariant.
+func TestIncrementalEquivalenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c := newCluster(t)
+		tr := newTracker(t, c)
+		r := rand.New(rand.NewSource(seed))
+		live := []string{}
+		for i := 0; i < 10; i++ {
+			live = append(live, fmt.Sprintf("/w/f%02d", i))
+		}
+		for batch := 0; batch < 6; batch++ {
+			nOps := 1 + r.Intn(8)
+			for op := 0; op < nOps; op++ {
+				switch r.Intn(4) {
+				case 0: // create
+					p := fmt.Sprintf("/w/n%d-%d-%d", seed, batch, op)
+					if _, err := c.Create(p, int64(r.Intn(4*64<<10))); err == nil {
+						live = append(live, p)
+					}
+				case 1: // delete
+					if len(live) > 1 {
+						i := r.Intn(len(live))
+						if err := c.Unlink(live[i]); err == nil {
+							live = append(live[:i], live[i+1:]...)
+						}
+					}
+				case 2: // new directory + file
+					d := fmt.Sprintf("/d%d-%d-%d", seed, batch, op)
+					if err := c.MkdirAll(d); err == nil {
+						p := d + "/x"
+						if _, err := c.Create(p, 100); err == nil {
+							live = append(live, p)
+						}
+					}
+				case 3: // hard link
+					if len(live) > 0 {
+						src := live[r.Intn(len(live))]
+						dst := fmt.Sprintf("/w/l%d-%d-%d", seed, batch, op)
+						if err := c.Link(src, dst); err == nil {
+							// note: Unlink of a hardlinked file frees the
+							// inode; keep links out of the delete pool.
+							_ = dst
+						}
+					}
+				}
+			}
+			if _, err := tr.Update(); err != nil {
+				t.Fatal(err)
+			}
+			assertSnapshotMatchesFullScan(t, tr, c)
+		}
+	}
+}
+
+func TestUpdateCountsRefreshedInodes(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	n, err := tr.Update()
+	if err != nil || n != 0 {
+		t.Fatalf("idle update refreshed %d (%v)", n, err)
+	}
+	if _, err := c.Create("/w/new", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	n, err = tr.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// new MDT inode + parent dir + one OST object
+	if n < 3 {
+		t.Errorf("refreshed %d inodes, want >= 3", n)
+	}
+	updates, rescanned := tr.Stats()
+	if updates != 2 || rescanned != int64(n) {
+		t.Errorf("stats: %d %d", updates, rescanned)
+	}
+}
+
+// TestOnlineCheckFindsLiveFault: metadata corruption applied through
+// the EA API lands in the change feed and is caught by the next online
+// check without any full rescan.
+func TestOnlineCheckFindsLiveFault(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	res0, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res0.Findings) != 0 {
+		t.Fatalf("clean cluster has findings: %v", res0.Findings)
+	}
+	inj, err := inject.Inject(c, inject.MismatchFilterFID, "/w/f04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InodesRefreshed == 0 {
+		t.Fatal("change feed empty after injection")
+	}
+	if !res.HasFinding(checker.FaultyProperty, inj.VictimFID) {
+		t.Fatalf("online check missed the fault: %+v", res.Findings)
+	}
+}
+
+// TestSilentCorruptionNeedsRescan: byte-level corruption bypasses the
+// change feed (Update sees nothing); Rescan picks it up.
+func TestSilentCorruptionNeedsRescan(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	// Silent corruption: stomp a file's inline EA area directly.
+	ent, err := c.Stat("/w/f07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := c.MDT.Img.InodeOffset(ent.Ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EA area begins after the 128-byte header; flip bytes there.
+	if err := c.MDT.Img.CorruptBytes(off+128, []byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("silent corruption visible without rescan: %v", res.Findings)
+	}
+	if err := tr.Rescan(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Findings) == 0 {
+		t.Fatal("rescan did not surface the corruption")
+	}
+}
+
+// TestOnlineIsCheaperThanOffline: after a small change batch, the
+// online update re-parses far fewer inodes than a full scan would.
+func TestOnlineIsCheaperThanOffline(t *testing.T) {
+	c := newCluster(t)
+	for i := 0; i < 200; i++ {
+		if _, err := c.Create(fmt.Sprintf("/w/bulk%03d", i), 64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := newTracker(t, c)
+	if _, err := c.Create("/w/one-more", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := c.TotalInodes()
+	if int64(res.InodesRefreshed)*10 > total {
+		t.Fatalf("online update refreshed %d of %d inodes — not incremental",
+			res.InodesRefreshed, total)
+	}
+}
+
+// TestRepairsFlowThroughChangeFeed: repairs applied by the repair
+// engine mutate images through the metadata API, so the online tracker
+// sees them: after inject -> online-detect -> repair, the next online
+// check is clean without any rescans.
+func TestRepairsFlowThroughChangeFeed(t *testing.T) {
+	c := newCluster(t)
+	images := checker.ClusterImages(c)
+	tr, err := NewTracker(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inject.Inject(c, inject.UnrefLOVEADropped, "/w/f02"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("fault not detected online")
+	}
+	eng := repair.NewEngine(images, res.Result)
+	sum := eng.Apply(res.Findings)
+	if sum.Applied == 0 {
+		t.Fatalf("nothing applied: %v", sum.Log)
+	}
+	after, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.InodesRefreshed == 0 {
+		t.Fatal("repairs did not reach the change feed")
+	}
+	if len(after.Findings) != 0 || after.Stats.UnpairedEdges != 0 {
+		t.Fatalf("online view still inconsistent after repair: %d findings", len(after.Findings))
+	}
+	assertSnapshotMatchesFullScan(t, tr, c)
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(nil, checker.DefaultOptions()); err == nil {
+		t.Fatal("empty tracker accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForRangeCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 97, 1000} {
+			seen := make([]int32, n)
+			ForRange(n, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeChunksAreDisjointAndOrdered(t *testing.T) {
+	var total int64
+	ForRange(1000, 8, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != 1000 {
+		t.Fatalf("covered %d of 1000", total)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+	ForEach(0, 4, func(int) { t.Fatal("called for empty range") })
+}
+
+func TestSumFloat64MatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, r.Intn(5000))
+		for i := range xs {
+			xs[i] = r.Float64() - 0.5
+		}
+		var want float64
+		for _, x := range xs {
+			want += x
+		}
+		for _, w := range []int{1, 3, 16} {
+			if math.Abs(SumFloat64(xs, w)-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumFloat64Deterministic(t *testing.T) {
+	xs := make([]float64, 10000)
+	r := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	a := SumFloat64(xs, 4)
+	for i := 0; i < 10; i++ {
+		if SumFloat64(xs, 4) != a {
+			t.Fatal("nondeterministic for fixed worker count")
+		}
+	}
+}
+
+func TestMapReduceFloat64(t *testing.T) {
+	got := MapReduceFloat64(100, 5, func(i int) float64 { return float64(i) })
+	if got != 4950 {
+		t.Fatalf("got %f", got)
+	}
+	if MapReduceFloat64(0, 5, func(int) float64 { return 1 }) != 0 {
+		t.Fatal("empty range nonzero")
+	}
+	if MapReduceFloat64(3, 1, func(i int) float64 { return 2 }) != 6 {
+		t.Fatal("sequential path wrong")
+	}
+}
+
+func TestExclusivePrefixSum64(t *testing.T) {
+	counts := []int64{3, 0, 5, 2}
+	total := ExclusivePrefixSum64(counts)
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int64{0, 3, 3, 8}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if ExclusivePrefixSum64(nil) != 0 {
+		t.Fatal("nil prefix sum nonzero")
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,290 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+)
+
+// allocLostFID hands out a FID from the engine's reserved sequence.
+func (e *Engine) allocLostFID() lustre.FID {
+	e.nextLostOid++
+	return lustre.FID{Seq: LostFoundSeq, Oid: e.nextLostOid}
+}
+
+// lostFound returns (creating on first use) the /lost+found directory on
+// the MDT.
+func (e *Engine) lostFound(sum *Summary) (*ldiskfs.Image, ldiskfs.Ino, lustre.FID, error) {
+	mdt, err := e.mdt()
+	if err != nil {
+		return nil, 0, lustre.FID{}, err
+	}
+	if e.lfIno != 0 {
+		return mdt, e.lfIno, e.lfFID, nil
+	}
+	rootImg, rootIno, err := e.locate(lustre.RootFID)
+	if err != nil {
+		return nil, 0, lustre.FID{}, fmt.Errorf("root not found: %w", err)
+	}
+	if rootImg != mdt {
+		return nil, 0, lustre.FID{}, errors.New("repair: root not on MDT")
+	}
+	// Reuse an existing /lost+found if present.
+	if de, found, _ := mdt.LookupDirent(rootIno, "lost+found"); found {
+		e.lfIno = de.Ino
+		e.lfFID = lustre.FIDFromBytes(de.Tag[:])
+		return mdt, e.lfIno, e.lfFID, nil
+	}
+	fid := e.allocLostFID()
+	ino, err := mdt.AllocInode(ldiskfs.TypeDir)
+	if err != nil {
+		return nil, 0, lustre.FID{}, err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLMA, lustre.EncodeLMA(fid)); err != nil {
+		return nil, 0, lustre.FID{}, err
+	}
+	link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lustre.RootFID, Name: "lost+found"}})
+	if err != nil {
+		return nil, 0, lustre.FID{}, err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLink, link); err != nil {
+		return nil, 0, lustre.FID{}, err
+	}
+	if err := mdt.AddDirent(rootIno, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeDir, Tag: fid.Bytes(), Name: "lost+found",
+	}); err != nil {
+		return nil, 0, lustre.FID{}, err
+	}
+	e.lfIno, e.lfFID = ino, fid
+	sum.logf("created /lost+found (%v)", fid)
+	return mdt, ino, fid, nil
+}
+
+// quarantine handles the remaining quarantine shapes:
+//   - a child whose parent directory is gone (LinkEA kind): reattach it
+//     under /lost+found;
+//   - a duplicate-identity impostor (Loc pinned): re-identify it and
+//     wrap it in a fresh lost+found owner;
+//   - a fully disconnected object: wrap it in a fresh lost+found owner.
+//
+// Stale objects (filter-fid kind) are grouped by Apply and handled in
+// recreateOwner instead.
+func (e *Engine) quarantine(a checker.RepairAction, sum *Summary) error {
+	switch {
+	case a.Kind == graph.KindLinkEA || a.Kind == graph.KindDirent:
+		// Namespace re-rooting: parentless children and the anchors of
+		// detached islands both move under /lost+found.
+		return e.reattachChild(a, sum)
+	case a.Loc.Server != "":
+		return e.quarantineImpostor(a, sum)
+	default:
+		return e.adoptOrphan(a, sum)
+	}
+}
+
+// reattachChild moves a parentless namespace object under /lost+found.
+func (e *Engine) reattachChild(a checker.RepairAction, sum *Summary) error {
+	mdt, lfIno, lfFID, err := e.lostFound(sum)
+	if err != nil {
+		return err
+	}
+	childImg, childIno, err := e.locate(a.TargetFID)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(childImg.Label(), "mdt") {
+		return fmt.Errorf("namespace object %v not on a metadata target", a.TargetFID)
+	}
+	name := "obj-" + strings.Trim(a.TargetFID.String(), "[]")
+	// Keep the original name when the stale LinkEA still decodes.
+	if raw, ok, _ := childImg.GetXattr(childIno, lustre.XattrLink); ok {
+		if links, err := lustre.DecodeLinkEA(raw); err == nil && len(links) > 0 && links[0].Name != "" {
+			name = links[0].Name
+		}
+	}
+	link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lfFID, Name: name}})
+	if err != nil {
+		return err
+	}
+	if err := childImg.SetXattr(childIno, lustre.XattrLink, link); err != nil {
+		return err
+	}
+	typ, _ := childImg.Type(childIno)
+	err = mdt.AddDirent(lfIno, ldiskfs.Dirent{
+		Ino: childIno, Type: typ, Tag: a.TargetFID.Bytes(), Name: name,
+	})
+	if err != nil && !errors.Is(err, ldiskfs.ErrExist) {
+		return err
+	}
+	sum.logf("reattached %v under /lost+found as %q", a.TargetFID, name)
+	return nil
+}
+
+// recreateOwner rebuilds a lost file from its surviving stripe objects:
+// the owner FID the objects still reference is given a fresh MDT inode
+// under /lost+found whose LOVEA covers every stranded object. This is
+// the repair LFSCK cannot make (it only parks objects).
+func (e *Engine) recreateOwner(owner lustre.FID, objects []lustre.FID, sum *Summary) error {
+	mdt, lfIno, lfFID, err := e.lostFound(sum)
+	if err != nil {
+		return err
+	}
+	if _, _, err := e.locate(owner); err == nil {
+		return fmt.Errorf("owner %v exists; nothing to recreate", owner)
+	}
+	layout := lustre.Layout{StripeSize: e.DefaultStripeSize}
+	var total uint64
+	for _, objFID := range objects {
+		objImg, objIno, err := e.locate(objFID)
+		if err != nil {
+			return err
+		}
+		stripeIdx := uint32(0)
+		if raw, ok, _ := objImg.GetXattr(objIno, lustre.XattrFilterFID); ok {
+			if ff, ferr := lustre.DecodeFilterFID(raw); ferr == nil {
+				stripeIdx = ff.StripeIndex
+			}
+		}
+		ostIdx, err := ostIndexOf(objImg.Label())
+		if err != nil {
+			return err
+		}
+		for int(stripeIdx) >= len(layout.Stripes) {
+			layout.Stripes = append(layout.Stripes, lustre.StripeEntry{})
+		}
+		layout.Stripes[stripeIdx] = lustre.StripeEntry{
+			OSTIndex: uint32(ostIdx), ObjectFID: objFID,
+		}
+		if sz, err := objImg.Size(objIno); err == nil {
+			total += sz
+		}
+	}
+	name := "obj-" + strings.Trim(owner.String(), "[]")
+	ino, err := mdt.AllocInode(ldiskfs.TypeFile)
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLMA, lustre.EncodeLMA(owner)); err != nil {
+		return err
+	}
+	link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lfFID, Name: name}})
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLink, link); err != nil {
+		return err
+	}
+	lov, err := lustre.EncodeLOVEA(layout)
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLOV, lov); err != nil {
+		return err
+	}
+	if err := mdt.SetSize(ino, total); err != nil {
+		return err
+	}
+	err = mdt.AddDirent(lfIno, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeFile, Tag: owner.Bytes(), Name: name,
+	})
+	if err != nil && !errors.Is(err, ldiskfs.ErrExist) {
+		return err
+	}
+	sum.logf("recreated lost file %v under /lost+found with %d stripes (%d bytes)",
+		owner, len(objects), total)
+	return nil
+}
+
+// quarantineImpostor strips a duplicated identity from the pinned inode:
+// it receives a fresh FID and a fresh lost+found owner wrapping it, so
+// its data stays reachable without conflicting with the legitimate
+// claim.
+func (e *Engine) quarantineImpostor(a checker.RepairAction, sum *Summary) error {
+	img := e.images[a.Loc.Server]
+	if img == nil {
+		return fmt.Errorf("unknown server %q", a.Loc.Server)
+	}
+	freshID := e.allocLostFID()
+	if err := img.SetXattr(a.Loc.Ino, lustre.XattrLMA, lustre.EncodeLMA(freshID)); err != nil {
+		return err
+	}
+	sum.logf("re-identified impostor %s/%d: %v -> %v", a.Loc.Server, a.Loc.Ino, a.TargetFID, freshID)
+	if strings.HasPrefix(a.Loc.Server, "ost") {
+		return e.wrapObject(img, a.Loc.Ino, freshID, sum)
+	}
+	return nil
+}
+
+// adoptOrphan wraps a fully disconnected OST object in a fresh
+// lost+found owner file. Disconnected MDT objects are reattached as
+// children instead.
+func (e *Engine) adoptOrphan(a checker.RepairAction, sum *Summary) error {
+	img, ino, err := e.locate(a.TargetFID)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(img.Label(), "ost") {
+		return e.reattachChild(checker.RepairAction{
+			Op: a.Op, TargetFID: a.TargetFID, Kind: graph.KindLinkEA,
+		}, sum)
+	}
+	return e.wrapObject(img, ino, a.TargetFID, sum)
+}
+
+// wrapObject creates a lost+found owner file whose single-stripe layout
+// references the object, and points the object's filter-fid back at it.
+func (e *Engine) wrapObject(objImg *ldiskfs.Image, objIno ldiskfs.Ino, objFID lustre.FID, sum *Summary) error {
+	mdt, lfIno, lfFID, err := e.lostFound(sum)
+	if err != nil {
+		return err
+	}
+	ostIdx, err := ostIndexOf(objImg.Label())
+	if err != nil {
+		return err
+	}
+	ownerFID := e.allocLostFID()
+	name := "obj-" + strings.Trim(objFID.String(), "[]")
+	ino, err := mdt.AllocInode(ldiskfs.TypeFile)
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLMA, lustre.EncodeLMA(ownerFID)); err != nil {
+		return err
+	}
+	link, err := lustre.EncodeLinkEA([]lustre.LinkEntry{{Parent: lfFID, Name: name}})
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLink, link); err != nil {
+		return err
+	}
+	lov, err := lustre.EncodeLOVEA(lustre.Layout{
+		StripeSize: e.DefaultStripeSize,
+		Stripes:    []lustre.StripeEntry{{OSTIndex: uint32(ostIdx), ObjectFID: objFID}},
+	})
+	if err != nil {
+		return err
+	}
+	if err := mdt.SetXattr(ino, lustre.XattrLOV, lov); err != nil {
+		return err
+	}
+	if sz, serr := objImg.Size(objIno); serr == nil {
+		_ = mdt.SetSize(ino, sz)
+	}
+	if err := mdt.AddDirent(lfIno, ldiskfs.Dirent{
+		Ino: ino, Type: ldiskfs.TypeFile, Tag: ownerFID.Bytes(), Name: name,
+	}); err != nil && !errors.Is(err, ldiskfs.ErrExist) {
+		return err
+	}
+	ff := lustre.EncodeFilterFID(lustre.FilterFID{ParentFID: ownerFID, StripeIndex: 0})
+	if err := objImg.SetXattr(objIno, lustre.XattrFilterFID, ff); err != nil {
+		return err
+	}
+	sum.logf("wrapped object %v in lost+found owner %v", objFID, ownerFID)
+	return nil
+}

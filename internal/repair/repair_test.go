@@ -1,0 +1,269 @@
+package repair
+
+import (
+	"fmt"
+	"testing"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/inject"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+)
+
+func fig7Cluster(t testing.TB) *lustre.Cluster {
+	t.Helper()
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 4, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("/proj%d", d)
+		if err := c.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 4; f++ {
+			if _, err := c.Create(fmt.Sprintf("%s/file%d", dir, f), 3*64<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+// TestRepairRoundTripAllScenarios is the headline repair property: for
+// every Fig. 7 scenario, inject → check → repair → re-check must end
+// with a fully consistent file system (zero findings, zero unpaired
+// edges) — the paper's claim that FaultyRank both identifies the root
+// cause and fixes it.
+func TestRepairRoundTripAllScenarios(t *testing.T) {
+	for s := inject.Scenario(0); s < inject.NumScenarios; s++ {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			c := fig7Cluster(t)
+			if _, err := inject.Inject(c, s, "/proj1/file2"); err != nil {
+				t.Fatal(err)
+			}
+			images := checker.ClusterImages(c)
+			res, err := checker.Run(images, checker.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Findings) == 0 {
+				t.Fatal("injection produced no findings")
+			}
+			eng := NewEngine(images, res)
+			sum := eng.Apply(res.Findings)
+			if sum.Applied == 0 {
+				t.Fatalf("nothing applied; log: %v", sum.Log)
+			}
+
+			verify, err := checker.Run(images, checker.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verify.Stats.UnpairedEdges != 0 {
+				t.Errorf("unpaired edges after repair: %d", verify.Stats.UnpairedEdges)
+			}
+			for _, f := range verify.Findings {
+				t.Errorf("residual finding: %v %v: %s", f.Kind, f.FID, f.Detail)
+			}
+			if t.Failed() {
+				t.Logf("repair log: %v", sum.Log)
+			}
+		})
+	}
+}
+
+// TestRepairDetachedCycle: the reachability extension's island finding
+// round-trips too — after re-rooting the island under /lost+found, the
+// whole namespace is reachable and consistent again.
+func TestRepairDetachedCycle(t *testing.T) {
+	c := fig7Cluster(t)
+	if _, err := inject.Inject(c, inject.DetachedCycle, "/proj1/file2"); err != nil {
+		t.Fatal(err)
+	}
+	images := checker.ClusterImages(c)
+	res, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FindingsOfKind(checker.DetachedNamespace)) != 1 {
+		t.Fatalf("island not found: %+v", res.Findings)
+	}
+	eng := NewEngine(images, res)
+	sum := eng.Apply(res.Findings)
+	if sum.Applied == 0 {
+		t.Fatalf("nothing applied: %v", sum.Log)
+	}
+	verify, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verify.Stats.UnpairedEdges != 0 {
+		t.Errorf("unpaired after island repair: %d", verify.Stats.UnpairedEdges)
+	}
+	for _, f := range verify.Findings {
+		t.Errorf("residual: %v %v %s", f.Kind, f.FID, f.Detail)
+	}
+	if t.Failed() {
+		t.Logf("repair log: %v", sum.Log)
+	}
+	// The re-rooted subtree is reachable under /lost+found.
+	mdt := images[0]
+	lf, found, _ := mdt.LookupDirent(c.RootIno(), "lost+found")
+	if !found {
+		t.Fatal("no /lost+found after island repair")
+	}
+	ents, _ := mdt.Dirents(lf.Ino)
+	if len(ents) != 1 {
+		t.Fatalf("lost+found entries = %d", len(ents))
+	}
+}
+
+// TestRepairIdempotent: applying the same findings twice is harmless.
+func TestRepairIdempotent(t *testing.T) {
+	c := fig7Cluster(t)
+	if _, err := inject.Inject(c, inject.DanglingDirent, "/proj1/file2"); err != nil {
+		t.Fatal(err)
+	}
+	images := checker.ClusterImages(c)
+	res, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(images, res)
+	first := eng.Apply(res.Findings)
+	second := eng.Apply(res.Findings)
+	if second.Skipped > first.Skipped+first.Applied {
+		t.Errorf("second apply failed hard: %+v", second)
+	}
+	verify, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verify.Findings) != 0 {
+		t.Errorf("residual findings after double apply: %d", len(verify.Findings))
+	}
+}
+
+// TestRecreatedOwnerVisibleInLostFound: after the stale-object repair,
+// the lost file is reachable under /lost+found with its full layout.
+func TestRecreatedOwnerVisibleInLostFound(t *testing.T) {
+	c := fig7Cluster(t)
+	inj, err := inject.Inject(c, inject.UnrefStaleObject, "/proj1/file2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := checker.ClusterImages(c)
+	res, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(images, res)
+	sum := eng.Apply(res.Findings)
+
+	mdt := images[0]
+	// find /lost+found via root dirents
+	rootDe, found, err := mdt.LookupDirent(c.RootIno(), "lost+found")
+	if err != nil || !found {
+		t.Fatalf("no /lost+found after repair (%v); log %v", err, sum.Log)
+	}
+	ents, err := mdt.Dirents(rootDe.Ino)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("lost+found entries: %v %v", ents, err)
+	}
+	if got := lustre.FIDFromBytes(ents[0].Tag[:]); got != inj.VictimFID {
+		t.Errorf("recreated owner FID = %v, want %v", got, inj.VictimFID)
+	}
+	raw, ok, _ := mdt.GetXattr(ents[0].Ino, lustre.XattrLOV)
+	if !ok {
+		t.Fatal("recreated owner has no LOVEA")
+	}
+	layout, err := lustre.DecodeLOVEA(raw)
+	if err != nil || len(layout.Stripes) != 3 {
+		t.Errorf("recreated layout: %+v %v", layout, err)
+	}
+	sz, _ := mdt.Size(ents[0].Ino)
+	if sz != 3*64<<10 {
+		t.Errorf("recreated size = %d", sz)
+	}
+}
+
+// TestAdoptOrphanObject: a fully disconnected OST object (present, no
+// relations at all) is wrapped in a fresh lost+found owner file.
+func TestAdoptOrphanObject(t *testing.T) {
+	c := fig7Cluster(t)
+	// A stray object with an identity but neither filter-fid nor owner.
+	ost := c.OSTs[1]
+	ino, err := ost.Img.AllocInode(ldiskfs.TypeObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strayFID := lustre.FID{Seq: lustre.OSTSeqBase + 1, Oid: 0xABCD}
+	if err := ost.Img.SetXattr(ino, lustre.XattrLMA, lustre.EncodeLMA(strayFID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ost.Img.SetSize(ino, 4096); err != nil {
+		t.Fatal(err)
+	}
+	images := checker.ClusterImages(c)
+	res, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasFinding(checker.OrphanObject, strayFID) {
+		t.Fatalf("orphan not found: %+v", res.Findings)
+	}
+	eng := NewEngine(images, res)
+	sum := eng.Apply(res.Findings)
+	if sum.Applied == 0 {
+		t.Fatalf("adoption not applied: %v", sum.Log)
+	}
+	verify, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verify.Findings) != 0 || verify.Stats.UnpairedEdges != 0 {
+		t.Fatalf("residuals after adoption: %d findings, %d unpaired; log %v",
+			len(verify.Findings), verify.Stats.UnpairedEdges, sum.Log)
+	}
+	// The wrapper file references the stray object with the right size.
+	mdt := images[0]
+	lf, found, _ := mdt.LookupDirent(c.RootIno(), "lost+found")
+	if !found {
+		t.Fatal("no lost+found")
+	}
+	ents, _ := mdt.Dirents(lf.Ino)
+	if len(ents) != 1 {
+		t.Fatalf("lost+found entries: %d", len(ents))
+	}
+	sz, _ := mdt.Size(ents[0].Ino)
+	if sz != 4096 {
+		t.Errorf("wrapper size = %d", sz)
+	}
+}
+
+// TestEngineErrorsAreSkipsNotFailures: actions on unknown FIDs are
+// logged and skipped.
+func TestEngineErrorsAreSkipsNotFailures(t *testing.T) {
+	c := fig7Cluster(t)
+	images := checker.ClusterImages(c)
+	res, err := checker.Run(images, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(images, res)
+	bogus := []checker.Finding{{
+		Kind: checker.FaultyID,
+		Repairs: []checker.RepairAction{{
+			Op: 0, TargetFID: lustre.FID{Seq: 0xBAD, Oid: 1}, NewID: lustre.FID{Seq: 1, Oid: 1},
+		}},
+	}}
+	sum := eng.Apply(bogus)
+	if sum.Skipped != 1 || sum.Applied != 0 {
+		t.Errorf("summary: %+v", sum)
+	}
+}

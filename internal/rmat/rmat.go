@@ -1,0 +1,94 @@
+// Package rmat generates R-MAT graphs (Chakrabarti et al.) with the
+// Graph500 parameters the paper uses for its scalability study (Table
+// III: a=0.57, b=0.19, c=0.19, average degree 8, scales 23-26).
+// Generation is deterministic for a given seed and parallel across
+// workers, each owning a contiguous edge range with its own PRNG.
+package rmat
+
+import (
+	"math/rand"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/par"
+)
+
+// Params configures a generator run.
+type Params struct {
+	// A, B, C are the upper-left, upper-right and lower-left quadrant
+	// probabilities; D = 1-A-B-C.
+	A, B, C float64
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is the average out-degree: edges = EdgeFactor << Scale.
+	EdgeFactor int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Noise perturbs the quadrant probabilities per level (the
+	// "smoothing" used by Graph500 generators to avoid degree spikes);
+	// 0 disables it. A typical value is 0.1.
+	Noise float64
+}
+
+// Graph500 returns the paper's parameters at the given scale and degree.
+func Graph500(scale, edgeFactor int, seed int64) Params {
+	return Params{A: 0.57, B: 0.19, C: 0.19, Scale: scale, EdgeFactor: edgeFactor, Seed: seed, Noise: 0.1}
+}
+
+// NumVertices returns 2^Scale.
+func (p Params) NumVertices() int { return 1 << p.Scale }
+
+// NumEdges returns EdgeFactor * 2^Scale.
+func (p Params) NumEdges() int64 { return int64(p.EdgeFactor) << p.Scale }
+
+// Generate produces the edge list in parallel (workers <= 0 means
+// GOMAXPROCS). The output is deterministic for fixed params, regardless
+// of the worker count: each edge index derives its own PRNG stream.
+func Generate(p Params, workers int) []graph.Edge {
+	m := p.NumEdges()
+	edges := make([]graph.Edge, m)
+	const chunk = 1 << 14
+	nChunks := int((m + chunk - 1) / chunk)
+	par.ForRange(nChunks, workers, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			start := int64(ci) * chunk
+			end := start + chunk
+			if end > m {
+				end = m
+			}
+			rng := rand.New(rand.NewSource(p.Seed ^ (int64(ci)+1)*0x5851F42D4C957F2D))
+			for i := start; i < end; i++ {
+				src, dst := p.oneEdge(rng)
+				edges[i] = graph.Edge{Src: src, Dst: dst}
+			}
+		}
+	})
+	return edges
+}
+
+// oneEdge walks the recursive quadrant subdivision once.
+func (p Params) oneEdge(rng *rand.Rand) (uint32, uint32) {
+	var row, col uint32
+	a, b, c := p.A, p.B, p.C
+	for bit := p.Scale - 1; bit >= 0; bit-- {
+		al, bl, cl := a, b, c
+		if p.Noise > 0 {
+			// Symmetric multiplicative noise per level.
+			al *= 1 - p.Noise/2 + p.Noise*rng.Float64()
+			bl *= 1 - p.Noise/2 + p.Noise*rng.Float64()
+			cl *= 1 - p.Noise/2 + p.Noise*rng.Float64()
+		}
+		r := rng.Float64() * (al + bl + cl + (1 - a - b - c))
+		switch {
+		case r < al:
+			// upper-left: nothing set
+		case r < al+bl:
+			col |= 1 << bit
+		case r < al+bl+cl:
+			row |= 1 << bit
+		default:
+			row |= 1 << bit
+			col |= 1 << bit
+		}
+	}
+	return row, col
+}

@@ -1,0 +1,95 @@
+package rmat
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateCounts(t *testing.T) {
+	p := Graph500(10, 8, 42)
+	if p.NumVertices() != 1024 || p.NumEdges() != 8192 {
+		t.Fatalf("sizes: %d %d", p.NumVertices(), p.NumEdges())
+	}
+	edges := Generate(p, 4)
+	if len(edges) != 8192 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	n := uint32(p.NumVertices())
+	for i, e := range edges {
+		if e.Src >= n || e.Dst >= n {
+			t.Fatalf("edge %d out of range: %+v", i, e)
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	p := Graph500(12, 4, 7)
+	a := Generate(p, 1)
+	for _, w := range []int{2, 4, 9} {
+		b := Generate(p, w)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("workers=%d changed the output", w)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := Generate(Graph500(10, 4, 1), 0)
+	b := Generate(Graph500(10, 4, 2), 0)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+// TestSkewedDegreeDistribution: R-MAT with Graph500 parameters must be
+// heavily skewed — the top 1% of vertices own far more than 1% of the
+// edges (this is what distinguishes it from a uniform random graph).
+func TestSkewedDegreeDistribution(t *testing.T) {
+	p := Graph500(14, 8, 3)
+	edges := Generate(p, 0)
+	deg := make([]int, p.NumVertices())
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	// count edges owned by the top 1% of sources
+	topN := p.NumVertices() / 100
+	// partial selection: simple counting sort over degrees
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for _, d := range deg {
+		hist[d]++
+	}
+	owned, vertices := 0, 0
+	for d := maxDeg; d >= 0 && vertices < topN; d-- {
+		take := hist[d]
+		if vertices+take > topN {
+			take = topN - vertices
+		}
+		vertices += take
+		owned += take * d
+	}
+	frac := float64(owned) / float64(len(edges))
+	if frac < 0.05 {
+		t.Fatalf("top 1%% of vertices own only %.1f%% of edges — not skewed", frac*100)
+	}
+}
+
+func TestNoiseZeroStillValid(t *testing.T) {
+	p := Graph500(8, 4, 5)
+	p.Noise = 0
+	edges := Generate(p, 0)
+	if len(edges) != int(p.NumEdges()) {
+		t.Fatal("wrong edge count")
+	}
+}

@@ -1,0 +1,212 @@
+// Package scanner extracts Lustre metadata from raw ldiskfs-style server
+// images into partial graphs (paper §IV-A). A scanner runs once per
+// server (MDT and every OST), sweeping the image's block groups: it
+// iterates the inode table, parses extended attributes (LMA, LinkEA,
+// LOVEA, filter-fid) and, on directories, hops to the dirent blocks.
+// The output is an edge list keyed by cluster-unique FIDs plus the list
+// of physically present objects, which the aggregator later merges into
+// the unified metadata graph.
+package scanner
+
+import (
+	"fmt"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/par"
+)
+
+// FIDEdge is a point-to relation between two FIDs, before GID remapping.
+type FIDEdge struct {
+	Src, Dst lustre.FID
+	Kind     graph.EdgeKind
+}
+
+// Object records one physically scanned object: an allocated inode that
+// carries (or should carry) an identity.
+type Object struct {
+	FID  lustre.FID
+	Ino  ldiskfs.Ino
+	Type ldiskfs.FileType
+}
+
+// Issue is a structural problem found while parsing the image — damaged
+// EAs, unidentifiable inodes, malformed dirents. These are not rank-based
+// findings; they are raw parse facts the checker folds into its report.
+type Issue struct {
+	Ino  ldiskfs.Ino
+	What string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("ino %d: %s", i.Ino, i.What) }
+
+// Stats counts the scanner's work.
+type Stats struct {
+	InodesScanned int64
+	DirentsRead   int64
+	EdgesEmitted  int64
+}
+
+// Partial is the scan result of one server: the partial metadata graph
+// the paper's scanners ship to the MDS aggregator.
+type Partial struct {
+	ServerLabel string
+	Objects     []Object
+	Edges       []FIDEdge
+	Issues      []Issue
+	Stats       Stats
+}
+
+// Scan opens a serialized image and extracts its partial graph, sharding
+// the block-group sweep across workers (<=0 = GOMAXPROCS).
+func Scan(raw []byte, workers int) (*Partial, error) {
+	img, err := ldiskfs.FromBytes(raw)
+	if err != nil {
+		return nil, err
+	}
+	return ScanImage(img, workers)
+}
+
+// ScanImage extracts the partial graph of one server image.
+func ScanImage(img *ldiskfs.Image, workers int) (*Partial, error) {
+	groups := img.Groups()
+	shards := make([]*Partial, groups)
+	errs := make([]error, groups)
+	par.ForRange(groups, workers, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			p := &Partial{}
+			errs[g] = scanGroup(img, g, p)
+			shards[g] = p
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge shards in group order: deterministic output independent of
+	// worker interleaving.
+	out := &Partial{ServerLabel: img.Label()}
+	for _, p := range shards {
+		out.Objects = append(out.Objects, p.Objects...)
+		out.Edges = append(out.Edges, p.Edges...)
+		out.Issues = append(out.Issues, p.Issues...)
+		out.Stats.InodesScanned += p.Stats.InodesScanned
+		out.Stats.DirentsRead += p.Stats.DirentsRead
+		out.Stats.EdgesEmitted += p.Stats.EdgesEmitted
+	}
+	return out, nil
+}
+
+// scanGroup sweeps one block group's inode table.
+func scanGroup(img *ldiskfs.Image, g int, p *Partial) error {
+	return img.AllocatedInodesInGroup(g, func(ino ldiskfs.Ino, t ldiskfs.FileType) error {
+		p.Stats.InodesScanned++
+		scanInode(img, ino, t, p)
+		return nil
+	})
+}
+
+// ScanInode parses one inode's EAs (and dirents, for directories) into
+// a fresh single-inode partial: the incremental entry point the online
+// checker uses to consume a change feed one inode at a time.
+func ScanInode(img *ldiskfs.Image, ino ldiskfs.Ino) (*Partial, error) {
+	t, err := img.Type(ino)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partial{ServerLabel: img.Label()}
+	if t == ldiskfs.TypeFree {
+		return p, nil // deallocated: contributes nothing
+	}
+	p.Stats.InodesScanned = 1
+	scanInode(img, ino, t, p)
+	return p, nil
+}
+
+// scanInode parses one inode's EAs (and dirents for directories) and
+// emits the corresponding objects and FID edges.
+func scanInode(img *ldiskfs.Image, ino ldiskfs.Ino, t ldiskfs.FileType, p *Partial) {
+	xs, err := img.Xattrs(ino)
+	if err != nil {
+		p.Issues = append(p.Issues, Issue{Ino: ino, What: fmt.Sprintf("unreadable EAs: %v", err)})
+		xs = nil
+	}
+
+	// Identity: the LMA self-FID.
+	var self lustre.FID
+	if raw, ok := xs[lustre.XattrLMA]; ok {
+		if fid, err := lustre.DecodeLMA(raw); err == nil && !fid.IsZero() {
+			self = fid
+		} else {
+			p.Issues = append(p.Issues, Issue{Ino: ino, What: "corrupt LMA"})
+		}
+	} else if xs != nil {
+		p.Issues = append(p.Issues, Issue{Ino: ino, What: "missing LMA"})
+	}
+	if self.IsZero() {
+		// Without an identity the object cannot participate in the FID
+		// graph; record it and move on (LFSCK's oi_scrub territory).
+		return
+	}
+	p.Objects = append(p.Objects, Object{FID: self, Ino: ino, Type: t})
+
+	emit := func(dst lustre.FID, kind graph.EdgeKind) {
+		if dst.IsZero() {
+			p.Issues = append(p.Issues, Issue{Ino: ino, What: fmt.Sprintf("zero FID in %v", kind)})
+			return
+		}
+		p.Edges = append(p.Edges, FIDEdge{Src: self, Dst: dst, Kind: kind})
+		p.Stats.EdgesEmitted++
+	}
+
+	// LinkEA: point-backs to parents (namespace).
+	if raw, ok := xs[lustre.XattrLink]; ok {
+		if links, err := lustre.DecodeLinkEA(raw); err == nil {
+			for _, l := range links {
+				emit(l.Parent, graph.KindLinkEA)
+			}
+		} else {
+			p.Issues = append(p.Issues, Issue{Ino: ino, What: "corrupt LinkEA"})
+		}
+	}
+
+	// LOVEA: layout pointers to stripe objects. A zero object FID is a
+	// released stripe slot (kept so later stripes keep their indices),
+	// not corruption.
+	if raw, ok := xs[lustre.XattrLOV]; ok {
+		if layout, err := lustre.DecodeLOVEA(raw); err == nil {
+			for _, s := range layout.Stripes {
+				if s.ObjectFID.IsZero() {
+					continue
+				}
+				emit(s.ObjectFID, graph.KindLOVEA)
+			}
+		} else {
+			p.Issues = append(p.Issues, Issue{Ino: ino, What: "corrupt LOVEA"})
+		}
+	}
+
+	// filter-fid: layout point-back to the owning file.
+	if raw, ok := xs[lustre.XattrFilterFID]; ok {
+		if ff, err := lustre.DecodeFilterFID(raw); err == nil {
+			emit(ff.ParentFID, graph.KindFilterFID)
+		} else {
+			p.Issues = append(p.Issues, Issue{Ino: ino, What: "corrupt filter-fid"})
+		}
+	}
+
+	// Directory entries: namespace pointers to children, read from the
+	// directory's data blocks (the scanner's only non-sequential hop).
+	if t == ldiskfs.TypeDir {
+		ents, err := img.Dirents(ino)
+		if err != nil {
+			p.Issues = append(p.Issues, Issue{Ino: ino, What: fmt.Sprintf("dirent damage: %v", err)})
+		}
+		for _, de := range ents {
+			p.Stats.DirentsRead++
+			emit(lustre.FIDFromBytes(de.Tag[:]), graph.KindDirent)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"fmt"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+)
+
+// Partial-graph encoding (all little-endian):
+//
+//	u16 labelLen | label
+//	u64 objectCount | objects × { 16B fid, u64 ino, u16 type }
+//	u64 edgeCount   | edges   × { 16B src, 16B dst, u8 kind }
+//	u32 issueCount  | issues  × { u64 ino, u16 len, text }
+//	stats: 3 × u64
+
+// EncodePartial serializes a scanner partial graph for bulk transfer.
+func EncodePartial(p *scanner.Partial) []byte {
+	size := 2 + len(p.ServerLabel) + 8 + len(p.Objects)*26 + 8 + len(p.Edges)*33 + 4 + 24
+	for _, is := range p.Issues {
+		size += 10 + len(is.What)
+	}
+	buf := make([]byte, 0, size)
+	buf = appendU16(buf, uint16(len(p.ServerLabel)))
+	buf = append(buf, p.ServerLabel...)
+	buf = appendU64(buf, uint64(len(p.Objects)))
+	for _, o := range p.Objects {
+		fb := o.FID.Bytes()
+		buf = append(buf, fb[:]...)
+		buf = appendU64(buf, uint64(o.Ino))
+		buf = appendU16(buf, uint16(o.Type))
+	}
+	buf = appendU64(buf, uint64(len(p.Edges)))
+	for _, e := range p.Edges {
+		sb, db := e.Src.Bytes(), e.Dst.Bytes()
+		buf = append(buf, sb[:]...)
+		buf = append(buf, db[:]...)
+		buf = append(buf, byte(e.Kind))
+	}
+	buf = appendU32(buf, uint32(len(p.Issues)))
+	for _, is := range p.Issues {
+		buf = appendU64(buf, uint64(is.Ino))
+		buf = appendU16(buf, uint16(len(is.What)))
+		buf = append(buf, is.What...)
+	}
+	buf = appendU64(buf, uint64(p.Stats.InodesScanned))
+	buf = appendU64(buf, uint64(p.Stats.DirentsRead))
+	buf = appendU64(buf, uint64(p.Stats.EdgesEmitted))
+	return buf
+}
+
+// DecodePartial parses an encoded partial graph.
+func DecodePartial(b []byte) (*scanner.Partial, error) {
+	d := &decoder{b: b}
+	p := &scanner.Partial{}
+	p.ServerLabel = d.str16()
+	nObj := d.u64()
+	if d.err == nil && nObj > uint64(len(b)) { // cheap sanity bound
+		return nil, fmt.Errorf("wire: implausible object count %d", nObj)
+	}
+	for i := uint64(0); i < nObj && d.err == nil; i++ {
+		var o scanner.Object
+		o.FID = d.fid()
+		o.Ino = ldiskfs.Ino(d.u64())
+		o.Type = ldiskfs.FileType(d.u16())
+		p.Objects = append(p.Objects, o)
+	}
+	nEdge := d.u64()
+	if d.err == nil && nEdge > uint64(len(b)) {
+		return nil, fmt.Errorf("wire: implausible edge count %d", nEdge)
+	}
+	for i := uint64(0); i < nEdge && d.err == nil; i++ {
+		var e scanner.FIDEdge
+		e.Src = d.fid()
+		e.Dst = d.fid()
+		e.Kind = graph.EdgeKind(d.u8())
+		p.Edges = append(p.Edges, e)
+	}
+	nIssue := d.u32()
+	for i := uint32(0); i < nIssue && d.err == nil; i++ {
+		var is scanner.Issue
+		is.Ino = ldiskfs.Ino(d.u64())
+		is.What = d.str16()
+		p.Issues = append(p.Issues, is)
+	}
+	p.Stats.InodesScanned = int64(d.u64())
+	p.Stats.DirentsRead = int64(d.u64())
+	p.Stats.EdgesEmitted = int64(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in partial", len(b)-d.off)
+	}
+	return p, nil
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("wire: truncated message at offset %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := le.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := le.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := le.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) fid() lustre.FID {
+	if !d.need(16) {
+		return lustre.FID{}
+	}
+	f := lustre.FIDFromBytes(d.b[d.off:])
+	d.off += 16
+	return f
+}
+
+func (d *decoder) str16() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v), byte(v>>8)) }
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -1,0 +1,373 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+)
+
+// FIDInfo is the answer to a StatFID RPC: everything a rule-based
+// checker cross-checks about one object.
+type FIDInfo struct {
+	Exists bool
+	Type   ldiskfs.FileType
+	Size   uint64
+	// Xattrs carries the object's raw EAs (LMA/LinkEA/LOVEA/filter-fid);
+	// the querying side decodes whichever it needs.
+	Xattrs map[string][]byte
+}
+
+// encodeFIDInfo: u8 exists | u16 type | u64 size | u16 n | n × {u8 nameLen,
+// name, u32 valLen, val}.
+func encodeFIDInfo(in FIDInfo) []byte {
+	buf := make([]byte, 0, 64)
+	if in.Exists {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU16(buf, uint16(in.Type))
+	buf = appendU64(buf, in.Size)
+	buf = appendU16(buf, uint16(len(in.Xattrs)))
+	// deterministic order is unnecessary on the wire; iterate freely
+	for name, val := range in.Xattrs {
+		buf = append(buf, byte(len(name)))
+		buf = append(buf, name...)
+		buf = appendU32(buf, uint32(len(val)))
+		buf = append(buf, val...)
+	}
+	return buf
+}
+
+func decodeFIDInfo(b []byte) (FIDInfo, error) {
+	d := &decoder{b: b}
+	var in FIDInfo
+	in.Exists = d.u8() == 1
+	in.Type = ldiskfs.FileType(d.u16())
+	in.Size = d.u64()
+	n := int(d.u16())
+	if n > 0 {
+		in.Xattrs = make(map[string][]byte, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		nl := int(d.u8())
+		if !d.need(nl) {
+			break
+		}
+		name := string(d.b[d.off : d.off+nl])
+		d.off += nl
+		vl := int(d.u32())
+		if !d.need(vl) {
+			break
+		}
+		val := make([]byte, vl)
+		copy(val, d.b[d.off:d.off+vl])
+		d.off += vl
+		in.Xattrs[name] = val
+	}
+	return in, d.err
+}
+
+// ObjectService answers StatFID RPCs for one server image. It builds a
+// FID→inode object index up front, playing the role of Lustre's OI
+// (object index) files.
+type ObjectService struct {
+	img   *ldiskfs.Image
+	index map[lustre.FID]ldiskfs.Ino
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewObjectService indexes the image and returns a service ready to
+// Serve.
+func NewObjectService(img *ldiskfs.Image) (*ObjectService, error) {
+	s := &ObjectService{img: img, index: make(map[lustre.FID]ldiskfs.Ino)}
+	err := img.AllocatedInodes(func(ino ldiskfs.Ino, _ ldiskfs.FileType) error {
+		raw, ok, err := img.GetXattr(ino, lustre.XattrLMA)
+		if err != nil || !ok {
+			return nil // unidentifiable inode: not reachable by FID
+		}
+		fid, err := lustre.DecodeLMA(raw)
+		if err == nil && !fid.IsZero() {
+			if _, dup := s.index[fid]; !dup {
+				s.index[fid] = ino
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stat resolves one FID locally (the in-process fast path used when the
+// checker runs without TCP).
+func (s *ObjectService) Stat(f lustre.FID) FIDInfo {
+	ino, ok := s.index[f]
+	if !ok {
+		return FIDInfo{}
+	}
+	info := FIDInfo{Exists: true}
+	if t, err := s.img.Type(ino); err == nil {
+		info.Type = t
+	}
+	if sz, err := s.img.Size(ino); err == nil {
+		info.Size = sz
+	}
+	if xs, err := s.img.Xattrs(ino); err == nil {
+		info.Xattrs = xs
+	}
+	return info
+}
+
+// Listen starts accepting StatFID connections on a fresh localhost port
+// and returns the address.
+func (s *ObjectService) Listen() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *ObjectService) Close() {
+	s.mu.Lock()
+	if s.ln != nil && !s.closed {
+		s.closed = true
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *ObjectService) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgStatFID:
+			if len(payload) != 16 {
+				_ = WriteError(conn, fmt.Errorf("bad StatFID payload"))
+				continue
+			}
+			info := s.Stat(lustre.FIDFromBytes(payload))
+			if err := WriteFrame(conn, MsgFIDInfo, encodeFIDInfo(info)); err != nil {
+				return
+			}
+		case MsgStatBatch:
+			fids, err := decodeStatBatch(payload)
+			if err != nil {
+				_ = WriteError(conn, err)
+				continue
+			}
+			var out []byte
+			for _, f := range fids {
+				rec := encodeFIDInfo(s.Stat(f))
+				out = appendU32(out, uint32(len(rec)))
+				out = append(out, rec...)
+			}
+			if err := WriteFrame(conn, MsgFIDInfoBatch, out); err != nil {
+				return
+			}
+		case MsgBye:
+			return
+		default:
+			_ = WriteError(conn, fmt.Errorf("unexpected message %d", typ))
+		}
+	}
+}
+
+// Client is a StatFID RPC client holding one connection.
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to an ObjectService.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Stat performs one synchronous StatFID round trip — deliberately one
+// request per object, like LFSCK's per-inode pipeline.
+func (c *Client) Stat(f lustre.FID) (FIDInfo, error) {
+	fb := f.Bytes()
+	if err := WriteFrame(c.conn, MsgStatFID, fb[:]); err != nil {
+		return FIDInfo{}, err
+	}
+	typ, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return FIDInfo{}, err
+	}
+	if err := AsError(typ, payload); err != nil {
+		return FIDInfo{}, err
+	}
+	if typ != MsgFIDInfo {
+		return FIDInfo{}, fmt.Errorf("wire: unexpected reply %d", typ)
+	}
+	return decodeFIDInfo(payload)
+}
+
+// StatBatch resolves many FIDs in one round trip — the batched-RPC
+// improvement a modernised LFSCK could adopt (cf. Dai et al., MSST'19);
+// kept alongside the per-object Stat so both designs can be compared.
+func (c *Client) StatBatch(fids []lustre.FID) ([]FIDInfo, error) {
+	payload := appendU32(nil, uint32(len(fids)))
+	for _, f := range fids {
+		fb := f.Bytes()
+		payload = append(payload, fb[:]...)
+	}
+	if err := WriteFrame(c.conn, MsgStatBatch, payload); err != nil {
+		return nil, err
+	}
+	typ, body, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := AsError(typ, body); err != nil {
+		return nil, err
+	}
+	if typ != MsgFIDInfoBatch {
+		return nil, fmt.Errorf("wire: unexpected reply %d", typ)
+	}
+	out := make([]FIDInfo, 0, len(fids))
+	d := &decoder{b: body}
+	for i := 0; i < len(fids); i++ {
+		n := int(d.u32())
+		if !d.need(n) {
+			return nil, fmt.Errorf("wire: truncated batch reply at record %d", i)
+		}
+		info, err := decodeFIDInfo(d.b[d.off : d.off+n])
+		if err != nil {
+			return nil, err
+		}
+		d.off += n
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// decodeStatBatch parses a MsgStatBatch payload.
+func decodeStatBatch(b []byte) ([]lustre.FID, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: short StatBatch")
+	}
+	n := int(le.Uint32(b))
+	if len(b) != 4+16*n {
+		return nil, fmt.Errorf("wire: StatBatch size mismatch (%d fids, %d bytes)", n, len(b))
+	}
+	fids := make([]lustre.FID, n)
+	for i := 0; i < n; i++ {
+		fids[i] = lustre.FIDFromBytes(b[4+16*i:])
+	}
+	return fids, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_ = WriteFrame(c.conn, MsgBye, nil)
+	return c.conn.Close()
+}
+
+// SendPartialTo ships one encoded partial graph to a collector address
+// and waits for the ack — FaultyRank's single bulk transfer per server.
+func SendPartialTo(addr string, payload []byte) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, MsgPartial, payload); err != nil {
+		return err
+	}
+	typ, body, err := ReadFrame(conn)
+	if err != nil {
+		return err
+	}
+	if err := AsError(typ, body); err != nil {
+		return err
+	}
+	if typ != MsgAck {
+		return fmt.Errorf("wire: unexpected ack type %d", typ)
+	}
+	return nil
+}
+
+// Collector receives partial graphs over TCP (the MDS-side aggregator
+// endpoint).
+type Collector struct {
+	ln net.Listener
+}
+
+// NewCollector listens on a fresh localhost port.
+func NewCollector() (*Collector, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return &Collector{ln: ln}, ln.Addr().String(), nil
+}
+
+// CollectRaw accepts exactly n partial-graph payloads and returns them
+// in arrival order (the caller decodes and re-orders by label).
+func (c *Collector) CollectRaw(n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if typ != MsgPartial {
+			_ = WriteError(conn, fmt.Errorf("expected partial, got %d", typ))
+			conn.Close()
+			continue
+		}
+		if err := WriteFrame(conn, MsgAck, nil); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		conn.Close()
+		out = append(out, payload)
+	}
+	return out, nil
+}
+
+// Close stops the collector's listener.
+func (c *Collector) Close() { c.ln.Close() }

@@ -1,0 +1,93 @@
+// Package wire is the network layer shared by both checkers. It defines
+// a length-prefixed binary framing over TCP, a bulk codec for scanner
+// partial graphs (FaultyRank ships each server's whole partial graph in
+// one message — the paper's §V-C explanation for its low network cost),
+// and a per-object metadata RPC (StatFID) with which the LFSCK baseline
+// performs its one-round-trip-per-object cross-checks, reproducing the
+// high fan-out that makes the original LFSCK slow.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var le = binary.LittleEndian
+
+// Message types.
+const (
+	// MsgPartial carries one encoded scanner.Partial (bulk transfer).
+	MsgPartial byte = iota + 1
+	// MsgAck acknowledges a bulk transfer.
+	MsgAck
+	// MsgStatFID requests the metadata of one FID (16-byte payload).
+	MsgStatFID
+	// MsgFIDInfo answers MsgStatFID.
+	MsgFIDInfo
+	// MsgError carries a textual error.
+	MsgError
+	// MsgBye closes a session.
+	MsgBye
+	// MsgStatBatch requests the metadata of many FIDs in one round trip
+	// (u32 count, count × 16-byte FIDs).
+	MsgStatBatch
+	// MsgFIDInfoBatch answers MsgStatBatch (count × length-prefixed
+	// encoded FIDInfo records).
+	MsgFIDInfoBatch
+)
+
+// MaxFrame bounds a single frame (a partial graph of a multi-million
+// inode server fits comfortably; this is a sanity guard, not a limit
+// the protocol design relies on).
+const MaxFrame = 1 << 31
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame too large")
+
+// WriteFrame writes one framed message: u8 type | u32 length | payload.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if int64(len(payload)) >= MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	le.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed message.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := le.Uint32(hdr[1:])
+	if int64(n) >= MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// WriteError frames err as a MsgError.
+func WriteError(w io.Writer, err error) error {
+	return WriteFrame(w, MsgError, []byte(err.Error()))
+}
+
+// AsError converts a received (type, payload) into a Go error when the
+// frame is MsgError, else nil.
+func AsError(typ byte, payload []byte) error {
+	if typ == MsgError {
+		return fmt.Errorf("wire: remote error: %s", payload)
+	}
+	return nil
+}

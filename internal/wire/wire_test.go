@@ -1,0 +1,348 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := WriteFrame(&buf, MsgPartial, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, MsgAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgPartial || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: %d %q %v", typ, got, err)
+	}
+	typ, got, err = ReadFrame(&buf)
+	if err != nil || typ != MsgAck || len(got) != 0 {
+		t.Fatalf("frame 2: %d %q %v", typ, got, err)
+	}
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("read from empty buffer succeeded")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, MsgPartial, []byte("0123456789"))
+	short := buf.Bytes()[:8]
+	if _, _, err := ReadFrame(bytes.NewReader(short)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestErrorFrames(t *testing.T) {
+	var buf bytes.Buffer
+	WriteError(&buf, bytes.ErrTooLarge)
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := AsError(typ, payload); e == nil {
+		t.Error("AsError returned nil for MsgError")
+	}
+	if e := AsError(MsgAck, nil); e != nil {
+		t.Errorf("AsError on ack: %v", e)
+	}
+}
+
+func randomPartial(r *rand.Rand) *scanner.Partial {
+	p := &scanner.Partial{ServerLabel: "ost7"}
+	for i := 0; i < r.Intn(20); i++ {
+		p.Objects = append(p.Objects, scanner.Object{
+			FID:  lustre.FID{Seq: r.Uint64(), Oid: r.Uint32(), Ver: r.Uint32()},
+			Ino:  ldiskfs.Ino(r.Uint64()),
+			Type: ldiskfs.FileType(r.Intn(4)),
+		})
+	}
+	for i := 0; i < r.Intn(30); i++ {
+		p.Edges = append(p.Edges, scanner.FIDEdge{
+			Src:  lustre.FID{Seq: r.Uint64(), Oid: r.Uint32()},
+			Dst:  lustre.FID{Seq: r.Uint64(), Oid: r.Uint32()},
+			Kind: graph.EdgeKind(r.Intn(5)),
+		})
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		p.Issues = append(p.Issues, scanner.Issue{
+			Ino: ldiskfs.Ino(r.Uint64()), What: "corrupt something",
+		})
+	}
+	p.Stats = scanner.Stats{
+		InodesScanned: r.Int63(), DirentsRead: r.Int63(), EdgesEmitted: r.Int63(),
+	}
+	return p
+}
+
+func TestPartialCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPartial(r)
+		got, err := DecodePartial(EncodePartial(p))
+		return err == nil && reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePartialRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	enc := EncodePartial(randomPartial(r))
+	if _, err := DecodePartial(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated partial decoded")
+	}
+	if _, err := DecodePartial(append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodePartial(nil); err == nil {
+		t.Error("nil decoded")
+	}
+}
+
+func TestFIDInfoCodec(t *testing.T) {
+	in := FIDInfo{
+		Exists: true, Type: ldiskfs.TypeObject, Size: 123456,
+		Xattrs: map[string][]byte{"lma": {1, 2}, "fid": {3, 4, 5}},
+	}
+	out, err := decodeFIDInfo(encodeFIDInfo(in))
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v %v", out, err)
+	}
+	empty, err := decodeFIDInfo(encodeFIDInfo(FIDInfo{}))
+	if err != nil || empty.Exists || empty.Xattrs != nil {
+		t.Fatalf("empty round trip: %+v %v", empty, err)
+	}
+}
+
+func serviceCluster(t *testing.T) (*lustre.Cluster, lustre.Entry) {
+	t.Helper()
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 2, StripeSize: 64 << 10, Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, err := c.Create("/file", 130<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ent
+}
+
+func TestObjectServiceLocalStat(t *testing.T) {
+	c, ent := serviceCluster(t)
+	svc, err := NewObjectService(c.MDT.Img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := svc.Stat(ent.FID)
+	if !info.Exists || info.Type != ldiskfs.TypeFile || info.Size != uint64(130<<10) {
+		t.Fatalf("stat: %+v", info)
+	}
+	if _, ok := info.Xattrs[lustre.XattrLOV]; !ok {
+		t.Error("LOVEA missing from stat")
+	}
+	if svc.Stat(lustre.FID{Seq: 1, Oid: 1}).Exists {
+		t.Error("nonexistent FID exists")
+	}
+}
+
+func TestObjectServiceOverTCP(t *testing.T) {
+	c, ent := serviceCluster(t)
+	svc, err := NewObjectService(c.MDT.Img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	info, err := cli.Stat(ent.FID)
+	if err != nil || !info.Exists || info.Size != uint64(130<<10) {
+		t.Fatalf("rpc stat: %+v %v", info, err)
+	}
+	missing, err := cli.Stat(lustre.FID{Seq: 99, Oid: 99})
+	if err != nil || missing.Exists {
+		t.Fatalf("missing stat: %+v %v", missing, err)
+	}
+	// Concurrent clients.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 20; j++ {
+				if _, err := cli.Stat(ent.FID); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStatBatchOverTCP: the batched RPC answers in submission order and
+// agrees with per-FID Stat, including misses.
+func TestStatBatchOverTCP(t *testing.T) {
+	c, ent := serviceCluster(t)
+	svc, err := NewObjectService(c.MDT.Img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	missing := lustre.FID{Seq: 0xEEE, Oid: 1}
+	fids := []lustre.FID{ent.FID, missing, lustre.RootFID, ent.FID}
+	batch, err := cli.StatBatch(fids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(fids) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, f := range fids {
+		single, err := cli.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Exists != single.Exists || batch[i].Size != single.Size ||
+			batch[i].Type != single.Type {
+			t.Errorf("record %d diverges: %+v vs %+v", i, batch[i], single)
+		}
+	}
+	if batch[1].Exists {
+		t.Error("missing FID exists in batch")
+	}
+	// Empty batch is legal.
+	empty, err := cli.StatBatch(nil)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch: %v %v", empty, err)
+	}
+}
+
+func TestDecodeStatBatchErrors(t *testing.T) {
+	if _, err := decodeStatBatch(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := decodeStatBatch([]byte{2, 0, 0, 0, 1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestCollectorBulkTransfer(t *testing.T) {
+	col, addr, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	r := rand.New(rand.NewSource(2))
+	want := [][]byte{
+		EncodePartial(randomPartial(r)),
+		EncodePartial(randomPartial(r)),
+		EncodePartial(randomPartial(r)),
+	}
+	errCh := make(chan error, len(want))
+	for _, payload := range want {
+		go func(p []byte) { errCh <- SendPartialTo(addr, p) }(payload)
+	}
+	got, err := col.CollectRaw(len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range want {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("collected %d", len(got))
+	}
+	// Arrival order is arbitrary; match by content.
+	for _, g := range got {
+		found := false
+		for _, w := range want {
+			if bytes.Equal(g, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("unexpected payload collected")
+		}
+	}
+	// Decoded payloads are valid partials.
+	for _, g := range got {
+		if _, err := DecodePartial(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRawConnBadMessage(t *testing.T) {
+	c, _ := serviceCluster(t)
+	svc, _ := NewObjectService(c.MDT.Img)
+	addr, err := svc.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// bad StatFID payload size
+	if err := WriteFrame(conn, MsgStatFID, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(conn)
+	if err != nil || AsError(typ, payload) == nil {
+		t.Fatalf("want error frame, got %d %v", typ, err)
+	}
+	// unknown message type
+	if err := WriteFrame(conn, 200, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = ReadFrame(conn)
+	if err != nil || AsError(typ, payload) == nil {
+		t.Fatalf("want error frame, got %d %v", typ, err)
+	}
+}

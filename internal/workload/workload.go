@@ -1,0 +1,334 @@
+// Package workload generates the evaluation workloads of the paper:
+//
+//   - a LANL-USRC-style file system population (§V-A): a realistic
+//     directory tree with the published file-size distribution (86% of
+//     files under 1 MiB, 95% under 2 MiB), laid out with the paper's
+//     64 KiB stripe trick so layout metadata is as rich as on the 2 PB
+//     original;
+//   - an aging driver for Table VI (create/delete churn toward a target
+//     inode count);
+//   - synthetic stand-ins for the SNAP graphs of Table III (an
+//     Amazon-like co-purchase graph and a Road-Net-like lattice).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/lustre"
+)
+
+// TreeSpec configures a namespace population run.
+type TreeSpec struct {
+	// Files is the number of regular files to create.
+	Files int
+	// MeanDirFanout is the average number of entries per directory
+	// before a new subdirectory is preferred (LANL walks average a few
+	// dozen entries per directory).
+	MeanDirFanout int
+	// MaxDepth bounds the directory depth.
+	MaxDepth int
+	// MaxDirEntries caps how many entries a single directory may ever
+	// accumulate across revisits (0 = 1200, safe for the compact image
+	// geometry's dirent capacity).
+	MaxDirEntries int
+	// Seed makes population deterministic.
+	Seed int64
+}
+
+// DefaultTreeSpec mirrors the shape of the LANL archive walk at a given
+// file count.
+func DefaultTreeSpec(files int, seed int64) TreeSpec {
+	return TreeSpec{Files: files, MeanDirFanout: 24, MaxDepth: 12, Seed: seed}
+}
+
+// PopulateStats reports what Populate created.
+type PopulateStats struct {
+	Dirs, Files, Objects int64
+	Bytes                int64
+}
+
+// SampleFileSize draws from the published PFS file-size distribution
+// (paper §V-A, citing Carns et al.): 40% of files fit one 64 KiB
+// stripe, 86% are under 1 MiB, 95% under 2 MiB, the tail reaches tens
+// of MiB. Sizes are log-uniform within each bucket. Like the paper's
+// testbed trick, callers may cap sizes at 8 stripes — the layout
+// metadata is identical either way.
+func SampleFileSize(r *rand.Rand) int64 {
+	u := r.Float64()
+	switch {
+	case u < 0.40: // <= 64 KiB
+		return logUniform(r, 1, 64<<10)
+	case u < 0.86: // 64 KiB .. 1 MiB
+		return logUniform(r, 64<<10, 1<<20)
+	case u < 0.95: // 1 .. 2 MiB
+		return logUniform(r, 1<<20, 2<<20)
+	default: // 2 .. 32 MiB
+		return logUniform(r, 2<<20, 32<<20)
+	}
+}
+
+func logUniform(r *rand.Rand, lo, hi int64) int64 {
+	if lo >= hi {
+		return lo
+	}
+	ratio := float64(hi) / float64(lo)
+	v := float64(lo) * pow(ratio, r.Float64())
+	if v < float64(lo) {
+		v = float64(lo)
+	}
+	if v > float64(hi) {
+		v = float64(hi)
+	}
+	return int64(v)
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// Populate fills the cluster with a LANL-style tree. Directory growth
+// follows the walk shape: files land in a working directory; once its
+// fanout target is hit the generator either descends into a fresh
+// subdirectory or pops toward the root, yielding the mix of deep chains
+// and broad directories archive walks show.
+func Populate(c *lustre.Cluster, spec TreeSpec) (*PopulateStats, error) {
+	if spec.Files < 0 {
+		return nil, fmt.Errorf("workload: negative file count")
+	}
+	if spec.MeanDirFanout <= 0 {
+		spec.MeanDirFanout = 24
+	}
+	if spec.MaxDepth <= 0 {
+		spec.MaxDepth = 12
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	st := &PopulateStats{}
+
+	if spec.MaxDirEntries <= 0 {
+		spec.MaxDirEntries = 1200
+	}
+	type dirState struct {
+		path    string
+		depth   int
+		left    int // entries before this visit considers the dir "full"
+		entries int // lifetime entry count, capped by MaxDirEntries
+	}
+	fanout := func() int { return 1 + r.Intn(2*spec.MeanDirFanout) }
+	// budgetFor clamps a visit's quota to the directory's lifetime cap.
+	budgetFor := func(d *dirState) int {
+		room := spec.MaxDirEntries - d.entries
+		f := fanout()
+		if f > room {
+			f = room
+		}
+		return f
+	}
+	stack := []dirState{{path: "", depth: 0}}
+	stack[0].left = budgetFor(&stack[0])
+	dirSeq, fileSeq := 0, 0
+	lastFile := ""
+
+	for created := 0; created < spec.Files; {
+		cur := &stack[len(stack)-1]
+		if cur.left <= 0 {
+			// Directory full for this visit: descend (biased), pop
+			// toward the root, or — when the root itself is at its
+			// lifetime cap — force a descent so progress continues.
+			mustDescend := len(stack) == 1 && cur.entries >= spec.MaxDirEntries
+			if cur.depth < spec.MaxDepth && (mustDescend || r.Float64() < 0.7) {
+				dirSeq++
+				sub := dirState{
+					path:  fmt.Sprintf("%s/d%05d", cur.path, dirSeq),
+					depth: cur.depth + 1,
+				}
+				if err := c.MkdirAll(sub.path); err != nil {
+					return nil, err
+				}
+				cur.entries++
+				st.Dirs++
+				sub.left = budgetFor(&sub)
+				stack = append(stack, sub)
+			} else if len(stack) > 1 {
+				pop := 1 + r.Intn(len(stack)-1)
+				stack = stack[:len(stack)-pop]
+				// Give the resurfaced directory more room (within cap).
+				top := &stack[len(stack)-1]
+				top.left = budgetFor(top)
+			} else {
+				cur.left = budgetFor(cur)
+			}
+			continue
+		}
+		fileSeq++
+		name := fmt.Sprintf("%s/f%07d", cur.path, fileSeq)
+		// Archive walks contain a few percent of symlinks; sprinkle
+		// them in once there is something to point at.
+		if lastFile != "" && r.Float64() < 0.03 {
+			if err := c.Symlink(lastFile, name); err != nil {
+				return nil, err
+			}
+			st.Files++
+			cur.left--
+			cur.entries++
+			created++
+			continue
+		}
+		size := SampleFileSize(r)
+		if _, err := c.Create(name, size); err != nil {
+			return nil, err
+		}
+		lastFile = name
+		st.Files++
+		st.Bytes += size
+		cur.left--
+		cur.entries++
+		created++
+	}
+	_, _, objs := c.Counts()
+	st.Objects = objs
+	return st, nil
+}
+
+// AgeSpec drives create/delete churn toward a target MDT inode count
+// (the x-axis of Table VI).
+type AgeSpec struct {
+	// TargetMDTInodes stops aging once the MDT holds this many inodes.
+	TargetMDTInodes int64
+	// ChurnFraction deletes this fraction of files between growth
+	// rounds, fragmenting inode allocation like a production system.
+	ChurnFraction float64
+	Seed          int64
+}
+
+// Age grows (and churns) the cluster until the MDT inode count reaches
+// the target. It returns the paths of files alive at the end.
+func Age(c *lustre.Cluster, spec AgeSpec) ([]string, error) {
+	if spec.ChurnFraction < 0 || spec.ChurnFraction >= 1 {
+		return nil, fmt.Errorf("workload: bad churn fraction %f", spec.ChurnFraction)
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	var alive []string
+	round := 0
+	for c.MDTInodes() < spec.TargetMDTInodes {
+		round++
+		// Churn first: delete, rename and truncate files, fragmenting
+		// inode allocation and reshaping layouts like a production
+		// system. Churn is proportional to this round's planned growth,
+		// NOT to the whole population — population-proportional churn
+		// reaches equilibrium with the capped batch size at large
+		// targets and the loop never terminates.
+		planned := int(spec.TargetMDTInodes - c.MDTInodes())
+		if planned > 1500 {
+			planned = 1500
+		}
+		if round > 1 && spec.ChurnFraction > 0 && len(alive) > 16 {
+			del := int(float64(planned) * spec.ChurnFraction)
+			for i := 0; i < del; i++ {
+				idx := r.Intn(len(alive))
+				if err := c.Unlink(alive[idx]); err == nil {
+					alive[idx] = alive[len(alive)-1]
+					alive = alive[:len(alive)-1]
+				}
+			}
+			// Lighter rename/truncate churn: a quarter of the delete rate.
+			mv := del / 4
+			for i := 0; i < mv && len(alive) > 0; i++ {
+				idx := r.Intn(len(alive))
+				np := fmt.Sprintf("%s.r%d", alive[idx], round)
+				if err := c.Rename(alive[idx], np); err == nil {
+					alive[idx] = np
+				}
+			}
+			for i := 0; i < mv && len(alive) > 0; i++ {
+				idx := r.Intn(len(alive))
+				_ = c.Truncate(alive[idx], SampleFileSize(r))
+			}
+		}
+		// Round directories are namespaced by target so repeated Age
+		// calls on one cluster (Table VI's growing sweep) never collide.
+		dir := fmt.Sprintf("/age/t%d-r%04d", spec.TargetMDTInodes, round)
+		if err := c.MkdirAll(dir); err != nil {
+			return nil, err
+		}
+		// Cap the per-directory file count well below the dirent-block
+		// capacity of even the compact geometry (8 direct + 1 indirect
+		// block of entries).
+		gap := spec.TargetMDTInodes - c.MDTInodes()
+		batch := int(gap)
+		if batch > 1500 {
+			batch = 1500
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		for i := 0; i < batch; i++ {
+			p := fmt.Sprintf("%s/f%06d", dir, i)
+			if _, err := c.Create(p, SampleFileSize(r)); err != nil {
+				return nil, err
+			}
+			alive = append(alive, p)
+		}
+	}
+	return alive, nil
+}
+
+// AmazonLike builds a preferential-attachment co-purchase-style graph:
+// each vertex links to `degree` earlier vertices, biased toward popular
+// ones, and links are reciprocated with probability pRecip (Amazon
+// co-purchase edges are heavily reciprocal). With n=403_393 and
+// degree=12 the size matches Table III's Amazon graph.
+func AmazonLike(n, degree int, seed int64) []graph.Edge {
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, n*degree)
+	const pRecip = 0.55
+	for v := 1; v < n; v++ {
+		d := 1 + r.Intn(2*degree-1)
+		for k := 0; k < d; k++ {
+			// Preferential attachment: pick the endpoint of a random
+			// earlier edge half the time.
+			var u uint32
+			if len(edges) > 0 && r.Float64() < 0.5 {
+				u = edges[r.Intn(len(edges))].Dst
+			} else {
+				u = uint32(r.Intn(v))
+			}
+			if u == uint32(v) {
+				continue
+			}
+			edges = append(edges, graph.Edge{Src: uint32(v), Dst: u})
+			if r.Float64() < pRecip {
+				edges = append(edges, graph.Edge{Src: u, Dst: uint32(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// RoadNetLike builds a road-network-style graph: a W×H grid with
+// bidirectional edges and a sprinkle of removed cells, matching the
+// near-planar, low-degree profile of SNAP's roadNet graphs. The vertex
+// count is W*H.
+func RoadNetLike(w, h int, seed int64) []graph.Edge {
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, 0, 4*w*h)
+	id := func(x, y int) uint32 { return uint32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if r.Float64() < 0.03 {
+				continue // missing intersection
+			}
+			if x+1 < w && r.Float64() < 0.95 {
+				edges = append(edges,
+					graph.Edge{Src: id(x, y), Dst: id(x+1, y)},
+					graph.Edge{Src: id(x+1, y), Dst: id(x, y)})
+			}
+			if y+1 < h && r.Float64() < 0.95 {
+				edges = append(edges,
+					graph.Edge{Src: id(x, y), Dst: id(x, y+1)},
+					graph.Edge{Src: id(x, y+1), Dst: id(x, y)})
+			}
+		}
+	}
+	return edges
+}
