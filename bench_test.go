@@ -349,6 +349,36 @@ func BenchmarkOnlineVsOfflineCheck(b *testing.B) {
 	})
 }
 
+// --- ingestion pipeline -------------------------------------------------------
+
+// BenchmarkIngestion times the streaming scan→merge→CSR span of the
+// checker at several worker counts on one shared aged cluster. On a
+// multi-core host the 8-worker run lands measurably below 1 worker
+// (chunked scans, the sharded interner and the contention-free CSR
+// build all scale); every run yields the identical GID space.
+func BenchmarkIngestion(b *testing.B) {
+	c := table6Cluster(b, 8000)
+	images := checker.ClusterImages(c)
+	for _, w := range []int{1, 2, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			var scan, merge, build float64
+			for i := 0; i < b.N; i++ {
+				row, err := bench.MeasureIngest(images, w, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scan = row.Scan.Seconds()
+				merge = row.Merge.Seconds()
+				build = row.Build.Seconds()
+			}
+			b.ReportMetric(scan*1000, "scan-ms")
+			b.ReportMetric(merge*1000, "merge-ms")
+			b.ReportMetric(build*1000, "build-ms")
+		})
+	}
+}
+
 // --- substrate micro-benchmarks ---------------------------------------------
 
 func BenchmarkScannerMDT(b *testing.B) {

@@ -25,8 +25,9 @@ func main() {
 	var (
 		dir       = flag.String("dir", "cluster", "cluster image directory")
 		doRepair  = flag.Bool("repair", false, "apply recommended repairs and verify")
-		useTCP    = flag.Bool("tcp", false, "transfer partial graphs over localhost TCP")
+		useTCP    = flag.Bool("tcp", false, "stream scanner chunks over localhost TCP")
 		workers   = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+		chunk     = flag.Int("chunk", 0, "entries per streamed scanner chunk (0 = default)")
 		epsilon   = flag.Float64("epsilon", 0.1, "convergence epsilon (max |Δ id_rank|)")
 		threshold = flag.Float64("threshold", 0.4, "fault threshold on mean-1-scaled ranks")
 		weight    = flag.Float64("unpaired-weight", 0.1, "unpaired edge weight in the reversed graph")
@@ -41,6 +42,7 @@ func main() {
 	opt := checker.DefaultOptions()
 	opt.UseTCP = *useTCP
 	opt.Workers = *workers
+	opt.ChunkSize = *chunk
 	opt.Core.Epsilon = *epsilon
 	opt.Core.Threshold = *threshold
 	opt.Core.UnpairedWeight = *weight

@@ -7,6 +7,7 @@
 //	frbench -table 5               # Table V   (degree sweep)
 //	frbench -table 6               # Table VI  (end-to-end vs LFSCK)
 //	frbench -table fig7            # Fig. 7    (functional comparison)
+//	frbench -table ingest          # ingestion scaling (scan→CSR vs workers)
 //	frbench -table all -scale smoke
 //
 // -scale picks sizing: smoke (seconds), default (minutes), paper (the
@@ -81,6 +82,18 @@ func main() {
 		fmt.Println(tab.Render())
 		ran = true
 	}
+	if want("ingest") {
+		counts := []int{1, 2, 4, 8}
+		if *workers > 0 {
+			counts = []int{1, *workers}
+		}
+		rows, err := bench.IngestMeasure(scale, counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.IngestTable(rows).Render())
+		ran = true
+	}
 	if want("ablation") {
 		tab, err := bench.AblationMatrix(scale)
 		if err != nil {
@@ -95,6 +108,6 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|all)", *table)
+		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|all)", *table)
 	}
 }

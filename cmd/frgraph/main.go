@@ -8,6 +8,7 @@
 //	frgraph gen -kind amazon -n 403393 -o amazon.txt
 //	frgraph convert -i graph.txt -o graph.bin
 //	frgraph rank -i rmat20.bin -trace
+//	frgraph ingest -dir cluster/ -workers 8 -tcp
 package main
 
 import (
@@ -18,9 +19,12 @@ import (
 	"strings"
 	"time"
 
+	"faultyrank/internal/checker"
 	"faultyrank/internal/core"
 	"faultyrank/internal/edgelist"
 	"faultyrank/internal/graph"
+	"faultyrank/internal/imgdir"
+	"faultyrank/internal/par"
 	"faultyrank/internal/rmat"
 	"faultyrank/internal/workload"
 )
@@ -40,14 +44,47 @@ func main() {
 		cmdRank(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "ingest":
+		cmdIngest(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: frgraph gen|convert|rank|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: frgraph gen|convert|rank|stats|ingest [flags]")
 	os.Exit(2)
+}
+
+// cmdIngest times the streaming ingestion pipeline on a cluster image
+// directory: chunked parallel scan (plus transfer, with -tcp), sharded
+// merge and CSR build — the per-stage wall times behind Table VI's
+// T_scan and T_graph columns.
+func cmdIngest(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("dir", "cluster", "cluster image directory")
+	workers := fs.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
+	chunk := fs.Int("chunk", 0, "entries per streamed chunk (0 = default)")
+	useTCP := fs.Bool("tcp", false, "stream chunks over localhost TCP")
+	fs.Parse(args)
+
+	images, err := imgdir.Load(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := checker.DefaultOptions()
+	opt.Workers = *workers
+	opt.ChunkSize = *chunk
+	opt.UseTCP = *useTCP
+	res, err := checker.Run(images, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("unified graph: %d vertices, %d edges (%d paired / %d unpaired)\n",
+		st.Vertices, st.Edges, st.PairedEdges, st.UnpairedEdges)
+	fmt.Printf("scan+stream %.3fs | merge+build %.3fs | rank %.3fs | total %.3fs\n",
+		res.TScan.Seconds(), res.TGraph.Seconds(), res.TRank.Seconds(), res.Total().Seconds())
 }
 
 // cmdStats prints structural statistics of an edge list: degree
@@ -72,12 +109,9 @@ func cmdStats(args []string) {
 	fmt.Printf("sinks %d, sources %d\n", st.Sinks, st.Sources)
 
 	// out-degree percentiles via counting sort
-	maxDeg := 0
-	for v := 0; v < n; v++ {
-		if d := b.OutDegree(uint32(v)); d > maxDeg {
-			maxDeg = d
-		}
-	}
+	maxDeg := int(par.MapReduceMaxFloat64(n, 0, func(v int) float64 {
+		return float64(b.OutDegree(uint32(v)))
+	}))
 	hist := make([]int, maxDeg+1)
 	for v := 0; v < n; v++ {
 		hist[b.OutDegree(uint32(v))]++

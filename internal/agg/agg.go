@@ -3,17 +3,22 @@
 // unified metadata graph, remaps sparse 128-bit FIDs onto dense 32-bit
 // GIDs, and builds the in-DRAM CSR the iterative algorithm runs on.
 //
-// Because FIDs are cluster-unique, merging never conflicts; the remap is
-// a single deterministic pass in first-appearance order, so the same set
-// of partials always yields the same GID space.
+// Because FIDs are cluster-unique, merging never conflicts. The remap
+// runs on all cores via a hash-sharded interner (intern.go) whose
+// renumbering pass reproduces the sequential first-appearance order, so
+// the same set of partials always yields the same GID space regardless
+// of worker count. A Builder accepts the scanners' chunk streams
+// incrementally, which lets aggregation overlap transfer.
 package agg
 
 import (
 	"fmt"
+	"sync"
 
 	"faultyrank/internal/graph"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
+	"faultyrank/internal/par"
 	"faultyrank/internal/scanner"
 )
 
@@ -42,7 +47,7 @@ type Unified struct {
 	// Issues carries forward the scanners' structural parse problems.
 	Issues []string
 
-	byFID map[lustre.FID]uint32
+	byFID fidShards
 }
 
 // N returns the vertex count of the unified graph.
@@ -50,8 +55,7 @@ func (u *Unified) N() int { return len(u.FIDs) }
 
 // GID resolves a FID to its dense id.
 func (u *Unified) GID(f lustre.FID) (uint32, bool) {
-	g, ok := u.byFID[f]
-	return g, ok
+	return u.byFID.gid(f)
 }
 
 // FID returns the FID of a GID (zero value when out of range).
@@ -64,23 +68,113 @@ func (u *Unified) FID(g uint32) lustre.FID {
 
 // Merge combines partial graphs into a unified graph. Partials must be
 // passed in a fixed order (conventionally MDT first, then OSTs by index)
-// for a deterministic GID space.
+// for a deterministic GID space. Merging is parallel (all cores); use
+// MergeWorkers to bound it.
 func Merge(parts []*scanner.Partial) *Unified {
+	return MergeWorkers(parts, 0)
+}
+
+// MergeWorkers is Merge with explicit parallelism (<= 0 = GOMAXPROCS).
+// The result is identical for every worker count: the sharded interner
+// renumbers FIDs into the sequential first-appearance order (intern.go)
+// and every fill pass below is partitioned so writes never race and
+// ordering follows the canonical stream.
+func MergeWorkers(parts []*scanner.Partial, workers int) *Unified {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	u := &Unified{}
+	u.FIDs, u.byFID = internSharded(parts, workers)
+	n := len(u.FIDs)
+	u.Present = make([]bool, n)
+	u.Types = make([]ldiskfs.FileType, n) // zero value is TypeFree
+	u.Claims = make([][]ObjectLoc, n)
+
+	// Object stream GIDs, translated once in parallel (the sharded index
+	// is read-only from here on).
+	var nObj int
+	objOff := make([]int, len(parts))
+	for i, p := range parts {
+		objOff[i] = nObj
+		nObj += len(p.Objects)
+	}
+	objGID := make([]uint32, nObj)
+	for i, p := range parts {
+		off := objOff[i]
+		par.ForRange(len(p.Objects), workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				g, _ := u.byFID.gid(p.Objects[k].FID)
+				objGID[off+k] = g
+			}
+		})
+	}
+
+	// Present/Types/Claims: workers own disjoint GID ranges and each
+	// walks the object stream in canonical order, so the first claim
+	// wins and Claims order matches the sequential merge exactly.
+	par.ForRange(n, workers, func(glo, ghi int) {
+		for i, p := range parts {
+			off := objOff[i]
+			for k, o := range p.Objects {
+				g := int(objGID[off+k])
+				if g < glo || g >= ghi {
+					continue
+				}
+				if !u.Present[g] {
+					u.Present[g] = true
+					u.Types[g] = o.Type
+				}
+				u.Claims[g] = append(u.Claims[g], ObjectLoc{Server: p.ServerLabel, Ino: o.Ino})
+			}
+		}
+	})
+	for _, p := range parts {
+		for _, is := range p.Issues {
+			u.Issues = append(u.Issues, fmt.Sprintf("%s: %s", p.ServerLabel, is))
+		}
+	}
+
+	// Edge translation: order-preserving, each slot written once.
+	var nEdge int
+	edgeOff := make([]int, len(parts))
+	for i, p := range parts {
+		edgeOff[i] = nEdge
+		nEdge += len(p.Edges)
+	}
+	u.Edges = make([]graph.Edge, nEdge)
+	for i, p := range parts {
+		off := edgeOff[i]
+		par.ForRange(len(p.Edges), workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				e := p.Edges[k]
+				src, _ := u.byFID.gid(e.Src)
+				dst, _ := u.byFID.gid(e.Dst)
+				u.Edges[off+k] = graph.Edge{Src: src, Dst: dst, Kind: e.Kind}
+			}
+		})
+	}
+	return u
+}
+
+// mergeReference is the original single-threaded first-appearance merge,
+// kept as the executable specification the sharded merge is tested
+// against (and nothing else should call).
+func mergeReference(parts []*scanner.Partial) *Unified {
 	var nObj, nEdge int
 	for _, p := range parts {
 		nObj += len(p.Objects)
 		nEdge += len(p.Edges)
 	}
 	u := &Unified{
-		byFID: make(map[lustre.FID]uint32, nObj+nEdge/4),
+		byFID: newFIDShards(),
 		Edges: make([]graph.Edge, 0, nEdge),
 	}
 	gid := func(f lustre.FID) uint32 {
-		if g, ok := u.byFID[f]; ok {
+		if g, ok := u.byFID.gid(f); ok {
 			return g
 		}
 		g := uint32(len(u.FIDs))
-		u.byFID[f] = g
+		u.byFID[shardOf(f)][f] = g
 		u.FIDs = append(u.FIDs, f)
 		u.Present = append(u.Present, false)
 		u.Types = append(u.Types, ldiskfs.TypeFree)
@@ -110,6 +204,91 @@ func Merge(parts []*scanner.Partial) *Unified {
 		}
 	}
 	return u
+}
+
+// Builder accepts the scanners' chunk streams — in any interleaving
+// across servers — and reassembles them into per-server partials so
+// aggregation can overlap transfer. The canonical server order is fixed
+// at construction; Finish then merges with the usual deterministic GID
+// space, no matter how chunks arrived.
+//
+// Builder implements scanner.Sink, so in-process scanners stream into
+// it directly; the wire collector feeds it decoded chunks.
+type Builder struct {
+	mu    sync.Mutex
+	order []string
+	accs  map[string]*builderAcc
+}
+
+type builderAcc struct {
+	p    scanner.Partial
+	next int
+	done bool
+}
+
+// NewBuilder fixes the canonical server order (conventionally MDTs
+// first, then OSTs by index — the order their labels are passed here).
+func NewBuilder(labels []string) *Builder {
+	b := &Builder{order: labels, accs: make(map[string]*builderAcc, len(labels))}
+	for _, l := range labels {
+		b.accs[l] = &builderAcc{p: scanner.Partial{ServerLabel: l}}
+	}
+	return b
+}
+
+// Emit consumes one chunk. Safe for concurrent use by the per-server
+// scanner goroutines; chunks of one server must arrive in Seq order
+// (the scanner and the wire stream both guarantee it).
+func (b *Builder) Emit(c *scanner.Chunk) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	acc, ok := b.accs[c.ServerLabel]
+	if !ok {
+		return fmt.Errorf("agg: chunk for unknown server %q", c.ServerLabel)
+	}
+	if acc.done {
+		return fmt.Errorf("agg: chunk after final for server %q", c.ServerLabel)
+	}
+	if c.Seq != acc.next {
+		return fmt.Errorf("agg: server %q chunk out of order: got seq %d, want %d", c.ServerLabel, c.Seq, acc.next)
+	}
+	acc.next++
+	acc.p.Objects = append(acc.p.Objects, c.Objects...)
+	acc.p.Edges = append(acc.p.Edges, c.Edges...)
+	acc.p.Issues = append(acc.p.Issues, c.Issues...)
+	acc.p.Stats.InodesScanned += c.Stats.InodesScanned
+	acc.p.Stats.DirentsRead += c.Stats.DirentsRead
+	acc.p.Stats.EdgesEmitted += c.Stats.EdgesEmitted
+	if c.Final {
+		acc.done = true
+	}
+	return nil
+}
+
+// Partials returns the reassembled per-server partial graphs in
+// canonical order. It errors if any stream is still open.
+func (b *Builder) Partials() ([]*scanner.Partial, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	parts := make([]*scanner.Partial, 0, len(b.order))
+	for _, l := range b.order {
+		acc := b.accs[l]
+		if !acc.done {
+			return nil, fmt.Errorf("agg: server %q stream incomplete", l)
+		}
+		parts = append(parts, &acc.p)
+	}
+	return parts, nil
+}
+
+// Finish merges every completed stream into the unified graph using
+// workers cores (<= 0 = GOMAXPROCS).
+func (b *Builder) Finish(workers int) (*Unified, error) {
+	parts, err := b.Partials()
+	if err != nil {
+		return nil, err
+	}
+	return MergeWorkers(parts, workers), nil
 }
 
 // DuplicateClaims returns the GIDs claimed by more than one inode —

@@ -1,0 +1,129 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+)
+
+// assertUnifiedIdentical compares every externally observable field of
+// two unified graphs: the GID space (FIDs), the translated edge list,
+// presence, types, claim order and issues.
+func assertUnifiedIdentical(t *testing.T, label string, want, got *Unified) {
+	t.Helper()
+	if !reflect.DeepEqual(want.FIDs, got.FIDs) {
+		t.Fatalf("%s: FID table (GID space) diverges", label)
+	}
+	if !reflect.DeepEqual(want.Edges, got.Edges) {
+		t.Fatalf("%s: edge list diverges", label)
+	}
+	if !reflect.DeepEqual(want.Present, got.Present) {
+		t.Fatalf("%s: Present diverges", label)
+	}
+	if !reflect.DeepEqual(want.Types, got.Types) {
+		t.Fatalf("%s: Types diverges", label)
+	}
+	if !reflect.DeepEqual(want.Claims, got.Claims) {
+		t.Fatalf("%s: Claims diverges", label)
+	}
+	if !reflect.DeepEqual(want.Issues, got.Issues) {
+		t.Fatalf("%s: Issues diverges", label)
+	}
+	for g, f := range want.FIDs {
+		gg, ok := got.GID(f)
+		if !ok || gg != uint32(g) {
+			t.Fatalf("%s: GID(%v) = %d,%v, want %d", label, f, gg, ok, g)
+		}
+	}
+}
+
+// randomPartials builds a fixed pseudo-random set of partial graphs
+// with heavy FID overlap across servers (shared sequences), duplicate
+// claims and phantom references — the shapes that stress first-
+// appearance ordering.
+func randomPartials(seed int64, nParts, nObj, nEdge int) []*scanner.Partial {
+	r := rand.New(rand.NewSource(seed))
+	fid := func() lustre.FID {
+		return lustre.FID{Seq: uint64(r.Intn(7)), Oid: uint32(r.Intn(nObj * 2)), Ver: uint32(r.Intn(2))}
+	}
+	parts := make([]*scanner.Partial, nParts)
+	for pi := range parts {
+		p := &scanner.Partial{ServerLabel: fmt.Sprintf("srv%d", pi)}
+		for i := 0; i < nObj; i++ {
+			p.Objects = append(p.Objects, scanner.Object{
+				FID: fid(), Ino: ldiskfs.Ino(i + 1), Type: ldiskfs.FileType(1 + r.Intn(3)),
+			})
+		}
+		for i := 0; i < nEdge; i++ {
+			p.Edges = append(p.Edges, scanner.FIDEdge{
+				Src: fid(), Dst: fid(), Kind: graph.EdgeKind(r.Intn(5)),
+			})
+		}
+		if r.Intn(2) == 0 {
+			p.Issues = append(p.Issues, scanner.Issue{Ino: ldiskfs.Ino(r.Intn(99)), What: "synthetic damage"})
+		}
+		parts[pi] = p
+	}
+	return parts
+}
+
+// TestMergeShardedMatchesReference: the parallel sharded merge yields a
+// Unified identical to the single-threaded reference merge — same FID
+// table, edges, presence, types and claims order — across worker counts
+// 1/2/8 and across shuffled-but-fixed partial orders.
+func TestMergeShardedMatchesReference(t *testing.T) {
+	base := randomPartials(42, 5, 300, 900)
+
+	orders := [][]*scanner.Partial{base}
+	// Shuffled-but-fixed orders: both merges see the same permutation,
+	// so outputs must still be identical (the GID space legitimately
+	// changes with partial order — but identically for both).
+	for _, seed := range []int64{1, 7} {
+		perm := rand.New(rand.NewSource(seed)).Perm(len(base))
+		shuffled := make([]*scanner.Partial, len(base))
+		for i, j := range perm {
+			shuffled[i] = base[j]
+		}
+		orders = append(orders, shuffled)
+	}
+
+	for oi, parts := range orders {
+		ref := mergeReference(parts)
+		for _, w := range []int{1, 2, 8} {
+			got := MergeWorkers(parts, w)
+			assertUnifiedIdentical(t, fmt.Sprintf("order %d workers %d", oi, w), ref, got)
+		}
+	}
+}
+
+// TestMergeShardedMatchesReferenceCluster: same property on real
+// scanner output from a simulated cluster, where FIDs have realistic
+// sequence structure.
+func TestMergeShardedMatchesReferenceCluster(t *testing.T) {
+	c := smallCluster(t)
+	parts := scanCluster(t, c)
+	ref := mergeReference(parts)
+	for _, w := range []int{1, 2, 8} {
+		got := MergeWorkers(parts, w)
+		assertUnifiedIdentical(t, fmt.Sprintf("cluster workers %d", w), ref, got)
+	}
+}
+
+// TestMergeEmpty: no partials and empty partials degrade gracefully.
+func TestMergeEmpty(t *testing.T) {
+	for _, parts := range [][]*scanner.Partial{nil, {{ServerLabel: "mdt0"}}} {
+		u := MergeWorkers(parts, 4)
+		if u.N() != 0 || len(u.Edges) != 0 {
+			t.Fatalf("empty merge: N=%d edges=%d", u.N(), len(u.Edges))
+		}
+		if _, ok := u.GID(lustre.RootFID); ok {
+			t.Fatal("GID hit on empty unified graph")
+		}
+	}
+}

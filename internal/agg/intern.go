@@ -1,0 +1,196 @@
+package agg
+
+import (
+	"sort"
+
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/par"
+	"faultyrank/internal/scanner"
+)
+
+// The sharded interner replaces the aggregator's single global
+// map[FID]uint32 with nShards hash-disjoint maps so that interning,
+// claim accounting and edge translation all run on every core while
+// still producing the exact GID space of the sequential first-appearance
+// walk. The pipeline is:
+//
+//  1. The canonical occurrence stream is defined exactly as the
+//     sequential merge visits FIDs: every part's Objects in part order
+//     (one occurrence per object), then every part's Edges in part
+//     order (Src before Dst). Each occurrence has a global index.
+//  2. Shard-local interning (parallel over stream pieces, then over
+//     shards): each shard collects its FIDs with their first-occurrence
+//     index. Piece-local dedup keeps the buckets small.
+//  3. Deterministic global renumbering: all shards' unique FIDs are
+//     sorted by first-occurrence index; position = GID. Because
+//     occurrence indices are unique, the order — and therefore the GID
+//     space — is byte-identical to the sequential merge, independent of
+//     worker count and shard count.
+
+// nShards is the shard count of the FID index. A power of two so that
+// shardOf can mask; 64 keeps per-shard maps usefully small well past
+// the core counts this code base targets.
+const nShards = 64
+
+// shardOf hashes a FID onto its shard with a splitmix64-style mix; it
+// must be a pure function of the FID so lookups and builds agree.
+func shardOf(f lustre.FID) int {
+	h := f.Seq*0x9E3779B97F4A7C15 + uint64(f.Oid)*0xBF58476D1CE4E5B9 + uint64(f.Ver)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	return int(h & (nShards - 1))
+}
+
+// fidShards is the sharded FID -> GID index.
+type fidShards []map[lustre.FID]uint32
+
+func newFIDShards() fidShards {
+	s := make(fidShards, nShards)
+	for i := range s {
+		s[i] = make(map[lustre.FID]uint32)
+	}
+	return s
+}
+
+func (s fidShards) gid(f lustre.FID) (uint32, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	g, ok := s[shardOf(f)][f]
+	return g, ok
+}
+
+// occurrence is one FID sighting in the canonical stream.
+type occurrence struct {
+	fid   lustre.FID
+	idx   int64
+	shard uint16
+}
+
+// streamPiece is a contiguous slice of the occurrence stream, bounded
+// so phase 1 load-balances across workers.
+type streamPiece struct {
+	part   int
+	edges  bool // false: Objects[lo:hi], true: Edges[lo:hi]
+	lo, hi int
+	base   int64 // occurrence index of element lo (edges carry two each)
+}
+
+// pieceTarget is the occurrence count one phase-1 piece aims for.
+const pieceTarget = 1 << 16
+
+func splitStream(parts []*scanner.Partial) ([]streamPiece, int64) {
+	var pieces []streamPiece
+	var occ int64
+	for pi, p := range parts {
+		for lo := 0; lo < len(p.Objects); lo += pieceTarget {
+			hi := lo + pieceTarget
+			if hi > len(p.Objects) {
+				hi = len(p.Objects)
+			}
+			pieces = append(pieces, streamPiece{part: pi, lo: lo, hi: hi, base: occ + int64(lo)})
+		}
+		occ += int64(len(p.Objects))
+	}
+	for pi, p := range parts {
+		step := pieceTarget / 2
+		for lo := 0; lo < len(p.Edges); lo += step {
+			hi := lo + step
+			if hi > len(p.Edges) {
+				hi = len(p.Edges)
+			}
+			pieces = append(pieces, streamPiece{part: pi, edges: true, lo: lo, hi: hi, base: occ + 2*int64(lo)})
+		}
+		occ += 2 * int64(len(p.Edges))
+	}
+	return pieces, occ
+}
+
+// internSharded runs the three interning phases and returns the GID ->
+// FID table plus the sharded lookup index.
+func internSharded(parts []*scanner.Partial, workers int) ([]lustre.FID, fidShards) {
+	pieces, _ := splitStream(parts)
+
+	// Phase 1: per-piece first occurrences, bucketed by shard.
+	buckets := make([][][]occurrence, len(pieces))
+	par.ForEach(len(pieces), workers, func(i int) {
+		pc := pieces[i]
+		seen := make(map[lustre.FID]struct{}, pc.hi-pc.lo)
+		bk := make([][]occurrence, nShards)
+		add := func(f lustre.FID, idx int64) {
+			if _, dup := seen[f]; dup {
+				return
+			}
+			seen[f] = struct{}{}
+			s := shardOf(f)
+			bk[s] = append(bk[s], occurrence{fid: f, idx: idx, shard: uint16(s)})
+		}
+		p := parts[pc.part]
+		if pc.edges {
+			for k, e := range p.Edges[pc.lo:pc.hi] {
+				add(e.Src, pc.base+2*int64(k))
+				add(e.Dst, pc.base+2*int64(k)+1)
+			}
+		} else {
+			for k, o := range p.Objects[pc.lo:pc.hi] {
+				add(o.FID, pc.base+int64(k))
+			}
+		}
+		buckets[i] = bk
+	})
+
+	// Phase 2: shard-local interning. Pieces are generated — and hence
+	// iterated — in ascending base order and entries within a bucket
+	// ascend, so the first sighting of a FID in this walk carries its
+	// minimum occurrence index.
+	shardUnique := make([][]occurrence, nShards)
+	par.ForEach(nShards, workers, func(s int) {
+		seen := make(map[lustre.FID]struct{})
+		var uniq []occurrence
+		for i := range pieces {
+			for _, en := range buckets[i][s] {
+				if _, dup := seen[en.fid]; dup {
+					continue
+				}
+				seen[en.fid] = struct{}{}
+				uniq = append(uniq, en)
+			}
+		}
+		shardUnique[s] = uniq
+	})
+
+	// Phase 3: deterministic global renumbering by first occurrence.
+	total := 0
+	for _, u := range shardUnique {
+		total += len(u)
+	}
+	all := make([]occurrence, 0, total)
+	for _, u := range shardUnique {
+		all = append(all, u...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].idx < all[j].idx })
+
+	fids := make([]lustre.FID, len(all))
+	par.ForRange(len(all), workers, func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			fids[g] = all[g].fid
+		}
+	})
+
+	// Final lookup maps: group GID assignments by shard, then let each
+	// shard build its own map — no write sharing.
+	assign := make([][]int, nShards) // indices into all
+	for g, en := range all {
+		assign[en.shard] = append(assign[en.shard], g)
+	}
+	idx := make(fidShards, nShards)
+	par.ForEach(nShards, workers, func(s int) {
+		m := make(map[lustre.FID]uint32, len(assign[s]))
+		for _, g := range assign[s] {
+			m[all[g].fid] = uint32(g)
+		}
+		idx[s] = m
+	})
+	return fids, idx
+}

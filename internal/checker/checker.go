@@ -1,14 +1,16 @@
 // Package checker orchestrates the end-to-end FaultyRank pipeline on a
-// set of server images (paper Fig. 6): parallel per-server scanners →
-// bulk transfer of partial graphs to the aggregator → FID→GID remap and
-// CSR build → the iterative FaultyRank algorithm → fault classification
-// and repair recommendations. It reports the paper's stage timings
-// (T_scan, T_graph, T_FR) used in Table VI.
+// set of server images (paper Fig. 6): parallel per-server scanners
+// streaming bounded chunks into the aggregator (overlapping transfer
+// with aggregation) → FID→GID remap and CSR build → the iterative
+// FaultyRank algorithm → fault classification and repair
+// recommendations. It reports the paper's stage timings (T_scan,
+// T_graph, T_FR) used in Table VI.
 package checker
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"faultyrank/internal/agg"
@@ -26,10 +28,13 @@ type Options struct {
 	Workers int
 	// Core configures the FaultyRank iteration and detection.
 	Core core.Options
-	// UseTCP routes partial graphs through localhost TCP (the paper's
+	// UseTCP routes chunk streams through localhost TCP (the paper's
 	// deployment shape: scanners on OSS nodes ship graphs to the MDS
-	// aggregator). False hands the partials over in process.
+	// aggregator). False hands the chunks over in process.
 	UseTCP bool
+	// ChunkSize bounds the entries per streamed scanner chunk
+	// (<= 0 = scanner.DefaultChunkEntries).
+	ChunkSize int
 	// SplitProperties additionally runs the per-plane (namespace vs
 	// layout) rank extension (paper §VIII future work) and folds in the
 	// faults it attributes that the merged ranks dilute away — e.g. a
@@ -168,7 +173,10 @@ func (r *Result) HasFinding(k FindingKind, fid lustre.FID) bool {
 
 // Run executes the full pipeline over the server images, which must be
 // ordered MDT first, then OSTs by index (the label order also used for
-// deterministic GID assignment).
+// deterministic GID assignment). Scanners stream bounded chunks into
+// the aggregator's Builder — directly or over TCP — so T_scan covers
+// scan plus transfer, and T_graph covers the parallel sharded merge
+// plus the CSR build.
 func Run(images []*ldiskfs.Image, opt Options) (*Result, error) {
 	if len(images) == 0 {
 		return nil, fmt.Errorf("checker: no images")
@@ -178,34 +186,39 @@ func Run(images []*ldiskfs.Image, opt Options) (*Result, error) {
 	}
 	res := &Result{}
 
-	// ---- Stage 1: parallel scanners (T_scan) -------------------------
+	labels := make([]string, len(images))
+	for i, img := range images {
+		labels[i] = img.Label()
+	}
+	builder := agg.NewBuilder(labels)
+
+	// ---- Stage 1: parallel scanners streaming chunks (T_scan) --------
 	t0 := time.Now()
-	parts := make([]*scanner.Partial, len(images))
-	errs := make([]error, len(images))
-	done := make(chan int, len(images))
-	for i := range images {
-		go func(i int) {
-			parts[i], errs[i] = scanner.ScanImage(images[i], opt.Workers)
-			done <- i
-		}(i)
+	var err error
+	if opt.UseTCP {
+		err = streamOverTCP(images, builder, opt)
+	} else {
+		err = streamInProcess(images, builder, opt)
 	}
-	for range images {
-		<-done
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	res.TScan = time.Since(t0)
-	if err := Analyze(res, images, parts, opt); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	res.TScan = time.Since(t0)
+
+	// ---- Stage 2: sharded merge + CSR build (T_graph) ----------------
+	t1 := time.Now()
+	res.Unified, err = builder.Finish(opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Graph = res.Unified.Build(opt.Workers)
+	res.TGraph = time.Since(t1)
+
+	return res, rankAndClassify(res, images, opt)
 }
 
-// Analyze runs the pipeline's post-scan stages — transfer, aggregation,
-// CSR build, ranking and classification — over already-produced partial
+// Analyze runs the pipeline's post-scan stages — aggregation, CSR
+// build, ranking and classification — over already-produced partial
 // graphs, filling the timing and result fields of res. It exists
 // separately from Run so incremental producers (package online) can
 // feed maintained partials through the identical analysis path.
@@ -213,20 +226,17 @@ func Analyze(res *Result, images []*ldiskfs.Image, parts []*scanner.Partial, opt
 	if opt.Core.MaxIterations == 0 {
 		opt.Core = core.DefaultOptions()
 	}
-	// ---- Stage 2: transfer + aggregate + CSR build (T_graph) ---------
+	// ---- Stage 2: aggregate + CSR build (T_graph) --------------------
 	t1 := time.Now()
-	if opt.UseTCP {
-		shipped, err := shipOverTCP(parts)
-		if err != nil {
-			return err
-		}
-		parts = shipped
-	}
-	res.Unified = agg.Merge(parts)
+	res.Unified = agg.MergeWorkers(parts, opt.Workers)
 	res.Graph = res.Unified.Build(opt.Workers)
 	res.TGraph = time.Since(t1)
+	return rankAndClassify(res, images, opt)
+}
 
-	// ---- Stage 3: FaultyRank + detection (T_FR) ----------------------
+// rankAndClassify is stage 3 (T_FR), shared by Run and Analyze:
+// FaultyRank iteration, detection and fault classification.
+func rankAndClassify(res *Result, images []*ldiskfs.Image, opt Options) error {
 	t2 := time.Now()
 	res.Rank = core.Run(res.Graph, opt.Core)
 	res.Report = core.Detect(res.Graph, res.Rank, res.Unified.Present, opt.Core)
@@ -259,48 +269,74 @@ func ClusterImages(c *lustre.Cluster) []*ldiskfs.Image {
 	return images
 }
 
-// shipOverTCP reproduces the deployment data path: every partial graph
-// is encoded, sent once in bulk to an MDS-side collector, and decoded
-// there. Partials are re-ordered by label so the GID space stays
-// deterministic.
-func shipOverTCP(parts []*scanner.Partial) ([]*scanner.Partial, error) {
+// streamInProcess runs every image's scanner concurrently, each
+// streaming its chunks straight into the shared sink (Builder.Emit is
+// thread-safe, so chunk interleaving across servers is harmless).
+func streamInProcess(images []*ldiskfs.Image, sink scanner.Sink, opt Options) error {
+	errs := make([]error, len(images))
+	var wg sync.WaitGroup
+	for i, img := range images {
+		wg.Add(1)
+		go func(i int, img *ldiskfs.Image) {
+			defer wg.Done()
+			errs[i] = scanner.ScanImageToSink(img, opt.Workers, opt.ChunkSize, sink)
+		}(i, img)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamOverTCP reproduces the deployment data path: every scanner
+// opens one chunk stream to the MDS-side collector and ships chunks as
+// it produces them, so the aggregator consumes while the scanners are
+// still sweeping — transfer no longer waits for a whole encoded
+// partial.
+func streamOverTCP(images []*ldiskfs.Image, builder *agg.Builder, opt Options) error {
 	col, addr, err := wire.NewCollector()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer col.Close()
-	errCh := make(chan error, len(parts))
-	for _, p := range parts {
-		go func(p *scanner.Partial) {
-			errCh <- wire.SendPartialTo(addr, wire.EncodePartial(p))
-		}(p)
+	errs := make([]error, len(images))
+	var wg sync.WaitGroup
+	for i, img := range images {
+		wg.Add(1)
+		go func(i int, img *ldiskfs.Image) {
+			defer wg.Done()
+			cs, err := wire.DialChunkStream(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cs.Close()
+			errs[i] = scanner.ScanImageToSink(img, opt.Workers, opt.ChunkSize, cs)
+		}(i, img)
 	}
-	raw, err := col.CollectRaw(len(parts))
-	if err != nil {
-		return nil, err
-	}
-	for range parts {
-		if err := <-errCh; err != nil {
-			return nil, err
+	// A scanner that fails before dialing leaves the collector one
+	// stream short; close it once all senders finish so the accept loop
+	// cannot block forever (scan errors below take precedence).
+	go func() {
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				col.Close()
+				return
+			}
 		}
-	}
-	byLabel := make(map[string]*scanner.Partial, len(parts))
-	for _, b := range raw {
-		p, err := wire.DecodePartial(b)
+	}()
+	collectErr := col.CollectChunks(len(images), builder.Emit)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
-		byLabel[p.ServerLabel] = p
 	}
-	out := make([]*scanner.Partial, 0, len(parts))
-	for _, orig := range parts {
-		p, ok := byLabel[orig.ServerLabel]
-		if !ok {
-			return nil, fmt.Errorf("checker: partial for %q lost in transfer", orig.ServerLabel)
-		}
-		out = append(out, p)
-	}
-	return out, nil
+	return collectErr
 }
 
 // sortFindings orders findings deterministically for stable output.

@@ -198,38 +198,7 @@ func sinkShares(mass float64, n int, policy SinkPolicy) (base, perSink float64) 
 }
 
 func maxAbsDiff(a, b []float64, workers int) float64 {
-	n := len(a)
-	if n == 0 {
-		return 0
-	}
-	w := workers
-	if w <= 0 {
-		w = par.DefaultWorkers()
-	}
-	if w > n {
-		w = n
-	}
-	if w < 1 {
-		w = 1
-	}
-	chunk := (n + w - 1) / w
-	nChunks := (n + chunk - 1) / chunk
-	partial := make([]float64, nChunks)
-	par.ForRange(n, w, func(lo, hi int) {
-		var m float64
-		for i := lo; i < hi; i++ {
-			d := math.Abs(a[i] - b[i])
-			if d > m {
-				m = d
-			}
-		}
-		partial[lo/chunk] = m
+	return par.MapReduceMaxFloat64(len(a), workers, func(i int) float64 {
+		return math.Abs(a[i] - b[i])
 	})
-	var m float64
-	for _, p := range partial {
-		if p > m {
-			m = p
-		}
-	}
-	return m
 }

@@ -138,10 +138,22 @@ func ReadBinary(r io.Reader) ([]graph.Edge, int, error) {
 	if m > maxEdges {
 		return nil, 0, fmt.Errorf("edgelist: implausible edge count %d", m)
 	}
-	edges := make([]graph.Edge, m)
+	// The count comes from an untrusted header: grow in bounded batches
+	// as records actually arrive instead of allocating all m up front,
+	// so a lying header in a short file costs at most one batch before
+	// the truncation error.
+	const batch = 1 << 20
+	var edges []graph.Edge
 	maxV := uint32(0)
 	var rec [8]byte
-	for i := range edges {
+	for i := uint64(0); i < m; i++ {
+		if i == uint64(len(edges)) {
+			grow := m - i
+			if grow > batch {
+				grow = batch
+			}
+			edges = append(edges, make([]graph.Edge, grow)...)
+		}
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, 0, fmt.Errorf("edgelist: truncated at edge %d: %v", i, err)
 		}

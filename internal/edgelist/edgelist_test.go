@@ -112,3 +112,34 @@ func TestReadBinaryErrors(t *testing.T) {
 		t.Error("truncated accepted")
 	}
 }
+
+// TestReadBinaryLyingHeader: a header claiming billions of edges over a
+// near-empty body must fail with the truncation error after at most one
+// allocation batch (8 MiB), not allocate the claimed tens of GiB up
+// front — the old make([]Edge, count) would dwarf the test's memory.
+func TestReadBinaryLyingHeader(t *testing.T) {
+	for _, claim := range []uint64{1 << 30, 1 << 33} {
+		var buf bytes.Buffer
+		buf.Write(BinaryMagic[:])
+		var hdr [8]byte
+		le := [8]byte{byte(claim), byte(claim >> 8), byte(claim >> 16), byte(claim >> 24),
+			byte(claim >> 32), byte(claim >> 40), byte(claim >> 48), byte(claim >> 56)}
+		hdr = le
+		buf.Write(hdr[:])
+		buf.Write(make([]byte, 8*3)) // only three real records
+		_, _, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err == nil {
+			t.Fatalf("claim %d: lying header accepted", claim)
+		}
+		if !strings.Contains(err.Error(), "truncated at edge 3") {
+			t.Fatalf("claim %d: err = %v, want truncation at edge 3", claim, err)
+		}
+	}
+	// Beyond the sanity bound the reader refuses before reading records.
+	var buf bytes.Buffer
+	buf.Write(BinaryMagic[:])
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0xFF})
+	if _, _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("implausible count accepted")
+	}
+}

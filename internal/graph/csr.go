@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"faultyrank/internal/par"
 )
@@ -94,11 +93,42 @@ func (c *CSR) MemoryBytes() int64 {
 	return b
 }
 
-// BuildCSR builds a CSR over n vertices from an edge list, in parallel:
-// degree counting and edge scatter both shard the edge array across
-// workers (atomic per-vertex counters), then each vertex's adjacency is
-// sorted so lookups can binary-search. Edges referencing vertices >= n
-// cause a panic — callers (the aggregator) densify IDs first.
+// csrCountBudget bounds the total size of the per-worker count arrays
+// BuildCSR allocates (bytes). With very large vertex counts the worker
+// count is reduced so W*n*8 stays under the budget; counting then runs
+// on fewer cores but never touches an atomic.
+const csrCountBudget = 2 << 30
+
+// csrCountWorkers picks the number of counting/scatter workers for a
+// build over n vertices and m edges.
+func csrCountWorkers(n, m, workers int) int {
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > m {
+		workers = m
+	}
+	if n > 0 {
+		if cap := csrCountBudget / (8 * n); workers > cap {
+			workers = cap
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// BuildCSR builds a CSR over n vertices from an edge list, in parallel
+// and without write contention: each worker counts out-degrees of its
+// contiguous edge range into a private count array, the per-worker
+// counts are reduced into global offsets via par.ExclusivePrefixSum64
+// plus a column-wise scan that yields every worker a private scatter
+// cursor per vertex, and the scatter pass then writes disjoint slots —
+// no atomics anywhere, and slot assignment is deterministic (edge input
+// order per vertex). Each vertex's adjacency is finally sorted so
+// lookups can binary-search. Edges referencing vertices >= n cause a
+// panic — callers (the aggregator) densify IDs first.
 //
 // keepKinds controls whether the per-edge kind array is retained; pure
 // benchmark graphs drop it to save a byte per edge.
@@ -112,33 +142,72 @@ func BuildCSR(n int, edges []Edge, keepKinds bool, workers int) *CSR {
 		return c
 	}
 
-	// Pass 1: per-vertex out-degree counts (atomic adds into counts).
-	counts := make([]int64, n)
-	par.ForRange(m, workers, func(lo, hi int) {
+	// Both passes split the edge array into the same W contiguous ranges:
+	// worker w owns edges [w*chunk, min((w+1)*chunk, m)).
+	W := csrCountWorkers(n, m, workers)
+	chunk := (m + W - 1) / W
+
+	// Pass 1: private per-worker out-degree counts. counts[w*n+v] is the
+	// number of edges with source v in worker w's range.
+	counts := make([]int64, W*n)
+	par.ForEach(W, W, func(w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m {
+			hi = m
+		}
+		cnt := counts[w*n : (w+1)*n]
 		for i := lo; i < hi; i++ {
 			src := edges[i].Src
 			if int(src) >= n || int(edges[i].Dst) >= n {
 				panic(fmt.Sprintf("graph: edge %d (%d->%d) out of range n=%d", i, edges[i].Src, edges[i].Dst, n))
 			}
-			atomic.AddInt64(&counts[src], 1)
+			cnt[src]++
 		}
 	})
 
-	// Exclusive prefix sum -> offsets.
-	total := par.ExclusivePrefixSum64(counts)
-	copy(c.Offsets[:n], counts)
+	// Reduce: per-vertex totals -> exclusive prefix sum -> offsets.
+	par.ForRange(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var t int64
+			for w := 0; w < W; w++ {
+				t += counts[w*n+v]
+			}
+			c.Offsets[v] = t
+		}
+	})
+	total := par.ExclusivePrefixSum64(c.Offsets[:n])
 	c.Offsets[n] = total
 
-	// Pass 2: scatter targets using per-vertex atomic cursors.
+	// Column-wise exclusive scan turns each worker's count into its
+	// private start cursor: worker w's slots for vertex v begin at
+	// Offsets[v] + Σ_{w'<w} counts[w'][v].
+	par.ForRange(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			run := c.Offsets[v]
+			for w := 0; w < W; w++ {
+				cw := counts[w*n+v]
+				counts[w*n+v] = run
+				run += cw
+			}
+		}
+	})
+
+	// Pass 2: scatter. Worker w re-walks its edge range bumping only its
+	// own cursors, so every Targets slot is written exactly once.
 	c.Targets = make([]uint32, total)
 	if keepKinds {
 		c.Kinds = make([]EdgeKind, total)
 	}
-	cursors := counts // reuse: counts currently hold the start offsets
-	par.ForRange(m, workers, func(lo, hi int) {
+	par.ForEach(W, W, func(w int) {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > m {
+			hi = m
+		}
+		cur := counts[w*n : (w+1)*n]
 		for i := lo; i < hi; i++ {
 			e := edges[i]
-			at := atomic.AddInt64(&cursors[e.Src], 1) - 1
+			at := cur[e.Src]
+			cur[e.Src] = at + 1
 			c.Targets[at] = e.Dst
 			if keepKinds {
 				c.Kinds[at] = e.Kind

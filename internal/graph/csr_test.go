@@ -206,3 +206,48 @@ func TestMemoryBytes(t *testing.T) {
 		t.Errorf("MemoryBytes = %d, want %d", got, want)
 	}
 }
+
+// TestBuildCSRWorkerParity: the contention-free builder produces an
+// identical CSR (offsets, targets, kinds) for every worker count, and
+// the pre-sort scatter order is deterministic because each worker owns
+// disjoint slots derived from the same chunking.
+func TestBuildCSRWorkerParity(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n := 257
+	edges := make([]Edge, 10007)
+	for i := range edges {
+		edges[i] = Edge{
+			Src:  uint32(r.Intn(n)),
+			Dst:  uint32(r.Intn(n)),
+			Kind: EdgeKind(r.Intn(5)),
+		}
+	}
+	ref := BuildCSR(n, edges, true, 1)
+	for _, w := range []int{2, 3, 8, 64} {
+		got := BuildCSR(n, edges, true, w)
+		if !reflect.DeepEqual(ref.Offsets, got.Offsets) {
+			t.Fatalf("workers=%d: offsets diverge", w)
+		}
+		if !reflect.DeepEqual(ref.Targets, got.Targets) {
+			t.Fatalf("workers=%d: targets diverge", w)
+		}
+		if !reflect.DeepEqual(ref.Kinds, got.Kinds) {
+			t.Fatalf("workers=%d: kinds diverge", w)
+		}
+	}
+}
+
+// TestBuildCSRMoreWorkersThanEdges: degenerate chunkings (W > m, W = m)
+// must not drop or duplicate edges.
+func TestBuildCSRMoreWorkersThanEdges(t *testing.T) {
+	edges := []Edge{{Src: 2, Dst: 0}, {Src: 0, Dst: 1}, {Src: 2, Dst: 1}}
+	for _, w := range []int{3, 5, 100} {
+		c := BuildCSR(3, edges, false, w)
+		if c.NumEdges() != 3 {
+			t.Fatalf("workers=%d: %d edges", w, c.NumEdges())
+		}
+		if !c.HasEdge(2, 0) || !c.HasEdge(0, 1) || !c.HasEdge(2, 1) {
+			t.Fatalf("workers=%d: edges missing", w)
+		}
+	}
+}

@@ -158,6 +158,58 @@ func MapReduceFloat64(n, workers int, fn func(i int) float64) float64 {
 	return s
 }
 
+// MapReduceMaxFloat64 evaluates fn(i) for i in [0, n) and returns the
+// maximum of the results, 0 when n <= 0 (callers reduce non-negative
+// magnitudes; an empty input has no deviation). Each worker keeps a
+// local maximum over its contiguous chunk; chunk maxima are combined in
+// chunk order, so the result is independent of goroutine interleaving.
+func MapReduceMaxFloat64(n, workers int, fn func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		var m float64
+		for i := 0; i < n; i++ {
+			if v := fn(i); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	partial := make([]float64, nChunks)
+	var wg sync.WaitGroup
+	idx := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			var m float64
+			for i := lo; i < hi; i++ {
+				if v := fn(i); v > m {
+					m = v
+				}
+			}
+			partial[slot] = m
+		}(idx, lo, hi)
+		idx++
+	}
+	wg.Wait()
+	var m float64
+	for _, p := range partial {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
 // ExclusivePrefixSum64 converts counts (length n) into exclusive prefix
 // sums in place and returns the grand total. counts[i] becomes the sum of
 // the original counts[0..i). The scan is sequential: prefix sums of the

@@ -120,3 +120,37 @@ func TestDefaultWorkersPositive(t *testing.T) {
 		t.Fatal("DefaultWorkers < 1")
 	}
 }
+
+func TestMapReduceMaxFloat64(t *testing.T) {
+	xs := []float64{0.5, 3.25, 1.0, 3.24999, 2.0, 0.0, 3.25}
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		got := MapReduceMaxFloat64(len(xs), w, func(i int) float64 { return xs[i] })
+		if got != 3.25 {
+			t.Fatalf("workers=%d: got %v, want 3.25", w, got)
+		}
+	}
+	if MapReduceMaxFloat64(0, 4, func(int) float64 { return 9 }) != 0 {
+		t.Fatal("empty range nonzero")
+	}
+	if MapReduceMaxFloat64(-1, 4, func(int) float64 { return 9 }) != 0 {
+		t.Fatal("negative range nonzero")
+	}
+	// The maximum at the last index must not be lost to chunk-slot
+	// bookkeeping errors.
+	n := 1001
+	got := MapReduceMaxFloat64(n, 7, func(i int) float64 { return float64(i) })
+	if got != float64(n-1) {
+		t.Fatalf("last-index max: got %v, want %d", got, n-1)
+	}
+}
+
+func TestMapReduceMaxFloat64Deterministic(t *testing.T) {
+	n := 5000
+	fn := func(i int) float64 { return float64((i*2654435761)%997) / 997 }
+	want := MapReduceMaxFloat64(n, 1, fn)
+	for _, w := range []int{2, 3, 8, 16} {
+		if got := MapReduceMaxFloat64(n, w, fn); got != want {
+			t.Fatalf("workers=%d: %v != %v", w, got, want)
+		}
+	}
+}

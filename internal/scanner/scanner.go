@@ -14,7 +14,6 @@ import (
 	"faultyrank/internal/graph"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
-	"faultyrank/internal/par"
 )
 
 // FIDEdge is a point-to relation between two FIDs, before GID remapping.
@@ -68,33 +67,18 @@ func Scan(raw []byte, workers int) (*Partial, error) {
 	return ScanImage(img, workers)
 }
 
-// ScanImage extracts the partial graph of one server image.
+// ScanImage extracts the partial graph of one server image: a compat
+// wrapper reassembling the streaming scanner's chunk sequence (released
+// in group order, so the result is deterministic independent of worker
+// interleaving) into one bulk Partial.
 func ScanImage(img *ldiskfs.Image, workers int) (*Partial, error) {
-	groups := img.Groups()
-	shards := make([]*Partial, groups)
-	errs := make([]error, groups)
-	par.ForRange(groups, workers, func(lo, hi int) {
-		for g := lo; g < hi; g++ {
-			p := &Partial{}
-			errs[g] = scanGroup(img, g, p)
-			shards[g] = p
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	var ps PartialSink
+	if err := ScanImageToSink(img, workers, 0, &ps); err != nil {
+		return nil, err
 	}
-	// Merge shards in group order: deterministic output independent of
-	// worker interleaving.
-	out := &Partial{ServerLabel: img.Label()}
-	for _, p := range shards {
-		out.Objects = append(out.Objects, p.Objects...)
-		out.Edges = append(out.Edges, p.Edges...)
-		out.Issues = append(out.Issues, p.Issues...)
-		out.Stats.InodesScanned += p.Stats.InodesScanned
-		out.Stats.DirentsRead += p.Stats.DirentsRead
-		out.Stats.EdgesEmitted += p.Stats.EdgesEmitted
+	out := ps.Partial()
+	if out.ServerLabel == "" {
+		out.ServerLabel = img.Label()
 	}
 	return out, nil
 }

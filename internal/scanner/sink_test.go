@@ -1,0 +1,115 @@
+package scanner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// collectSink records every emitted chunk.
+type collectSink struct {
+	chunks []*Chunk
+}
+
+func (s *collectSink) Emit(c *Chunk) error {
+	// Copy: the emitter recycles nothing today, but the sink contract
+	// should not depend on that.
+	cc := *c
+	s.chunks = append(s.chunks, &cc)
+	return nil
+}
+
+func TestScanImageToSinkReassemblesPartial(t *testing.T) {
+	c := buildCluster(t)
+	want, err := ScanImage(c.MDT.Img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkSize := range []int{1, 7, 100, DefaultChunkEntries} {
+		var sink collectSink
+		if err := ScanImageToSink(c.MDT.Img, 0, chunkSize, &sink); err != nil {
+			t.Fatal(err)
+		}
+		var ps PartialSink
+		finals := 0
+		for i, ch := range sink.chunks {
+			if ch.Seq != i {
+				t.Fatalf("chunk %d has seq %d", i, ch.Seq)
+			}
+			if ch.ServerLabel != "mdt0" {
+				t.Fatalf("chunk %d label %q", i, ch.ServerLabel)
+			}
+			if ch.Final {
+				finals++
+				if i != len(sink.chunks)-1 {
+					t.Fatalf("final chunk at %d of %d", i, len(sink.chunks))
+				}
+			} else if ch.Entries() > chunkSize {
+				t.Fatalf("chunkSize %d: non-final chunk holds %d entries", chunkSize, ch.Entries())
+			}
+			if err := ps.Emit(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if finals != 1 {
+			t.Fatalf("chunkSize %d: %d final chunks", chunkSize, finals)
+		}
+		got := ps.Partial()
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("chunkSize %d: reassembled partial diverges from bulk scan", chunkSize)
+		}
+	}
+}
+
+func TestScanImageToSinkDeterministicAcrossWorkers(t *testing.T) {
+	c := buildCluster(t)
+	var ref collectSink
+	if err := ScanImageToSink(c.MDT.Img, 1, 64, &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 16} {
+		var got collectSink
+		if err := ScanImageToSink(c.MDT.Img, w, 64, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.chunks, got.chunks) {
+			t.Fatalf("workers=%d: chunk stream diverges from single-threaded scan", w)
+		}
+	}
+}
+
+// errSink fails the stream after a fixed number of chunks.
+type errSink struct {
+	after int
+	n     int
+}
+
+var errSinkBoom = errors.New("sink full")
+
+func (s *errSink) Emit(*Chunk) error {
+	s.n++
+	if s.n > s.after {
+		return errSinkBoom
+	}
+	return nil
+}
+
+func TestScanImageToSinkPropagatesSinkError(t *testing.T) {
+	c := buildCluster(t)
+	err := ScanImageToSink(c.MDT.Img, 0, 4, &errSink{after: 1})
+	if !errors.Is(err, errSinkBoom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+}
+
+func TestScanImageToSinkEmptyImageEmitsFinal(t *testing.T) {
+	c := buildCluster(t)
+	// An OST that never received objects still ends its stream.
+	var sink collectSink
+	if err := ScanImageToSink(c.OSTs[3].Img, 0, 0, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.chunks) == 0 || !sink.chunks[len(sink.chunks)-1].Final {
+		t.Fatalf("no final chunk: %d chunks", len(sink.chunks))
+	}
+}

@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/scanner"
+)
+
+// Chunk encoding (all little-endian):
+//
+//	u16 labelLen | label
+//	u32 seq
+//	u8 flags (bit 0 = final; other bits must be zero)
+//	u32 objectCount | objects × { 16B fid, u64 ino, u16 type }
+//	u32 edgeCount   | edges   × { 16B src, 16B dst, u8 kind }
+//	u32 issueCount  | issues  × { u64 ino, u16 len, text }
+//	stats: 3 × u64
+//
+// The encoding is bijective: a payload either fails DecodeChunk or
+// re-encodes to the identical bytes (the fuzz target leans on this).
+
+const chunkFlagFinal = 1
+
+// EncodeChunk serializes one scanner chunk for streamed transfer.
+func EncodeChunk(c *scanner.Chunk) []byte {
+	size := 2 + len(c.ServerLabel) + 5 + 4 + len(c.Objects)*26 + 4 + len(c.Edges)*33 + 4 + 24
+	for _, is := range c.Issues {
+		size += 10 + len(is.What)
+	}
+	buf := make([]byte, 0, size)
+	buf = appendU16(buf, uint16(len(c.ServerLabel)))
+	buf = append(buf, c.ServerLabel...)
+	buf = appendU32(buf, uint32(c.Seq))
+	var flags byte
+	if c.Final {
+		flags |= chunkFlagFinal
+	}
+	buf = append(buf, flags)
+	buf = appendU32(buf, uint32(len(c.Objects)))
+	for _, o := range c.Objects {
+		fb := o.FID.Bytes()
+		buf = append(buf, fb[:]...)
+		buf = appendU64(buf, uint64(o.Ino))
+		buf = appendU16(buf, uint16(o.Type))
+	}
+	buf = appendU32(buf, uint32(len(c.Edges)))
+	for _, e := range c.Edges {
+		sb, db := e.Src.Bytes(), e.Dst.Bytes()
+		buf = append(buf, sb[:]...)
+		buf = append(buf, db[:]...)
+		buf = append(buf, byte(e.Kind))
+	}
+	buf = appendU32(buf, uint32(len(c.Issues)))
+	for _, is := range c.Issues {
+		buf = appendU64(buf, uint64(is.Ino))
+		buf = appendU16(buf, uint16(len(is.What)))
+		buf = append(buf, is.What...)
+	}
+	buf = appendU64(buf, uint64(c.Stats.InodesScanned))
+	buf = appendU64(buf, uint64(c.Stats.DirentsRead))
+	buf = appendU64(buf, uint64(c.Stats.EdgesEmitted))
+	return buf
+}
+
+// DecodeChunk parses an encoded chunk. Counts are sanity-bounded against
+// the payload length before any allocation sized from them.
+func DecodeChunk(b []byte) (*scanner.Chunk, error) {
+	d := &decoder{b: b}
+	c := &scanner.Chunk{}
+	c.ServerLabel = d.str16()
+	c.Seq = int(d.u32())
+	flags := d.u8()
+	if d.err == nil && flags&^byte(chunkFlagFinal) != 0 {
+		return nil, fmt.Errorf("wire: unknown chunk flags %#x", flags)
+	}
+	c.Final = flags&chunkFlagFinal != 0
+	nObj := d.u32()
+	if d.err == nil && uint64(nObj)*26 > uint64(len(b)) {
+		return nil, fmt.Errorf("wire: implausible chunk object count %d", nObj)
+	}
+	for i := uint32(0); i < nObj && d.err == nil; i++ {
+		var o scanner.Object
+		o.FID = d.fid()
+		o.Ino = ldiskfs.Ino(d.u64())
+		o.Type = ldiskfs.FileType(d.u16())
+		c.Objects = append(c.Objects, o)
+	}
+	nEdge := d.u32()
+	if d.err == nil && uint64(nEdge)*33 > uint64(len(b)) {
+		return nil, fmt.Errorf("wire: implausible chunk edge count %d", nEdge)
+	}
+	for i := uint32(0); i < nEdge && d.err == nil; i++ {
+		var e scanner.FIDEdge
+		e.Src = d.fid()
+		e.Dst = d.fid()
+		e.Kind = graph.EdgeKind(d.u8())
+		c.Edges = append(c.Edges, e)
+	}
+	nIssue := d.u32()
+	if d.err == nil && uint64(nIssue)*10 > uint64(len(b)) {
+		return nil, fmt.Errorf("wire: implausible chunk issue count %d", nIssue)
+	}
+	for i := uint32(0); i < nIssue && d.err == nil; i++ {
+		var is scanner.Issue
+		is.Ino = ldiskfs.Ino(d.u64())
+		is.What = d.str16()
+		c.Issues = append(c.Issues, is)
+	}
+	c.Stats.InodesScanned = int64(d.u64())
+	c.Stats.DirentsRead = int64(d.u64())
+	c.Stats.EdgesEmitted = int64(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in chunk", len(b)-d.off)
+	}
+	return c, nil
+}
+
+// ChunkStream ships a scanner's chunk stream to a collector over one TCP
+// connection. It implements scanner.Sink, so it plugs directly under
+// scanner.ScanImageToSink: each emitted chunk is framed and written
+// immediately, which is what lets the MDS-side aggregation overlap the
+// transfer instead of waiting for a whole encoded partial. The final
+// chunk is acknowledged by the collector before Emit returns.
+type ChunkStream struct {
+	conn net.Conn
+	err  error
+}
+
+// DialChunkStream connects one scanner stream to a collector.
+func DialChunkStream(addr string) (*ChunkStream, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkStream{conn: conn}, nil
+}
+
+// Emit frames and sends one chunk. A mid-stream collector failure
+// surfaces either as a write error here or as the error frame read in
+// place of the final ack.
+func (s *ChunkStream) Emit(c *scanner.Chunk) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := WriteFrame(s.conn, MsgChunk, EncodeChunk(c)); err != nil {
+		s.err = err
+		return err
+	}
+	if !c.Final {
+		return nil
+	}
+	typ, body, err := ReadFrame(s.conn)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if err := AsError(typ, body); err != nil {
+		s.err = err
+		return err
+	}
+	if typ != MsgAck {
+		s.err = fmt.Errorf("wire: unexpected ack type %d", typ)
+		return s.err
+	}
+	return nil
+}
+
+// Close releases the connection.
+func (s *ChunkStream) Close() error { return s.conn.Close() }
+
+// CollectChunks accepts nStreams chunk-stream connections and delivers
+// every decoded chunk until each stream has sent its final chunk.
+// Streams are handled concurrently, so deliver must be safe for
+// concurrent use (agg.Builder.Emit is). The first error — network,
+// decode, or from deliver — is returned after all stream handlers stop.
+func (c *Collector) CollectChunks(nStreams int, deliver func(*scanner.Chunk) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, nStreams+1)
+	for i := 0; i < nStreams; i++ {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			errs <- err
+			break
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			errs <- serveChunkStream(conn, deliver)
+		}(conn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveChunkStream drains one connection's chunks into deliver.
+func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error) error {
+	for {
+		typ, payload, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("wire: chunk stream: %w", err)
+		}
+		if err := AsError(typ, payload); err != nil {
+			return err
+		}
+		if typ != MsgChunk {
+			err := fmt.Errorf("wire: expected chunk, got message %d", typ)
+			_ = WriteError(conn, err)
+			return err
+		}
+		ch, err := DecodeChunk(payload)
+		if err != nil {
+			_ = WriteError(conn, err)
+			return err
+		}
+		if err := deliver(ch); err != nil {
+			_ = WriteError(conn, err)
+			return err
+		}
+		if ch.Final {
+			return WriteFrame(conn, MsgAck, nil)
+		}
+	}
+}

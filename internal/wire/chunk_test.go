@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"faultyrank/internal/agg"
+	"faultyrank/internal/scanner"
+)
+
+func randomChunk(r *rand.Rand) *scanner.Chunk {
+	p := randomPartial(r)
+	return &scanner.Chunk{
+		ServerLabel: p.ServerLabel,
+		Seq:         r.Intn(1000),
+		Final:       r.Intn(2) == 0,
+		Objects:     p.Objects,
+		Edges:       p.Edges,
+		Issues:      p.Issues,
+		Stats:       p.Stats,
+	}
+}
+
+func TestChunkCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomChunk(r)
+		got, err := DecodeChunk(EncodeChunk(c))
+		return err == nil && reflect.DeepEqual(c, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeChunkRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	enc := EncodeChunk(randomChunk(r))
+	if _, err := DecodeChunk(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated chunk decoded")
+	}
+	if _, err := DecodeChunk(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeChunk(nil); err == nil {
+		t.Error("nil decoded")
+	}
+
+	// Unknown flag bits must be rejected (keeps the codec bijective).
+	small := EncodeChunk(&scanner.Chunk{ServerLabel: "x", Final: true})
+	flagsOff := 2 + 1 + 4
+	bad := append([]byte{}, small...)
+	bad[flagsOff] |= 0x80
+	if _, err := DecodeChunk(bad); err == nil {
+		t.Error("unknown flag bits accepted")
+	}
+
+	// A huge count in the header must error on the sanity bound, not
+	// allocate or loop.
+	huge := appendU16(nil, 0)       // empty label
+	huge = appendU32(huge, 0)       // seq
+	huge = append(huge, 0)          // flags
+	huge = appendU32(huge, 1<<32-1) // object count from hostile header
+	huge = append(huge, 1, 2, 3, 4) // a few junk bytes
+	if _, err := DecodeChunk(huge); err == nil {
+		t.Error("implausible object count accepted")
+	}
+}
+
+// chunksOf splits a partial into a valid chunk stream of n entries per
+// slice type, with stats and issues on the final chunk.
+func chunksOf(p *scanner.Partial, n int) []*scanner.Chunk {
+	var chunks []*scanner.Chunk
+	seq := 0
+	add := func(c *scanner.Chunk) {
+		c.ServerLabel = p.ServerLabel
+		c.Seq = seq
+		seq++
+		chunks = append(chunks, c)
+	}
+	for lo := 0; lo < len(p.Objects); lo += n {
+		hi := lo + n
+		if hi > len(p.Objects) {
+			hi = len(p.Objects)
+		}
+		add(&scanner.Chunk{Objects: p.Objects[lo:hi]})
+	}
+	for lo := 0; lo < len(p.Edges); lo += n {
+		hi := lo + n
+		if hi > len(p.Edges) {
+			hi = len(p.Edges)
+		}
+		add(&scanner.Chunk{Edges: p.Edges[lo:hi]})
+	}
+	add(&scanner.Chunk{Issues: p.Issues, Stats: p.Stats, Final: true})
+	return chunks
+}
+
+// TestChunkStreamsIntoBuilder: several concurrent chunk streams arrive
+// at one collector feeding an agg.Builder; the reassembled per-server
+// partials match the originals exactly.
+func TestChunkStreamsIntoBuilder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	labels := []string{"mdt0", "ost0", "ost1"}
+	parts := make([]*scanner.Partial, len(labels))
+	for i, l := range labels {
+		p := randomPartial(r)
+		p.ServerLabel = l
+		parts[i] = p
+	}
+
+	col, addr, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	builder := agg.NewBuilder(labels)
+
+	errCh := make(chan error, len(parts))
+	for _, p := range parts {
+		go func(p *scanner.Partial) {
+			errCh <- func() error {
+				cs, err := DialChunkStream(addr)
+				if err != nil {
+					return err
+				}
+				defer cs.Close()
+				for _, ch := range chunksOf(p, 5) {
+					if err := cs.Emit(ch); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}(p)
+	}
+	if err := col.CollectChunks(len(parts), builder.Emit); err != nil {
+		t.Fatal(err)
+	}
+	for range parts {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := builder.Partials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if !reflect.DeepEqual(p, got[i]) {
+			t.Fatalf("server %s: reassembled partial diverges", labels[i])
+		}
+	}
+}
+
+// TestCollectChunksDeliverError: a deliver failure surfaces on both
+// sides — CollectChunks returns it and the sender sees an error frame
+// in place of the final ack.
+func TestCollectChunksDeliverError(t *testing.T) {
+	col, addr, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	r := rand.New(rand.NewSource(9))
+	p := randomPartial(r)
+	p.ServerLabel = "mdt0"
+
+	sendErr := make(chan error, 1)
+	go func() {
+		sendErr <- func() error {
+			cs, err := DialChunkStream(addr)
+			if err != nil {
+				return err
+			}
+			defer cs.Close()
+			for _, ch := range chunksOf(p, 5) {
+				if err := cs.Emit(ch); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}()
+
+	// Builder expecting a different server rejects every chunk.
+	builder := agg.NewBuilder([]string{"ost0"})
+	if err := col.CollectChunks(1, builder.Emit); err == nil {
+		t.Fatal("CollectChunks swallowed deliver error")
+	}
+	if err := <-sendErr; err == nil {
+		t.Fatal("sender saw no error")
+	}
+}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"faultyrank/internal/scanner"
+)
+
+// FuzzDecodeChunk drives the streamed-chunk decoder with hostile bytes.
+// The invariant is bijectivity: any payload either fails to decode, or
+// decodes to a chunk whose re-encoding is byte-identical to the input
+// and decodes again to the same chunk. Count fields must be bounded
+// before allocation, so implausible headers fail fast instead of OOMing.
+func FuzzDecodeChunk(f *testing.F) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 4; i++ {
+		f.Add(EncodeChunk(randomChunk(r)))
+	}
+	f.Add(EncodeChunk(&scanner.Chunk{ServerLabel: "mdt0", Final: true}))
+
+	// Malformed frame lengths: counts far larger than the payload.
+	huge := appendU16(nil, 0)
+	huge = appendU32(huge, 3)
+	huge = append(huge, 0)
+	huge = appendU32(huge, 0xFFFFFFFF)
+	f.Add(huge)
+
+	// Truncated mid-FID: a valid chunk cut inside an object's FID bytes.
+	full := EncodeChunk(chunksOf(randomPartial(rand.New(rand.NewSource(13))), 4)[0])
+	if len(full) > 20 {
+		f.Add(full[:len(full)-29]) // clips into the last object record
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := DecodeChunk(b)
+		if err != nil {
+			return
+		}
+		enc := EncodeChunk(c)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("re-encoding diverges from accepted input")
+		}
+		c2, err := DecodeChunk(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}

@@ -36,6 +36,9 @@ const (
 	// MsgFIDInfoBatch answers MsgStatBatch (count × length-prefixed
 	// encoded FIDInfo records).
 	MsgFIDInfoBatch
+	// MsgChunk carries one encoded scanner.Chunk of a streamed partial
+	// graph; the chunk marked final ends the stream and is acked.
+	MsgChunk
 )
 
 // MaxFrame bounds a single frame (a partial graph of a multi-million
