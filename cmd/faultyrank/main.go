@@ -26,6 +26,8 @@ func main() {
 		dir       = flag.String("dir", "cluster", "cluster image directory")
 		doRepair  = flag.Bool("repair", false, "apply recommended repairs and verify")
 		useTCP    = flag.Bool("tcp", false, "stream scanner chunks over localhost TCP")
+		scanTO    = flag.Duration("scan-timeout", 0, "deadline on the TCP scan+collect stage (0 = none)")
+		degraded  = flag.Bool("degraded", false, "complete from surviving streams when scanners are lost (TCP path)")
 		workers   = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		chunk     = flag.Int("chunk", 0, "entries per streamed scanner chunk (0 = default)")
 		epsilon   = flag.Float64("epsilon", 0.1, "convergence epsilon (max |Δ id_rank|)")
@@ -41,6 +43,8 @@ func main() {
 	}
 	opt := checker.DefaultOptions()
 	opt.UseTCP = *useTCP
+	opt.ScanTimeout = *scanTO
+	opt.AllowDegraded = *degraded
 	opt.Workers = *workers
 	opt.ChunkSize = *chunk
 	opt.Core.Epsilon = *epsilon

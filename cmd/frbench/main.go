@@ -8,6 +8,7 @@
 //	frbench -table 6               # Table VI  (end-to-end vs LFSCK)
 //	frbench -table fig7            # Fig. 7    (functional comparison)
 //	frbench -table ingest          # ingestion scaling (scan→CSR vs workers)
+//	frbench -table net             # network path under injected scanner faults
 //	frbench -table all -scale smoke
 //
 // -scale picks sizing: smoke (seconds), default (minutes), paper (the
@@ -94,6 +95,14 @@ func main() {
 		fmt.Println(bench.IngestTable(rows).Render())
 		ran = true
 	}
+	if want("net") {
+		rows, err := bench.NetPathMeasure(scale, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.NetPathTable(rows).Render())
+		ran = true
+	}
 	if want("ablation") {
 		tab, err := bench.AblationMatrix(scale)
 		if err != nil {
@@ -108,6 +117,6 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|all)", *table)
+		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|all)", *table)
 	}
 }

@@ -291,6 +291,40 @@ func (b *Builder) Finish(workers int) (*Unified, error) {
 	return MergeWorkers(parts, workers), nil
 }
 
+// CompletedPartials returns the partials of every stream that has seen
+// its final chunk, in canonical order, plus the labels of the streams
+// still open — the degraded-mode split when a scanner crashed or missed
+// its deadline. Chunks already received on an incomplete stream are
+// dropped wholesale: merging a prefix would make the unified graph
+// depend on where in the stream the failure landed, and degraded runs
+// must stay deterministic for a given set of surviving servers.
+func (b *Builder) CompletedPartials() ([]*scanner.Partial, []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	parts := make([]*scanner.Partial, 0, len(b.order))
+	var missing []string
+	for _, l := range b.order {
+		if acc := b.accs[l]; acc.done {
+			parts = append(parts, &acc.p)
+		} else {
+			missing = append(missing, l)
+		}
+	}
+	return parts, missing
+}
+
+// FinishCompleted merges only the completed streams (degraded mode),
+// returning the unified graph built from the survivors and the labels
+// of the servers whose streams never finished. It errors when no stream
+// completed at all — there is nothing to degrade to.
+func (b *Builder) FinishCompleted(workers int) (*Unified, []string, error) {
+	parts, missing := b.CompletedPartials()
+	if len(parts) == 0 {
+		return nil, missing, fmt.Errorf("agg: no scanner stream completed (missing: %v)", missing)
+	}
+	return MergeWorkers(parts, workers), missing, nil
+}
+
 // DuplicateClaims returns the GIDs claimed by more than one inode —
 // duplicate-identity inconsistencies (paper Table I, double reference).
 func (u *Unified) DuplicateClaims() []uint32 {

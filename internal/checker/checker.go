@@ -8,6 +8,7 @@
 package checker
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"faultyrank/internal/agg"
 	"faultyrank/internal/core"
 	"faultyrank/internal/graph"
+	"faultyrank/internal/inject"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
 	"faultyrank/internal/scanner"
@@ -40,6 +42,58 @@ type Options struct {
 	// faults it attributes that the merged ranks dilute away — e.g. a
 	// corrupted LinkEA hiding behind a healthy layout.
 	SplitProperties bool
+
+	// ScanTimeout bounds the whole scan→ship→collect stage on the TCP
+	// path (0 = no deadline). When it expires, the collector stops
+	// waiting, stalled connections are cut, and — with AllowDegraded —
+	// the run completes from the surviving streams.
+	ScanTimeout time.Duration
+	// OpTimeout bounds each individual frame write/ack read on a chunk
+	// stream (0 = the scan deadline only).
+	OpTimeout time.Duration
+	// AllowDegraded lets the run complete when scanner streams are lost
+	// (crash, stall, corrupt frame, missed deadline): the unified graph
+	// is built from the surviving partials and Result.Coverage names the
+	// missing servers. False (the default) keeps the strict behaviour —
+	// any stream failure aborts the run.
+	AllowDegraded bool
+	// Retry is the sender-side dial retry policy (zero value = the
+	// wire default: 3 attempts with exponential backoff).
+	Retry wire.RetryPolicy
+	// NetFaults injects a network fault into the named servers' chunk
+	// streams on the TCP path — the test/bench hook for exercising the
+	// failure model (nil = no faults).
+	NetFaults map[string]*inject.NetFault
+}
+
+// Coverage reports which servers' partial graphs made it into the
+// unified metadata graph. A non-degraded run covers every server; a
+// degraded run names the servers whose streams never completed, whose
+// metadata is therefore absent from the graph and whose findings the
+// report flags as incomplete.
+type Coverage struct {
+	// Total is the number of server images the run was asked to check.
+	Total int
+	// Missing lists the servers whose streams never completed, in
+	// canonical label order.
+	Missing []string
+}
+
+// Degraded reports whether any server's stream was lost.
+func (c Coverage) Degraded() bool { return len(c.Missing) > 0 }
+
+// Complete is the number of server streams that fully arrived.
+func (c Coverage) Complete() int { return c.Total - len(c.Missing) }
+
+// NetStats aggregates the wire-level counters of one TCP scan stage
+// (zero for in-process runs).
+type NetStats struct {
+	// Frames and Bytes count the chunk frames the collector decoded.
+	Frames, Bytes int64
+	// DialRetries counts sender-side redials across all scanners.
+	DialRetries int64
+	// StreamErrors describes each failed or aborted stream.
+	StreamErrors []string
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -139,6 +193,12 @@ type Result struct {
 	// Stage timings (paper Table VI columns).
 	TScan, TGraph, TRank time.Duration
 
+	// Coverage names the servers whose partial graphs were merged; a
+	// degraded run lists the lost servers in Coverage.Missing.
+	Coverage Coverage
+	// Net carries the scan stage's transfer counters (TCP path only).
+	Net NetStats
+
 	Unified  *agg.Unified
 	Graph    *graph.Bidirected
 	Rank     *core.Result
@@ -178,13 +238,25 @@ func (r *Result) HasFinding(k FindingKind, fid lustre.FID) bool {
 // scan plus transfer, and T_graph covers the parallel sharded merge
 // plus the CSR build.
 func Run(images []*ldiskfs.Image, opt Options) (*Result, error) {
+	return RunContext(context.Background(), images, opt)
+}
+
+// RunContext is Run under a context: cancelling ctx (or exceeding
+// opt.ScanTimeout on the TCP path) unwedges every network wait in the
+// collection stage, so a crashed or stalled scanner can never hang the
+// checker. With opt.AllowDegraded the run then completes from the
+// surviving scanner streams and Result.Coverage names the lost servers.
+func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Result, error) {
 	if len(images) == 0 {
 		return nil, fmt.Errorf("checker: no images")
 	}
 	if opt.Core.MaxIterations == 0 {
 		opt.Core = core.DefaultOptions()
 	}
-	res := &Result{}
+	if opt.Retry.Attempts == 0 {
+		opt.Retry = wire.DefaultRetryPolicy()
+	}
+	res := &Result{Coverage: Coverage{Total: len(images)}}
 
 	labels := make([]string, len(images))
 	for i, img := range images {
@@ -196,9 +268,9 @@ func Run(images []*ldiskfs.Image, opt Options) (*Result, error) {
 	t0 := time.Now()
 	var err error
 	if opt.UseTCP {
-		err = streamOverTCP(images, builder, opt)
+		err = streamOverTCP(ctx, images, builder, opt, res)
 	} else {
-		err = streamInProcess(images, builder, opt)
+		err = streamInProcess(ctx, images, builder, opt)
 	}
 	if err != nil {
 		return nil, err
@@ -207,7 +279,13 @@ func Run(images []*ldiskfs.Image, opt Options) (*Result, error) {
 
 	// ---- Stage 2: sharded merge + CSR build (T_graph) ----------------
 	t1 := time.Now()
-	res.Unified, err = builder.Finish(opt.Workers)
+	if opt.AllowDegraded {
+		var missing []string
+		res.Unified, missing, err = builder.FinishCompleted(opt.Workers)
+		res.Coverage.Missing = missing
+	} else {
+		res.Unified, err = builder.Finish(opt.Workers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -272,14 +350,14 @@ func ClusterImages(c *lustre.Cluster) []*ldiskfs.Image {
 // streamInProcess runs every image's scanner concurrently, each
 // streaming its chunks straight into the shared sink (Builder.Emit is
 // thread-safe, so chunk interleaving across servers is harmless).
-func streamInProcess(images []*ldiskfs.Image, sink scanner.Sink, opt Options) error {
+func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.Sink, opt Options) error {
 	errs := make([]error, len(images))
 	var wg sync.WaitGroup
 	for i, img := range images {
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
-			errs[i] = scanner.ScanImageToSink(img, opt.Workers, opt.ChunkSize, sink)
+			errs[i] = scanner.ScanImageToSinkContext(ctx, img, opt.Workers, opt.ChunkSize, sink)
 		}(i, img)
 	}
 	wg.Wait()
@@ -296,30 +374,56 @@ func streamInProcess(images []*ldiskfs.Image, sink scanner.Sink, opt Options) er
 // it produces them, so the aggregator consumes while the scanners are
 // still sweeping — transfer no longer waits for a whole encoded
 // partial.
-func streamOverTCP(images []*ldiskfs.Image, builder *agg.Builder, opt Options) error {
+//
+// Failure handling: dials are retried per opt.Retry; opt.ScanTimeout
+// bounds the whole stage; when a stream is lost the degraded collector
+// keeps the surviving streams flowing, while strict mode aborts the
+// siblings and fails the run. The transfer counters land in res.Net.
+func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Builder, opt Options, res *Result) error {
 	col, addr, err := wire.NewCollector()
 	if err != nil {
 		return err
 	}
 	defer col.Close()
+	if opt.ScanTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.ScanTimeout)
+		defer cancel()
+	}
 	errs := make([]error, len(images))
+	var retries int64
+	var retryMu sync.Mutex
 	var wg sync.WaitGroup
 	for i, img := range images {
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
-			cs, err := wire.DialChunkStream(addr)
+			fault := opt.NetFaults[img.Label()]
+			if fault != nil && fault.PreConnect() {
+				errs[i] = fmt.Errorf("%w before connect (%s)", inject.ErrScannerCrash, img.Label())
+				return
+			}
+			cs, err := wire.DialChunkStreamContext(ctx, addr, opt.Retry, opt.OpTimeout)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			defer cs.Close()
-			errs[i] = scanner.ScanImageToSink(img, opt.Workers, opt.ChunkSize, cs)
+			retryMu.Lock()
+			retries += int64(cs.DialRetries())
+			retryMu.Unlock()
+			sink := scanner.Sink(cs)
+			if fault != nil {
+				sink = fault.WrapStream(ctx, cs)
+			}
+			errs[i] = scanner.ScanImageToSinkContext(ctx, img, opt.Workers, opt.ChunkSize, sink)
 		}(i, img)
 	}
-	// A scanner that fails before dialing leaves the collector one
-	// stream short; close it once all senders finish so the accept loop
-	// cannot block forever (scan errors below take precedence).
+	// A scanner that fails before or during its stream leaves the
+	// collector short; close the listener once all senders finish so
+	// the accept wait cannot block until the deadline for a connection
+	// that will never come. (A *stalled* sender keeps wg held — there
+	// the ScanTimeout deadline does the unblocking.)
 	go func() {
 		wg.Wait()
 		for _, err := range errs {
@@ -329,8 +433,25 @@ func streamOverTCP(images []*ldiskfs.Image, builder *agg.Builder, opt Options) e
 			}
 		}
 	}()
-	collectErr := col.CollectChunks(len(images), builder.Emit)
+	colRes, collectErr := col.CollectChunksContext(ctx, len(images), opt.AllowDegraded, builder.Emit)
 	wg.Wait()
+	res.Net = NetStats{
+		Frames:       colRes.Frames,
+		Bytes:        colRes.Bytes,
+		DialRetries:  retries,
+		StreamErrors: colRes.Errors,
+	}
+	if opt.AllowDegraded {
+		// Sender-side failures are part of the degraded story, not
+		// fatal; record them for the report.
+		for i, err := range errs {
+			if err != nil {
+				res.Net.StreamErrors = append(res.Net.StreamErrors,
+					fmt.Sprintf("scanner %s: %v", images[i].Label(), err))
+			}
+		}
+		return nil
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -21,6 +21,26 @@ func (r *Result) WriteReport(w io.Writer, verbose bool) error {
 		r.TScan.Seconds(), r.TGraph.Seconds(), r.TRank.Seconds(), r.Total().Seconds())
 	fmt.Fprintf(w, "rank: %d iterations, converged=%v\n", r.Rank.Iterations, r.Rank.Converged)
 
+	if r.Coverage.Degraded() {
+		fmt.Fprintf(w, "coverage: DEGRADED — %d of %d server(s) merged; missing:",
+			r.Coverage.Complete(), r.Coverage.Total)
+		for _, s := range r.Coverage.Missing {
+			fmt.Fprintf(w, " %s", s)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "  findings below cover surviving servers only; cross-server")
+		fmt.Fprintln(w, "  relations into missing servers will appear unpaired")
+		for _, e := range r.Net.StreamErrors {
+			fmt.Fprintf(w, "  stream error: %s\n", e)
+		}
+	} else if r.Coverage.Total > 0 {
+		fmt.Fprintf(w, "coverage: complete — all %d server(s) merged\n", r.Coverage.Total)
+	}
+	if r.Net.Frames > 0 || r.Net.DialRetries > 0 {
+		fmt.Fprintf(w, "transfer: %d frames, %d bytes, %d dial retries\n",
+			r.Net.Frames, r.Net.Bytes, r.Net.DialRetries)
+	}
+
 	if len(r.Findings) == 0 {
 		fmt.Fprintln(w, "verdict: file system is consistent — no findings")
 		return nil

@@ -1,0 +1,193 @@
+package checker
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"faultyrank/internal/inject"
+)
+
+// testCtx bounds a fault test by the test binary's own deadline (minus
+// grace for cleanup), so a regression that hangs the network path fails
+// with the checker's context error instead of a test-suite timeout.
+func testCtx(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	if dl, ok := t.Deadline(); ok {
+		return context.WithDeadline(context.Background(), dl.Add(-5*time.Second))
+	}
+	return context.WithTimeout(context.Background(), 60*time.Second)
+}
+
+// degradedOptions is the shared TCP fault-test configuration: a tight
+// stage deadline (the stall scenario waits it out in full), chunks small
+// enough that every stream has several (so mid-stream faults fire), and
+// degraded completion on.
+func degradedOptions(victim string, fault *inject.NetFault) Options {
+	opt := DefaultOptions()
+	opt.UseTCP = true
+	opt.ChunkSize = 8
+	opt.ScanTimeout = 1500 * time.Millisecond
+	opt.AllowDegraded = true
+	if fault != nil {
+		opt.NetFaults = map[string]*inject.NetFault{victim: fault}
+	}
+	return opt
+}
+
+// TestTCPDegradedScenarios drives the TCP checker through every network
+// fault scenario with one OST's stream injected. Each run must complete
+// (never hang), name exactly the lost server in Coverage.Missing, stay
+// deterministic across identical runs, and render a degraded report.
+func TestTCPDegradedScenarios(t *testing.T) {
+	scenarios := []inject.NetFault{
+		{Scenario: inject.NetCrashBeforeConnect},
+		{Scenario: inject.NetCrashMidStream, AfterChunks: 1},
+		{Scenario: inject.NetStallMidStream, AfterChunks: 1},
+		{Scenario: inject.NetCorruptFrame, AfterChunks: 1},
+	}
+	for i := range scenarios {
+		fault := scenarios[i]
+		t.Run(fault.Scenario.String(), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := testCtx(t)
+			defer cancel()
+
+			c := fig7Cluster(t)
+			images := ClusterImages(c)
+			victim := images[len(images)-1].Label()
+
+			run := func() *Result {
+				res, err := RunContext(ctx, images, degradedOptions(victim, &fault))
+				if err != nil {
+					t.Fatalf("degraded run failed: %v", err)
+				}
+				return res
+			}
+			res := run()
+			if !res.Coverage.Degraded() {
+				t.Fatal("fault injected but coverage reports complete")
+			}
+			if len(res.Coverage.Missing) != 1 || res.Coverage.Missing[0] != victim {
+				t.Fatalf("missing = %v, want [%s]", res.Coverage.Missing, victim)
+			}
+			if res.Coverage.Complete() != len(images)-1 {
+				t.Fatalf("complete = %d, want %d", res.Coverage.Complete(), len(images)-1)
+			}
+			if len(res.Net.StreamErrors) == 0 {
+				t.Error("no stream errors recorded for the injected fault")
+			}
+
+			// Identical degraded runs must agree exactly: graph shape,
+			// coverage, and findings cannot depend on failure timing.
+			res2 := run()
+			if res.Stats != res2.Stats {
+				t.Errorf("graph stats diverge across runs: %+v vs %+v", res.Stats, res2.Stats)
+			}
+			if !reflect.DeepEqual(res.Coverage, res2.Coverage) {
+				t.Errorf("coverage diverges: %+v vs %+v", res.Coverage, res2.Coverage)
+			}
+			if len(res.Findings) != len(res2.Findings) {
+				t.Fatalf("finding counts diverge: %d vs %d", len(res.Findings), len(res2.Findings))
+			}
+			for j := range res.Findings {
+				a, b := res.Findings[j], res2.Findings[j]
+				if a.Kind != b.Kind || a.FID != b.FID {
+					t.Errorf("finding %d diverges: %+v vs %+v", j, a, b)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := res.WriteReport(&buf, false); err != nil {
+				t.Fatal(err)
+			}
+			report := buf.String()
+			if !strings.Contains(report, "DEGRADED") {
+				t.Error("report does not flag degraded coverage")
+			}
+			if !strings.Contains(report, victim) {
+				t.Errorf("report does not name the lost server %s", victim)
+			}
+		})
+	}
+}
+
+// TestTCPStrictFaultFails: without AllowDegraded the same injected
+// crash must abort the run with an error — and still not hang.
+func TestTCPStrictFaultFails(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := testCtx(t)
+	defer cancel()
+
+	c := fig7Cluster(t)
+	images := ClusterImages(c)
+	victim := images[len(images)-1].Label()
+
+	opt := degradedOptions(victim, &inject.NetFault{Scenario: inject.NetCrashBeforeConnect})
+	opt.AllowDegraded = false
+	_, err := RunContext(ctx, images, opt)
+	if err == nil {
+		t.Fatal("strict run swallowed a crashed scanner")
+	}
+	if !errors.Is(err, inject.ErrScannerCrash) {
+		t.Fatalf("error does not identify the crash: %v", err)
+	}
+}
+
+// TestTCPDegradedAllLost: when every stream is lost, degraded mode must
+// still refuse to report on an empty graph.
+func TestTCPDegradedAllLost(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := testCtx(t)
+	defer cancel()
+
+	c := fig7Cluster(t)
+	images := ClusterImages(c)
+	faults := make(map[string]*inject.NetFault, len(images))
+	for _, img := range images {
+		faults[img.Label()] = &inject.NetFault{Scenario: inject.NetCrashBeforeConnect}
+	}
+	opt := degradedOptions("", nil)
+	opt.NetFaults = faults
+	if _, err := RunContext(ctx, images, opt); err == nil {
+		t.Fatal("run reported on a graph with zero surviving servers")
+	}
+}
+
+// TestTCPCleanDegradedMatchesStrict: with no fault injected, a degraded
+// run is byte-for-byte the strict run — full coverage, same graph.
+func TestTCPCleanDegradedMatchesStrict(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := testCtx(t)
+	defer cancel()
+
+	c := fig7Cluster(t)
+	if _, err := inject.Inject(c, inject.DanglingObjectID, fig7Target); err != nil {
+		t.Fatal(err)
+	}
+	images := ClusterImages(c)
+
+	strict := degradedOptions("", nil)
+	strict.AllowDegraded = false
+	sres, err := RunContext(ctx, images, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := RunContext(ctx, images, degradedOptions("", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Coverage.Degraded() {
+		t.Fatalf("clean degraded run lost servers: %v", dres.Coverage.Missing)
+	}
+	if sres.Stats != dres.Stats {
+		t.Errorf("graph stats diverge: %+v vs %+v", sres.Stats, dres.Stats)
+	}
+	if len(sres.Findings) != len(dres.Findings) {
+		t.Fatalf("finding counts diverge: %d vs %d", len(sres.Findings), len(dres.Findings))
+	}
+}

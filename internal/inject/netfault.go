@@ -1,0 +1,124 @@
+package inject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"faultyrank/internal/scanner"
+	"faultyrank/internal/wire"
+)
+
+// The image-level scenarios above corrupt what a scanner *reads*; the
+// network scenarios here corrupt how a scanner *ships* — the partial
+// failures a real 1 MDS + 8 OSS deployment throws at the collection
+// path (pFSCK and the B3 crash-consistency work both make the case that
+// a checker is only trustworthy if it survives these). Each fault wraps
+// one server's chunk stream and fires after a configurable number of
+// clean chunks, so the checker's deadline/degraded machinery can be
+// exercised deterministically.
+
+// NetScenario enumerates the injected network fault kinds.
+type NetScenario uint8
+
+const (
+	// NetCrashBeforeConnect: the scanner process dies before dialing the
+	// collector — its stream never arrives at all.
+	NetCrashBeforeConnect NetScenario = iota
+	// NetCrashMidStream: the scanner dies after shipping some chunks —
+	// the connection drops without a final chunk.
+	NetCrashMidStream
+	// NetStallMidStream: the connection freezes (half-dead peer, lost
+	// packets): the sender blocks without closing, and only a deadline
+	// can unwedge either side.
+	NetStallMidStream
+	// NetCorruptFrame: a frame arrives with a mangled payload — the
+	// collector's decoder must reject it and fail that stream.
+	NetCorruptFrame
+)
+
+// String names the scenario like the image scenarios name theirs.
+func (s NetScenario) String() string {
+	switch s {
+	case NetCrashBeforeConnect:
+		return "net/crash-before-connect"
+	case NetCrashMidStream:
+		return "net/crash-mid-stream"
+	case NetStallMidStream:
+		return "net/stall-mid-stream"
+	case NetCorruptFrame:
+		return "net/corrupt-frame"
+	default:
+		return fmt.Sprintf("net-scenario(%d)", uint8(s))
+	}
+}
+
+// ErrScannerCrash marks a simulated scanner process death.
+var ErrScannerCrash = errors.New("inject: scanner crashed")
+
+// ErrCorruptFrameSent marks the sender side of a corrupt-frame
+// injection (the interesting verdict is the collector's).
+var ErrCorruptFrameSent = errors.New("inject: corrupt frame sent")
+
+// NetFault is one injected network fault on a named server's stream.
+type NetFault struct {
+	Scenario NetScenario
+	// AfterChunks is how many chunks flow cleanly before the fault
+	// fires (ignored by NetCrashBeforeConnect).
+	AfterChunks int
+}
+
+// PreConnect reports whether the fault fires before the stream dials —
+// the caller must then skip the dial entirely and treat the scanner as
+// dead (ErrScannerCrash).
+func (f *NetFault) PreConnect() bool {
+	return f.Scenario == NetCrashBeforeConnect
+}
+
+// WrapStream interposes the fault on a dialed chunk stream. The
+// returned sink passes chunks through untouched until AfterChunks have
+// flowed, then performs the scenario's failure. ctx is the scan
+// deadline: the stall scenario blocks until it expires, exactly like a
+// frozen connection.
+func (f *NetFault) WrapStream(ctx context.Context, cs *wire.ChunkStream) scanner.Sink {
+	return &faultStream{ctx: ctx, cs: cs, fault: f}
+}
+
+type faultStream struct {
+	ctx   context.Context
+	cs    *wire.ChunkStream
+	fault *NetFault
+	sent  int
+}
+
+func (s *faultStream) Emit(c *scanner.Chunk) error {
+	if s.sent < s.fault.AfterChunks {
+		s.sent++
+		return s.cs.Emit(c)
+	}
+	switch s.fault.Scenario {
+	case NetCrashMidStream:
+		// Process death: the connection drops with no final chunk and
+		// no goodbye.
+		_ = s.cs.Close()
+		return fmt.Errorf("%w after %d chunks", ErrScannerCrash, s.sent)
+	case NetStallMidStream:
+		// Frozen peer: hold the connection open, send nothing, and only
+		// the deadline releases the scanner.
+		<-s.ctx.Done()
+		return s.ctx.Err()
+	case NetCorruptFrame:
+		// Set an unknown flag bit: a mutation the decoder is guaranteed
+		// to reject (a flipped data byte might decode to a valid but
+		// different chunk and slip through silently).
+		payload := wire.EncodeChunk(c)
+		flagsOff := 2 + len(c.ServerLabel) + 4
+		payload[flagsOff] |= 0x80
+		if err := s.cs.EmitRaw(payload, false); err != nil {
+			return err
+		}
+		return ErrCorruptFrameSent
+	default:
+		return fmt.Errorf("inject: scenario %v cannot fire on a live stream", s.fault.Scenario)
+	}
+}

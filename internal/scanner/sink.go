@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"context"
 	"fmt"
 
 	"faultyrank/internal/ldiskfs"
@@ -154,9 +155,20 @@ func (e *chunkEmitter) add(p *Partial) error {
 // chunk's entry count (<= 0 = DefaultChunkEntries). Exactly one Final
 // chunk ends the stream, even for an empty image.
 func ScanImageToSink(img *ldiskfs.Image, workers, chunkEntries int, sink Sink) error {
+	return ScanImageToSinkContext(context.Background(), img, workers, chunkEntries, sink)
+}
+
+// ScanImageToSinkContext is ScanImageToSink under a context: the scan
+// stops emitting at the first group boundary after ctx is done and
+// returns ctx.Err(), so a checker deadline cancels an in-flight sweep
+// instead of letting it ship chunks nobody will collect.
+func ScanImageToSinkContext(ctx context.Context, img *ldiskfs.Image, workers, chunkEntries int, sink Sink) error {
 	groups := img.Groups()
 	em := newChunkEmitter(img.Label(), chunkEntries, sink)
 	if groups == 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return em.flush(true)
 	}
 
@@ -182,6 +194,10 @@ func ScanImageToSink(img *ldiskfs.Image, workers, chunkEntries int, sink Sink) e
 		<-ready[g]
 		if firstErr != nil {
 			continue // drain so the sweep goroutines finish before return
+		}
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			continue
 		}
 		if errs[g] != nil {
 			firstErr = fmt.Errorf("scanner: group %d: %w", g, errs[g])

@@ -1,9 +1,13 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"faultyrank/internal/graph"
 	"faultyrank/internal/ldiskfs"
@@ -130,32 +134,76 @@ func DecodeChunk(b []byte) (*scanner.Chunk, error) {
 // chunk is acknowledged by the collector before Emit returns.
 type ChunkStream struct {
 	conn net.Conn
-	err  error
+	ctx  context.Context
+	// opTimeout bounds each frame write (and the final ack read); zero
+	// relies on the ctx deadline alone.
+	opTimeout   time.Duration
+	dialRetries int
+	frames      int64
+	bytes       int64
+	err         error
 }
 
-// DialChunkStream connects one scanner stream to a collector.
+// DialChunkStream connects one scanner stream to a collector with no
+// deadline and no retry (the in-process tests' path).
 func DialChunkStream(addr string) (*ChunkStream, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialChunkStreamContext(context.Background(), addr, RetryPolicy{}, 0)
+}
+
+// DialChunkStreamContext connects one scanner stream to a collector
+// under ctx, retrying the dial per policy. opTimeout bounds each
+// subsequent frame write and the final ack read (0 = ctx deadline
+// only), so a stalled collector surfaces as an I/O timeout instead of
+// hanging the scanner.
+func DialChunkStreamContext(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration) (*ChunkStream, error) {
+	conn, retries, err := dialRetry(ctx, addr, policy)
 	if err != nil {
 		return nil, err
 	}
-	return &ChunkStream{conn: conn}, nil
+	return &ChunkStream{conn: conn, ctx: ctx, opTimeout: opTimeout, dialRetries: retries}, nil
 }
+
+// DialRetries reports how many redials the initial connect needed.
+func (s *ChunkStream) DialRetries() int { return s.dialRetries }
+
+// Sent reports the frames and payload bytes shipped so far.
+func (s *ChunkStream) Sent() (frames, bytes int64) { return s.frames, s.bytes }
 
 // Emit frames and sends one chunk. A mid-stream collector failure
 // surfaces either as a write error here or as the error frame read in
 // place of the final ack.
 func (s *ChunkStream) Emit(c *scanner.Chunk) error {
+	return s.emit(EncodeChunk(c), c.Final)
+}
+
+// EmitRaw ships an already-encoded (possibly deliberately corrupt)
+// chunk payload — the hook fault injection uses to put hostile frames
+// on a live stream.
+func (s *ChunkStream) EmitRaw(payload []byte, final bool) error {
+	return s.emit(payload, final)
+}
+
+func (s *ChunkStream) emit(payload []byte, final bool) error {
 	if s.err != nil {
 		return s.err
 	}
-	if err := WriteFrame(s.conn, MsgChunk, EncodeChunk(c)); err != nil {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	s.setDeadline(net.Conn.SetWriteDeadline)
+	if err := WriteFrame(s.conn, MsgChunk, payload); err != nil {
 		s.err = err
 		return err
 	}
-	if !c.Final {
+	s.frames++
+	s.bytes += int64(len(payload))
+	if !final {
 		return nil
 	}
+	s.setDeadline(net.Conn.SetReadDeadline)
 	typ, body, err := ReadFrame(s.conn)
 	if err != nil {
 		s.err = err
@@ -172,66 +220,178 @@ func (s *ChunkStream) Emit(c *scanner.Chunk) error {
 	return nil
 }
 
+func (s *ChunkStream) setDeadline(set func(net.Conn, time.Time) error) {
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_ = set(s.conn, ioDeadline(ctx, s.opTimeout))
+}
+
 // Close releases the connection.
 func (s *ChunkStream) Close() error { return s.conn.Close() }
+
+// CollectResult reports what one CollectChunks run received: the
+// per-stage transfer counters frbench surfaces, the labels whose
+// streams completed, and a human-readable account of every stream
+// failure (empty on a clean run).
+type CollectResult struct {
+	// Frames and Bytes count every chunk frame the collector decoded.
+	Frames, Bytes int64
+	// Completed lists the server labels whose final chunk arrived,
+	// sorted for deterministic reporting.
+	Completed []string
+	// Errors describes each failed or aborted stream.
+	Errors []string
+}
 
 // CollectChunks accepts nStreams chunk-stream connections and delivers
 // every decoded chunk until each stream has sent its final chunk.
 // Streams are handled concurrently, so deliver must be safe for
 // concurrent use (agg.Builder.Emit is). The first error — network,
-// decode, or from deliver — is returned after all stream handlers stop.
+// decode, or from deliver — is returned after all stream handlers stop;
+// a stream error aborts the sibling streams and the accept wait.
 func (c *Collector) CollectChunks(nStreams int, deliver func(*scanner.Chunk) error) error {
+	_, err := c.CollectChunksContext(context.Background(), nStreams, false, deliver)
+	return err
+}
+
+// CollectChunksContext is CollectChunks under a context. When ctx
+// expires or is cancelled, the accept wait and every in-flight stream
+// read are unblocked (listener closed, connection deadlines forced), so
+// a crashed or stalled scanner can never hang the aggregator.
+//
+// With degraded=false the first failure — stream error, accept error,
+// or ctx expiry — aborts the sibling streams and is returned. With
+// degraded=true the collector instead completes with whatever streams
+// finished: failed streams are recorded in the result and the caller
+// decides what surviving coverage is acceptable. The result is returned
+// in both modes so callers can report transfer counters.
+func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degraded bool, deliver func(*scanner.Chunk) error) (*CollectResult, error) {
+	res := &CollectResult{}
+	var mu sync.Mutex // guards res fields and conns
+	conns := make(map[net.Conn]struct{})
+	var errs []error
+
+	// stop unblocks the accept wait and all in-flight reads exactly
+	// once: on ctx expiry, or (strict mode) on the first stream error.
+	var stopOnce sync.Once
+	stop := func() {
+		stopOnce.Do(func() {
+			c.ln.Close()
+			mu.Lock()
+			for conn := range conns {
+				_ = conn.SetDeadline(time.Now())
+			}
+			mu.Unlock()
+		})
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop()
+		case <-done:
+		}
+	}()
+
 	var wg sync.WaitGroup
-	errs := make(chan error, nStreams+1)
-	for i := 0; i < nStreams; i++ {
+	accepted := 0
+	for accepted < nStreams {
 		conn, err := c.ln.Accept()
 		if err != nil {
-			errs <- err
+			// The listener was closed — by ctx expiry, a sibling abort,
+			// or the caller signalling that no more senders are coming
+			// (checker's all-scanners-done watchdog). Only strict mode
+			// treats the missing streams as an error.
+			if !degraded && ctx.Err() == nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+			}
 			break
 		}
+		accepted++
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
 		wg.Add(1)
 		go func(conn net.Conn) {
 			defer wg.Done()
-			defer conn.Close()
-			errs <- serveChunkStream(conn, deliver)
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
+			label, err := serveChunkStream(conn, deliver, res)
+			mu.Lock()
+			if err != nil {
+				if label != "" {
+					err = fmt.Errorf("stream %q: %w", label, err)
+				}
+				errs = append(errs, err)
+				res.Errors = append(res.Errors, err.Error())
+				mu.Unlock()
+				if !degraded {
+					stop() // abort the sibling streams
+				}
+				return
+			}
+			res.Completed = append(res.Completed, label)
+			mu.Unlock()
 		}(conn)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
+	sort.Strings(res.Completed)
+	sort.Strings(res.Errors)
+	if degraded {
+		return res, nil
 	}
-	return nil
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("wire: collect: %w", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) > 0 {
+		return res, errs[0]
+	}
+	return res, nil
 }
 
-// serveChunkStream drains one connection's chunks into deliver.
-func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error) error {
+// serveChunkStream drains one connection's chunks into deliver,
+// counting frames and bytes into res. It returns the stream's server
+// label ("" if no chunk decoded before the failure).
+func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, res *CollectResult) (string, error) {
+	label := ""
 	for {
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
-			return fmt.Errorf("wire: chunk stream: %w", err)
+			return label, fmt.Errorf("wire: chunk stream: %w", err)
 		}
 		if err := AsError(typ, payload); err != nil {
-			return err
+			return label, err
 		}
 		if typ != MsgChunk {
 			err := fmt.Errorf("wire: expected chunk, got message %d", typ)
 			_ = WriteError(conn, err)
-			return err
+			return label, err
 		}
 		ch, err := DecodeChunk(payload)
 		if err != nil {
 			_ = WriteError(conn, err)
-			return err
+			return label, err
 		}
+		atomic.AddInt64(&res.Frames, 1)
+		atomic.AddInt64(&res.Bytes, int64(len(payload)))
+		label = ch.ServerLabel
 		if err := deliver(ch); err != nil {
 			_ = WriteError(conn, err)
-			return err
+			return label, err
 		}
 		if ch.Final {
-			return WriteFrame(conn, MsgAck, nil)
+			return label, WriteFrame(conn, MsgAck, nil)
 		}
 	}
 }

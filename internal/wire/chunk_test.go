@@ -1,10 +1,12 @@
 package wire
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"faultyrank/internal/agg"
 	"faultyrank/internal/scanner"
@@ -152,6 +154,116 @@ func TestChunkStreamsIntoBuilder(t *testing.T) {
 		if !reflect.DeepEqual(p, got[i]) {
 			t.Fatalf("server %s: reassembled partial diverges", labels[i])
 		}
+	}
+}
+
+// TestCollectChunksSenderKilled: the collector expects two streams but
+// one sender dies before ever connecting. The old accept loop blocked
+// forever; under a deadline the collector must return — with the
+// surviving stream's data in degraded mode, with DeadlineExceeded in
+// strict mode — well before the test times out.
+func TestCollectChunksSenderKilled(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	p := randomPartial(r)
+	p.ServerLabel = "mdt0"
+
+	for _, degraded := range []bool{true, false} {
+		col, addr, err := NewCollector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sendErr := make(chan error, 1)
+		go func() {
+			sendErr <- func() error {
+				cs, err := DialChunkStream(addr)
+				if err != nil {
+					return err
+				}
+				defer cs.Close()
+				for _, ch := range chunksOf(p, 5) {
+					if err := cs.Emit(ch); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}()
+
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		builder := agg.NewBuilder([]string{"mdt0", "ost0"})
+		// nStreams = 2, but the ost0 sender was "killed" and never dials.
+		res, err := col.CollectChunksContext(ctx, 2, degraded, builder.Emit)
+		cancel()
+		col.Close()
+		if degraded {
+			if err != nil {
+				t.Fatalf("degraded collect failed: %v", err)
+			}
+			if len(res.Completed) != 1 || res.Completed[0] != "mdt0" {
+				t.Fatalf("degraded completed = %v", res.Completed)
+			}
+			parts, missing := builder.CompletedPartials()
+			if len(parts) != 1 || !reflect.DeepEqual(parts[0], p) {
+				t.Fatal("surviving stream's partial diverges")
+			}
+			if len(missing) != 1 || missing[0] != "ost0" {
+				t.Fatalf("missing = %v", missing)
+			}
+		} else if err == nil {
+			t.Fatal("strict collect returned nil with a stream missing")
+		}
+		if err := <-sendErr; err != nil {
+			t.Fatalf("surviving sender failed: %v", err)
+		}
+	}
+}
+
+// TestCollectChunksAbortsSiblings: in strict mode a mid-stream error on
+// one connection must unblock the sibling stream and the accept wait
+// instead of waiting for every other sender to finish naturally.
+func TestCollectChunksAbortsSiblings(t *testing.T) {
+	col, addr, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// Sibling: connects, sends one non-final chunk, then idles forever
+	// (no final chunk, connection held open).
+	sibling, err := DialChunkStream(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sibling.Close()
+	if err := sibling.Emit(&scanner.Chunk{ServerLabel: "ost0", Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offender: sends a corrupt frame mid-stream.
+	offender, err := DialChunkStream(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offender.Close()
+	if err := offender.EmitRaw([]byte{0xde, 0xad}, false); err != nil {
+		t.Fatal(err)
+	}
+
+	builder := agg.NewBuilder([]string{"mdt0", "ost0"})
+	done := make(chan error, 1)
+	go func() {
+		// 3 expected streams: the third never arrives; the corrupt frame
+		// must abort both the sibling read and the accept wait.
+		_, err := col.CollectChunksContext(context.Background(), 3, false, builder.Emit)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("corrupt frame not reported")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mid-stream error did not abort sibling streams")
 	}
 }
 

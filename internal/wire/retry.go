@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// RetryPolicy bounds sender-side reconnection attempts. The collection
+// path treats the network as unreliable: a scanner that cannot reach
+// the collector retries its dial a bounded number of times with
+// exponential backoff before giving up (at which point the collector's
+// degraded mode takes over). Retries cover connection establishment
+// only — a stream that fails mid-transfer is not replayed, because the
+// aggregator's in-order chunk accounting makes a partial resend
+// ambiguous; the failed server is reported as missing instead.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first
+	// (<= 1 disables retry).
+	Attempts int
+	// Backoff delays the second attempt; it doubles per retry.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy matches the checker's deployment defaults: three
+// tries, 25 ms initial backoff, capped at 500 ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Backoff: 25 * time.Millisecond, MaxBackoff: 500 * time.Millisecond}
+}
+
+// Do runs attempt up to p.Attempts times, sleeping the backoff schedule
+// between tries and stopping early when ctx is done. It returns the
+// number of retries performed (0 = first try succeeded) and the last
+// error.
+func (p RetryPolicy) Do(ctx context.Context, attempt func() error) (int, error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := p.Backoff
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return try, ctx.Err()
+			case <-t.C:
+			}
+			delay *= 2
+			if p.MaxBackoff > 0 && delay > p.MaxBackoff {
+				delay = p.MaxBackoff
+			}
+		}
+		if err = ctx.Err(); err != nil {
+			return try, err
+		}
+		if err = attempt(); err == nil {
+			return try, nil
+		}
+	}
+	return attempts - 1, err
+}
+
+// dialRetry establishes one TCP connection under ctx with bounded
+// retry, returning the connection and the retry count.
+func dialRetry(ctx context.Context, addr string, p RetryPolicy) (net.Conn, int, error) {
+	var conn net.Conn
+	var d net.Dialer
+	retries, err := p.Do(ctx, func() error {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			conn = c
+		}
+		return err
+	})
+	return conn, retries, err
+}
+
+// ioDeadline combines a per-operation timeout with a context deadline
+// into the single deadline handed to net.Conn (zero = none).
+func ioDeadline(ctx context.Context, opTimeout time.Duration) time.Time {
+	var d time.Time
+	if opTimeout > 0 {
+		d = time.Now().Add(opTimeout)
+	}
+	if dl, ok := ctx.Deadline(); ok && (d.IsZero() || dl.Before(d)) {
+		d = dl
+	}
+	return d
+}

@@ -1,9 +1,12 @@
 package wire
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"net"
 	"sync"
+	"time"
 
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
@@ -21,8 +24,14 @@ type FIDInfo struct {
 }
 
 // encodeFIDInfo: u8 exists | u16 type | u64 size | u16 n | n × {u8 nameLen,
-// name, u32 valLen, val}.
-func encodeFIDInfo(in FIDInfo) []byte {
+// name, u32 valLen, val}. Field widths are checked before encoding — a
+// name, value, or xattr count that does not fit its width is rejected
+// rather than silently truncated, keeping the codec bijective (a frame
+// that encodes always decodes back to the same FIDInfo).
+func encodeFIDInfo(in FIDInfo) ([]byte, error) {
+	if len(in.Xattrs) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: %d xattrs exceed the u16 count field", len(in.Xattrs))
+	}
 	buf := make([]byte, 0, 64)
 	if in.Exists {
 		buf = append(buf, 1)
@@ -34,12 +43,18 @@ func encodeFIDInfo(in FIDInfo) []byte {
 	buf = appendU16(buf, uint16(len(in.Xattrs)))
 	// deterministic order is unnecessary on the wire; iterate freely
 	for name, val := range in.Xattrs {
+		if len(name) > math.MaxUint8 {
+			return nil, fmt.Errorf("wire: xattr name %.16q… is %d bytes, exceeds the u8 length field", name, len(name))
+		}
+		if uint64(len(val)) > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: xattr %q value is %d bytes, exceeds the u32 length field", name, len(val))
+		}
 		buf = append(buf, byte(len(name)))
 		buf = append(buf, name...)
 		buf = appendU32(buf, uint32(len(val)))
 		buf = append(buf, val...)
 	}
-	return buf
+	return buf, nil
 }
 
 func decodeFIDInfo(b []byte) (FIDInfo, error) {
@@ -80,6 +95,7 @@ type ObjectService struct {
 
 	mu     sync.Mutex
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -155,19 +171,47 @@ func (s *ObjectService) Listen() (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, force-closes any connection still open
+// (a stuck or dead client must not hang shutdown), and waits for the
+// in-flight handlers.
 func (s *ObjectService) Close() {
 	s.mu.Lock()
 	if s.ln != nil && !s.closed {
 		s.closed = true
 		s.ln.Close()
 	}
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }
 
+func (s *ObjectService) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *ObjectService) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
 func (s *ObjectService) handle(conn net.Conn) {
 	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
 	for {
 		typ, payload, err := ReadFrame(conn)
 		if err != nil {
@@ -179,8 +223,12 @@ func (s *ObjectService) handle(conn net.Conn) {
 				_ = WriteError(conn, fmt.Errorf("bad StatFID payload"))
 				continue
 			}
-			info := s.Stat(lustre.FIDFromBytes(payload))
-			if err := WriteFrame(conn, MsgFIDInfo, encodeFIDInfo(info)); err != nil {
+			rec, err := encodeFIDInfo(s.Stat(lustre.FIDFromBytes(payload)))
+			if err != nil {
+				_ = WriteError(conn, err)
+				continue
+			}
+			if err := WriteFrame(conn, MsgFIDInfo, rec); err != nil {
 				return
 			}
 		case MsgStatBatch:
@@ -190,10 +238,19 @@ func (s *ObjectService) handle(conn net.Conn) {
 				continue
 			}
 			var out []byte
+			var encErr error
 			for _, f := range fids {
-				rec := encodeFIDInfo(s.Stat(f))
+				rec, err := encodeFIDInfo(s.Stat(f))
+				if err != nil {
+					encErr = err
+					break
+				}
 				out = appendU32(out, uint32(len(rec)))
 				out = append(out, rec...)
+			}
+			if encErr != nil {
+				_ = WriteError(conn, encErr)
+				continue
 			}
 			if err := WriteFrame(conn, MsgFIDInfoBatch, out); err != nil {
 				return
@@ -209,20 +266,51 @@ func (s *ObjectService) handle(conn net.Conn) {
 // Client is a StatFID RPC client holding one connection.
 type Client struct {
 	conn net.Conn
+	ctx  context.Context
+	// opTimeout bounds each RPC's write and reply read (0 = the ctx
+	// deadline only), so a wedged service surfaces as an I/O timeout
+	// instead of hanging the checker phase.
+	opTimeout   time.Duration
+	dialRetries int
 }
 
-// Dial connects to an ObjectService.
+// Dial connects to an ObjectService with no deadline and no retry.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, RetryPolicy{}, 0)
+}
+
+// DialContext connects to an ObjectService under ctx, retrying the dial
+// per policy; opTimeout bounds each subsequent RPC round trip.
+func DialContext(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration) (*Client, error) {
+	conn, retries, err := dialRetry(ctx, addr, policy)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return &Client{conn: conn, ctx: ctx, opTimeout: opTimeout, dialRetries: retries}, nil
+}
+
+// DialRetries reports how many redials the initial connect needed.
+func (c *Client) DialRetries() int { return c.dialRetries }
+
+// armDeadlines applies the per-op/ctx deadline to both directions of
+// the next round trip and reports a context already expired.
+func (c *Client) armDeadlines() error {
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.conn.SetDeadline(ioDeadline(ctx, c.opTimeout))
 }
 
 // Stat performs one synchronous StatFID round trip — deliberately one
 // request per object, like LFSCK's per-inode pipeline.
 func (c *Client) Stat(f lustre.FID) (FIDInfo, error) {
+	if err := c.armDeadlines(); err != nil {
+		return FIDInfo{}, err
+	}
 	fb := f.Bytes()
 	if err := WriteFrame(c.conn, MsgStatFID, fb[:]); err != nil {
 		return FIDInfo{}, err
@@ -244,6 +332,9 @@ func (c *Client) Stat(f lustre.FID) (FIDInfo, error) {
 // improvement a modernised LFSCK could adopt (cf. Dai et al., MSST'19);
 // kept alongside the per-object Stat so both designs can be compared.
 func (c *Client) StatBatch(fids []lustre.FID) ([]FIDInfo, error) {
+	if err := c.armDeadlines(); err != nil {
+		return nil, err
+	}
 	payload := appendU32(nil, uint32(len(fids)))
 	for _, f := range fids {
 		fb := f.Bytes()
@@ -304,25 +395,40 @@ func (c *Client) Close() error {
 // SendPartialTo ships one encoded partial graph to a collector address
 // and waits for the ack — FaultyRank's single bulk transfer per server.
 func SendPartialTo(addr string, payload []byte) error {
-	conn, err := net.Dial("tcp", addr)
+	_, err := SendPartialToContext(context.Background(), addr, payload, RetryPolicy{}, 0)
+	return err
+}
+
+// SendPartialToContext is SendPartialTo under a context: the dial is
+// retried per policy, and opTimeout bounds the payload write and the
+// ack read (0 = the ctx deadline only). Retry covers connection
+// establishment only — once any payload byte is on the wire a failure
+// is returned, not replayed, because the collector may already hold the
+// transfer (at-most-once delivery). The retry count is returned for the
+// caller's counters.
+func SendPartialToContext(ctx context.Context, addr string, payload []byte, policy RetryPolicy, opTimeout time.Duration) (int, error) {
+	conn, retries, err := dialRetry(ctx, addr, policy)
 	if err != nil {
-		return err
+		return retries, err
 	}
 	defer conn.Close()
+	if err := conn.SetDeadline(ioDeadline(ctx, opTimeout)); err != nil {
+		return retries, err
+	}
 	if err := WriteFrame(conn, MsgPartial, payload); err != nil {
-		return err
+		return retries, err
 	}
 	typ, body, err := ReadFrame(conn)
 	if err != nil {
-		return err
+		return retries, err
 	}
 	if err := AsError(typ, body); err != nil {
-		return err
+		return retries, err
 	}
 	if typ != MsgAck {
-		return fmt.Errorf("wire: unexpected ack type %d", typ)
+		return retries, fmt.Errorf("wire: unexpected ack type %d", typ)
 	}
-	return nil
+	return retries, nil
 }
 
 // Collector receives partial graphs over TCP (the MDS-side aggregator

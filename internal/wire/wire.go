@@ -64,7 +64,15 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one framed message.
+// readBatch bounds how much payload ReadFrame allocates ahead of the
+// bytes actually arriving.
+const readBatch = 1 << 20
+
+// ReadFrame reads one framed message. The length comes from an
+// untrusted header, so the payload grows in bounded batches as bytes
+// arrive (the edgelist.ReadBinary discipline): a lying header on a
+// short or hostile stream costs at most one batch before the
+// truncation error, never a MaxFrame-sized allocation.
 func ReadFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -74,9 +82,17 @@ func ReadFrame(r io.Reader) (byte, []byte, error) {
 	if int64(n) >= MaxFrame {
 		return 0, nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+	payload := make([]byte, 0, min(n, readBatch))
+	for uint32(len(payload)) < n {
+		grow := n - uint32(len(payload))
+		if grow > readBatch {
+			grow = readBatch
+		}
+		off := len(payload)
+		payload = append(payload, make([]byte, grow)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return 0, nil, fmt.Errorf("wire: frame truncated at byte %d of %d: %w", off, n, err)
+		}
 	}
 	return hdr[0], payload, nil
 }

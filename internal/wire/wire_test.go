@@ -2,9 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"net"
 	"reflect"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -43,6 +46,44 @@ func TestFrameTruncated(t *testing.T) {
 	short := buf.Bytes()[:8]
 	if _, _, err := ReadFrame(bytes.NewReader(short)); err == nil {
 		t.Error("truncated frame accepted")
+	}
+}
+
+// TestReadFrameLyingHeader: a frame header claiming almost MaxFrame on
+// a stream carrying a handful of bytes must fail on the first bounded
+// batch — quickly and without the multi-GiB up-front allocation the old
+// code performed straight from the untrusted length field.
+func TestReadFrameLyingHeader(t *testing.T) {
+	hostile := []byte{MsgChunk, 0xff, 0xff, 0xff, 0x7e} // length ≈ 2 GiB − ε
+	hostile = append(hostile, "short"...)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, _, err := ReadFrame(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("lying header accepted")
+	}
+	runtime.ReadMemStats(&after)
+	// One bounded batch plus bookkeeping — far from the 2 GiB the header
+	// promises (TotalAlloc is cumulative, so the delta counts every byte
+	// allocated during the read).
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Errorf("lying header allocated %d bytes", grew)
+	}
+
+	// Exactly MaxFrame is still rejected outright.
+	overflow := []byte{MsgChunk, 0x00, 0x00, 0x00, 0x80}
+	if _, _, err := ReadFrame(bytes.NewReader(overflow)); err != ErrFrameTooLarge {
+		t.Errorf("MaxFrame header: %v", err)
+	}
+
+	// A frame larger than one batch still round-trips.
+	big := bytes.Repeat([]byte{0xAB}, 3<<20)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgPartial, big); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil || typ != MsgPartial || !bytes.Equal(got, big) {
+		t.Fatalf("multi-batch frame: type %d, %d bytes, %v", typ, len(got), err)
 	}
 }
 
@@ -119,13 +160,60 @@ func TestFIDInfoCodec(t *testing.T) {
 		Exists: true, Type: ldiskfs.TypeObject, Size: 123456,
 		Xattrs: map[string][]byte{"lma": {1, 2}, "fid": {3, 4, 5}},
 	}
-	out, err := decodeFIDInfo(encodeFIDInfo(in))
+	enc, err := encodeFIDInfo(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeFIDInfo(enc)
 	if err != nil || !reflect.DeepEqual(in, out) {
 		t.Fatalf("round trip: %+v %v", out, err)
 	}
-	empty, err := decodeFIDInfo(encodeFIDInfo(FIDInfo{}))
+	enc, err = encodeFIDInfo(FIDInfo{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := decodeFIDInfo(enc)
 	if err != nil || empty.Exists || empty.Xattrs != nil {
 		t.Fatalf("empty round trip: %+v %v", empty, err)
+	}
+}
+
+// TestFIDInfoCodecBoundaries: the codec accepts exactly the widths its
+// frame fields can carry and rejects one past each boundary instead of
+// silently truncating (the truncation used to make the decoder misparse
+// every following record).
+func TestFIDInfoCodecBoundaries(t *testing.T) {
+	longName := strings.Repeat("n", 255)
+	in := FIDInfo{Exists: true, Xattrs: map[string][]byte{longName: {7}}}
+	enc, err := encodeFIDInfo(in)
+	if err != nil {
+		t.Fatalf("255-byte name rejected: %v", err)
+	}
+	out, err := decodeFIDInfo(enc)
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("255-byte name round trip: %v", err)
+	}
+
+	tooLong := strings.Repeat("n", 256)
+	if _, err := encodeFIDInfo(FIDInfo{Xattrs: map[string][]byte{tooLong: nil}}); err == nil {
+		t.Error("256-byte xattr name encoded (would truncate)")
+	}
+
+	many := make(map[string][]byte, 1<<16)
+	for i := 0; i < 1<<16; i++ {
+		many[fmt.Sprintf("x%05d", i)] = nil
+	}
+	if _, err := encodeFIDInfo(FIDInfo{Xattrs: many}); err == nil {
+		t.Error("65536 xattrs encoded (count field would wrap to 0)")
+	}
+	delete(many, "x00000")
+	enc, err = encodeFIDInfo(FIDInfo{Exists: true, Xattrs: many})
+	if err != nil {
+		t.Fatalf("65535 xattrs rejected: %v", err)
+	}
+	out, err = decodeFIDInfo(enc)
+	if err != nil || len(out.Xattrs) != 1<<16-1 {
+		t.Fatalf("65535-xattr round trip: %d xattrs, %v", len(out.Xattrs), err)
 	}
 }
 
