@@ -24,6 +24,7 @@ import (
 	"faultyrank/internal/online"
 	"faultyrank/internal/rmat"
 	"faultyrank/internal/scanner"
+	"faultyrank/internal/telemetry"
 	"faultyrank/internal/workload"
 )
 
@@ -377,6 +378,34 @@ func BenchmarkIngestion(b *testing.B) {
 			b.ReportMetric(build*1000, "build-ms")
 		})
 	}
+}
+
+// BenchmarkIngestionTelemetry is the telemetry overhead guard: the same
+// ingest run with no-op instruments (nil registry — the uninstrumented
+// code path) and with a live registry. The instrumented arm must stay
+// within a few percent of the no-op arm: counters are batched per block
+// group and per chunk, never per inode, so the delta is a handful of
+// atomic adds per group. Compare the two sub-benchmark times; the ≤2%
+// budget is documented in DESIGN.md §7.
+func BenchmarkIngestionTelemetry(b *testing.B) {
+	c := table6Cluster(b, 8000)
+	images := checker.ClusterImages(c)
+	b.Run("noop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.MeasureIngestObserved(images, 0, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.MeasureIngestObserved(images, 0, 0, reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(reg.Counter("scanner_inodes_scanned_total").Value())/float64(b.N), "inodes/run")
+	})
 }
 
 // --- substrate micro-benchmarks ---------------------------------------------

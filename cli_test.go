@@ -1,6 +1,7 @@
 package faultyrank_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -100,6 +101,77 @@ func TestCLIPipeline(t *testing.T) {
 	out = run(t, 0, bin, "frbench", "-table", "2")
 	if !strings.Contains(out, "Table II") {
 		t.Fatalf("frbench output: %s", out)
+	}
+}
+
+// TestCLIObservability drives the observability surface end to end: a
+// TCP-mode check with a live metrics endpoint and a run manifest, then
+// the machine-readable bench artifact.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs CLIs")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	cluster := filepath.Join(work, "cluster")
+	run(t, 0, bin, "frmkfs", "-out", cluster, "-files", "120", "-compact")
+
+	manifest := filepath.Join(work, "run.json")
+	out := run(t, 0, bin, "faultyrank", "-dir", cluster, "-tcp",
+		"-metrics-addr", "127.0.0.1:0", "-run-manifest", manifest)
+	if !strings.Contains(out, "serving /metrics") {
+		t.Fatalf("metrics endpoint not announced: %s", out)
+	}
+	if !strings.Contains(out, "run manifest written") {
+		t.Fatalf("manifest not announced: %s", out)
+	}
+	data, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Schema string `json:"schema"`
+		Phases struct {
+			Name string `json:"name"`
+		} `json:"phases"`
+		Results map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v\n%s", err, data)
+	}
+	if m.Schema != "faultyrank/run-manifest/v1" || m.Phases.Name != "run" {
+		t.Fatalf("manifest shape wrong: schema=%q root=%q", m.Schema, m.Phases.Name)
+	}
+	for _, key := range []string{"coverage", "convergence", "scan", "net"} {
+		if _, ok := m.Results[key]; !ok {
+			t.Errorf("manifest results lack %q:\n%s", key, data)
+		}
+	}
+
+	// Machine-readable bench artifact.
+	out = run(t, 0, bin, "frbench", "-table", "ingest", "-scale", "smoke", "-json", "-out", work)
+	if !strings.Contains(out, "BENCH_ingest.json") {
+		t.Fatalf("artifact path not announced: %s", out)
+	}
+	bdata, err := os.ReadFile(filepath.Join(work, "BENCH_ingest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Schema string `json:"schema"`
+		Name   string `json:"name"`
+		Tables []struct {
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(bdata, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, bdata)
+	}
+	if art.Schema != "faultyrank/bench/v1" || art.Name != "ingest" {
+		t.Fatalf("artifact identity wrong: %q %q", art.Schema, art.Name)
+	}
+	if len(art.Tables) == 0 || len(art.Tables[0].Rows) == 0 {
+		t.Fatalf("artifact has no rows: %s", bdata)
 	}
 }
 

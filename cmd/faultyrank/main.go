@@ -6,6 +6,8 @@
 //	faultyrank -dir cluster/            # check only
 //	faultyrank -dir cluster/ -repair    # check, repair, verify, persist
 //	faultyrank -dir cluster/ -tcp       # ship partial graphs over TCP
+//	faultyrank -dir cluster/ -metrics-addr :9090   # live /metrics + pprof
+//	faultyrank -dir cluster/ -run-manifest run.json # machine-readable record
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"faultyrank/internal/checker"
 	"faultyrank/internal/imgdir"
 	"faultyrank/internal/repair"
+	"faultyrank/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +37,8 @@ func main() {
 		threshold = flag.Float64("threshold", 0.4, "fault threshold on mean-1-scaled ranks")
 		weight    = flag.Float64("unpaired-weight", 0.1, "unpaired edge weight in the reversed graph")
 		verbose   = flag.Bool("v", false, "print ranks of suspicious vertices and the repair log")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while running")
+		manifest  = flag.String("run-manifest", "", "write a machine-readable run manifest (JSON) to this path")
 	)
 	flag.Parse()
 
@@ -51,12 +56,34 @@ func main() {
 	opt.Core.Threshold = *threshold
 	opt.Core.UnpairedWeight = *weight
 
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		opt.Metrics = reg
+		bound, stop, err := telemetry.Serve(*metrics, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		log.Printf("serving /metrics and /debug/pprof on %s", bound)
+	}
+	if *manifest != "" {
+		// The manifest records the convergence series; recording it is
+		// cheap and bounded (core.DefaultTraceCap).
+		opt.Core.ConvergenceTrace = true
+	}
+
 	res, err := checker.Run(images, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := res.WriteReport(os.Stdout, *verbose); err != nil {
 		log.Fatal(err)
+	}
+	if *manifest != "" {
+		if err := telemetry.WriteJSON(*manifest, res.Manifest(opt)); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("run manifest written to %s", *manifest)
 	}
 	if len(res.Findings) == 0 {
 		return

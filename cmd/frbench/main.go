@@ -7,12 +7,16 @@
 //	frbench -table 5               # Table V   (degree sweep)
 //	frbench -table 6               # Table VI  (end-to-end vs LFSCK)
 //	frbench -table fig7            # Fig. 7    (functional comparison)
+//	frbench -table dne             # DNE sweep (checker vs MDT count)
+//	frbench -table ablation        # design ablation matrix
 //	frbench -table ingest          # ingestion scaling (scan→CSR vs workers)
 //	frbench -table net             # network path under injected scanner faults
 //	frbench -table all -scale smoke
 //
 // -scale picks sizing: smoke (seconds), default (minutes), paper (the
-// published sizes; RMAT-26 needs ~30 GB RAM).
+// published sizes; RMAT-26 needs ~30 GB RAM). -json additionally writes
+// each artifact as BENCH_<table>.json next to the text output, the
+// machine-readable form CI archives for trend tracking.
 package main
 
 import (
@@ -28,10 +32,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("frbench: ")
 	var (
-		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|all")
+		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|dne|ablation|ingest|net|all")
 		scaleStr = flag.String("scale", "default", "sizing: smoke|default|paper")
 		workers  = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		useTCP   = flag.Bool("tcp", true, "Table VI: run both checkers over localhost TCP")
+		jsonOut  = flag.Bool("json", false, "also write each artifact as BENCH_<table>.json")
+		outDir   = flag.String("out", ".", "directory for -json artifacts")
 	)
 	flag.Parse()
 
@@ -43,45 +49,52 @@ func main() {
 		return *table == "all" || strings.EqualFold(*table, name)
 	}
 	ran := false
-	if want("2") {
-		fmt.Println(bench.Table2().Render())
+	// emit prints each table and, with -json, writes the artifact file.
+	emit := func(name string, tabs ...*bench.Table) {
+		for _, t := range tabs {
+			fmt.Println(t.Render())
+		}
+		if *jsonOut {
+			path, err := bench.WriteArtifact(*outDir, name, scale, tabs...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", path)
+		}
 		ran = true
+	}
+	if want("2") {
+		emit("2", bench.Table2())
 	}
 	if want("3") {
-		fmt.Println(bench.Table3(scale).Render())
-		ran = true
+		emit("3", bench.Table3(scale))
 	}
 	if want("4") {
-		fmt.Println(bench.Table4(scale, *workers).Render())
-		ran = true
+		emit("4", bench.Table4(scale, *workers))
 	}
 	if want("5") {
-		fmt.Println(bench.Table5(scale, *workers).Render())
-		ran = true
+		emit("5", bench.Table5(scale, *workers))
 	}
 	if want("fig7") {
 		rows, err := bench.Fig7Compare(scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.Fig7Table(rows).Render())
-		ran = true
+		emit("fig7", bench.Fig7Table(rows))
 	}
 	if want("6") {
 		rows, err := bench.Table6Measure(scale, *useTCP, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.Table6(rows).Render())
-		ran = true
+		emit("6", bench.Table6(rows))
 	}
 	if want("dne") {
 		tab, err := bench.TableDNE(scale, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
-		ran = true
+		emit("dne", tab)
 	}
 	if want("ingest") {
 		counts := []int{1, 2, 4, 8}
@@ -92,29 +105,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.IngestTable(rows).Render())
-		ran = true
+		emit("ingest", bench.IngestTable(rows))
 	}
 	if want("net") {
 		rows, err := bench.NetPathMeasure(scale, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(bench.NetPathTable(rows).Render())
-		ran = true
+		emit("net", bench.NetPathTable(rows))
 	}
 	if want("ablation") {
 		tab, err := bench.AblationMatrix(scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(tab.Render())
 		fp, err := bench.AblationFalsePositives(scale)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(fp.Render())
-		ran = true
+		emit("ablation", tab, fp)
 	}
 	if !ran {
 		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|all)", *table)

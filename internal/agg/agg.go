@@ -14,6 +14,7 @@ package agg
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"faultyrank/internal/graph"
 	"faultyrank/internal/ldiskfs"
@@ -80,12 +81,23 @@ func Merge(parts []*scanner.Partial) *Unified {
 // and every fill pass below is partitioned so writes never race and
 // ordering follows the canonical stream.
 func MergeWorkers(parts []*scanner.Partial, workers int) *Unified {
+	return MergeWorkersObserved(parts, workers, nil)
+}
+
+// MergeWorkersObserved is MergeWorkers with instrumentation: each fill
+// pass reports per-worker busy time and item counts through m, and the
+// interner's final size lands on the agg_interned_fids gauge. A nil m
+// observes nothing and adds no overhead beyond one branch per pass.
+func MergeWorkersObserved(parts []*scanner.Partial, workers int, m *Metrics) *Unified {
 	if workers <= 0 {
 		workers = par.DefaultWorkers()
 	}
 	u := &Unified{}
 	u.FIDs, u.byFID = internSharded(parts, workers)
 	n := len(u.FIDs)
+	if m != nil {
+		m.InternedFIDs.Set(int64(n))
+	}
 	u.Present = make([]bool, n)
 	u.Types = make([]ldiskfs.FileType, n) // zero value is TypeFree
 	u.Claims = make([][]ObjectLoc, n)
@@ -101,7 +113,7 @@ func MergeWorkers(parts []*scanner.Partial, workers int) *Unified {
 	objGID := make([]uint32, nObj)
 	for i, p := range parts {
 		off := objOff[i]
-		par.ForRange(len(p.Objects), workers, func(lo, hi int) {
+		observedRange(len(p.Objects), workers, m, m.mergeObjects(), func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				g, _ := u.byFID.gid(p.Objects[k].FID)
 				objGID[off+k] = g
@@ -112,7 +124,7 @@ func MergeWorkers(parts []*scanner.Partial, workers int) *Unified {
 	// Present/Types/Claims: workers own disjoint GID ranges and each
 	// walks the object stream in canonical order, so the first claim
 	// wins and Claims order matches the sequential merge exactly.
-	par.ForRange(n, workers, func(glo, ghi int) {
+	observedRange(n, workers, m, nil, func(glo, ghi int) {
 		for i, p := range parts {
 			off := objOff[i]
 			for k, o := range p.Objects {
@@ -144,7 +156,7 @@ func MergeWorkers(parts []*scanner.Partial, workers int) *Unified {
 	u.Edges = make([]graph.Edge, nEdge)
 	for i, p := range parts {
 		off := edgeOff[i]
-		par.ForRange(len(p.Edges), workers, func(lo, hi int) {
+		observedRange(len(p.Edges), workers, m, m.mergeEdges(), func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				e := p.Edges[k]
 				src, _ := u.byFID.gid(e.Src)
@@ -215,9 +227,10 @@ func mergeReference(parts []*scanner.Partial) *Unified {
 // Builder implements scanner.Sink, so in-process scanners stream into
 // it directly; the wire collector feeds it decoded chunks.
 type Builder struct {
-	mu    sync.Mutex
-	order []string
-	accs  map[string]*builderAcc
+	mu      sync.Mutex
+	order   []string
+	accs    map[string]*builderAcc
+	metrics *Metrics
 }
 
 type builderAcc struct {
@@ -236,11 +249,26 @@ func NewBuilder(labels []string) *Builder {
 	return b
 }
 
+// Observe attaches instrumentation: intake counters on every Emit,
+// lock-wait samples, and merge-side metrics on Finish/FinishCompleted.
+// Call before streaming starts; not synchronised with Emit.
+func (b *Builder) Observe(m *Metrics) { b.metrics = m }
+
 // Emit consumes one chunk. Safe for concurrent use by the per-server
 // scanner goroutines; chunks of one server must arrive in Seq order
 // (the scanner and the wire stream both guarantee it).
 func (b *Builder) Emit(c *scanner.Chunk) error {
-	b.mu.Lock()
+	if m := b.metrics; m != nil {
+		t0 := time.Now()
+		b.mu.Lock()
+		m.LockWait.Observe(time.Since(t0).Seconds())
+		m.Chunks.Inc()
+		m.Objects.Add(int64(len(c.Objects)))
+		m.Edges.Add(int64(len(c.Edges)))
+		m.Issues.Add(int64(len(c.Issues)))
+	} else {
+		b.mu.Lock()
+	}
 	defer b.mu.Unlock()
 	acc, ok := b.accs[c.ServerLabel]
 	if !ok {
@@ -288,7 +316,7 @@ func (b *Builder) Finish(workers int) (*Unified, error) {
 	if err != nil {
 		return nil, err
 	}
-	return MergeWorkers(parts, workers), nil
+	return MergeWorkersObserved(parts, workers, b.metrics), nil
 }
 
 // CompletedPartials returns the partials of every stream that has seen
@@ -322,7 +350,7 @@ func (b *Builder) FinishCompleted(workers int) (*Unified, []string, error) {
 	if len(parts) == 0 {
 		return nil, missing, fmt.Errorf("agg: no scanner stream completed (missing: %v)", missing)
 	}
-	return MergeWorkers(parts, workers), missing, nil
+	return MergeWorkersObserved(parts, workers, b.metrics), missing, nil
 }
 
 // DuplicateClaims returns the GIDs claimed by more than one inode —

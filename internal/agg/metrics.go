@@ -1,0 +1,79 @@
+package agg
+
+import (
+	"time"
+
+	"faultyrank/internal/par"
+	"faultyrank/internal/telemetry"
+)
+
+// Metrics is the aggregator's instrumentation: intake counters on the
+// Builder (chunks and their entries, plus time spent blocked on the
+// shared intake lock — the contention the streaming design is meant to
+// keep negligible) and merge-side counters (items translated per merge
+// worker, per-worker busy time, interner size). Instruments are
+// nil-safe; a nil *Metrics observes nothing.
+type Metrics struct {
+	// Builder intake.
+	Chunks, Objects, Edges, Issues *telemetry.Counter
+	// LockWait observes how long each Emit waited for the shared
+	// builder lock (seconds) — intake-side idle time.
+	LockWait *telemetry.Histogram
+
+	// Merge fills.
+	MergeObjects, MergeEdges *telemetry.Counter
+	// WorkerBusy observes each merge worker's busy time per fill pass
+	// (seconds); stage wall minus busy is that worker's idle share.
+	WorkerBusy *telemetry.Histogram
+	// InternedFIDs is the interner's final size — the unified graph's
+	// vertex count, phantoms included.
+	InternedFIDs *telemetry.Gauge
+}
+
+// NewMetrics resolves the aggregator instruments from reg (nil reg →
+// no-op instruments).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Chunks:       reg.Counter("agg_chunks_total"),
+		Objects:      reg.Counter("agg_objects_total"),
+		Edges:        reg.Counter("agg_edges_total"),
+		Issues:       reg.Counter("agg_issues_total"),
+		LockWait:     reg.Histogram("agg_intake_lock_wait_seconds", nil),
+		MergeObjects: reg.Counter("agg_merge_objects_total"),
+		MergeEdges:   reg.Counter("agg_merge_edges_total"),
+		WorkerBusy:   reg.Histogram("agg_merge_worker_busy_seconds", nil),
+		InternedFIDs: reg.Gauge("agg_interned_fids"),
+	}
+}
+
+// mergeObjects and mergeEdges are nil-safe accessors so call sites can
+// pick an item counter without a nil guard of their own.
+func (m *Metrics) mergeObjects() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.MergeObjects
+}
+
+func (m *Metrics) mergeEdges() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.MergeEdges
+}
+
+// observedRange is par.ForRange with per-worker observation: each
+// worker's contiguous range contributes one busy-time sample and its
+// item count. With m == nil it is exactly par.ForRange.
+func observedRange(n, workers int, m *Metrics, items *telemetry.Counter, fn func(lo, hi int)) {
+	if m == nil {
+		par.ForRange(n, workers, fn)
+		return
+	}
+	par.ForRange(n, workers, func(lo, hi int) {
+		t0 := time.Now()
+		fn(lo, hi)
+		m.WorkerBusy.Observe(time.Since(t0).Seconds())
+		items.Add(int64(hi - lo))
+	})
+}

@@ -38,12 +38,14 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. The JSON tags are the bench
+// artifact contract (internal/bench/json.go); renaming them breaks
+// BENCH_*.json consumers.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // Render formats the table as aligned text.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
 	"faultyrank/internal/scanner"
+	"faultyrank/internal/telemetry"
 	"faultyrank/internal/workload"
 )
 
@@ -82,12 +84,25 @@ func IngestMeasure(scale Scale, workerCounts []int) ([]IngestRow, error) {
 // images (the Go benchmark in the repo root reuses it on a shared aged
 // cluster).
 func MeasureIngest(images []*ldiskfs.Image, workers, chunkSize int) (IngestRow, error) {
+	return MeasureIngestObserved(images, workers, chunkSize, nil)
+}
+
+// MeasureIngestObserved is MeasureIngest against a telemetry registry:
+// scanner and aggregator instruments resolve from reg, making this the
+// instrumented arm of the telemetry overhead benchmark (reg == nil is
+// the uninstrumented arm — nil instruments, one branch per event).
+func MeasureIngestObserved(images []*ldiskfs.Image, workers, chunkSize int, reg *telemetry.Registry) (IngestRow, error) {
 	row := IngestRow{Workers: workers}
 	labels := make([]string, len(images))
 	for i, img := range images {
 		labels[i] = img.Label()
 	}
 	builder := agg.NewBuilder(labels)
+	var ins *scanner.Instr
+	if reg != nil {
+		ins = scanner.NewInstr(reg)
+		builder.Observe(agg.NewMetrics(reg))
+	}
 
 	t0 := time.Now()
 	errs := make([]error, len(images))
@@ -96,7 +111,7 @@ func MeasureIngest(images []*ldiskfs.Image, workers, chunkSize int) (IngestRow, 
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
-			errs[i] = scanner.ScanImageToSink(img, workers, chunkSize, builder)
+			errs[i] = scanner.ScanImageToSinkInstr(context.Background(), img, workers, chunkSize, builder, ins)
 		}(i, img)
 	}
 	wg.Wait()

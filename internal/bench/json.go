@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"faultyrank/internal/telemetry"
+)
+
+// ArtifactSchema identifies the JSON layout of a bench artifact file.
+const ArtifactSchema = "faultyrank/bench/v1"
+
+// Artifact is the machine-readable form of one frbench run: the same
+// structured rows the text tables render, plus enough identity (schema,
+// artifact name, scale) for downstream tooling — CI trend tracking,
+// plotting — to consume BENCH_<name>.json without parsing aligned text.
+type Artifact struct {
+	Schema string   `json:"schema"`
+	Name   string   `json:"name"`
+	Scale  string   `json:"scale"`
+	Tables []*Table `json:"tables"`
+}
+
+// ScaleName returns the CLI spelling of a Scale.
+func ScaleName(s Scale) string {
+	switch s {
+	case ScaleSmoke:
+		return "smoke"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "default"
+	}
+}
+
+// WriteArtifact writes the tables of one artifact as
+// dir/BENCH_<name>.json (atomically, via a temp file) and returns the
+// path written.
+func WriteArtifact(dir, name string, scale Scale, tables ...*Table) (string, error) {
+	if len(tables) == 0 {
+		return "", fmt.Errorf("bench: artifact %q has no tables", name)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	a := &Artifact{
+		Schema: ArtifactSchema,
+		Name:   name,
+		Scale:  ScaleName(scale),
+		Tables: tables,
+	}
+	if err := telemetry.WriteJSON(path, a); err != nil {
+		return "", err
+	}
+	return path, nil
+}

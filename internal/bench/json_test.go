@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+	"faultyrank/internal/telemetry"
+)
+
+func TestWriteArtifact(t *testing.T) {
+	dir := t.TempDir()
+	tab := &Table{Title: "T", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	path, err := WriteArtifact(dir, "demo", ScaleSmoke, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_demo.json" {
+		t.Errorf("path = %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != ArtifactSchema || a.Name != "demo" || a.Scale != "smoke" {
+		t.Errorf("artifact identity wrong: %+v", a)
+	}
+	if len(a.Tables) != 1 || a.Tables[0].Rows[0][0] != "1" {
+		t.Errorf("tables did not round-trip: %+v", a.Tables)
+	}
+}
+
+func TestWriteArtifactRejectsEmpty(t *testing.T) {
+	if _, err := WriteArtifact(t.TempDir(), "empty", ScaleSmoke); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+}
+
+// TestMeasureIngestObservedCounters: the instrumented ingest run must
+// report exactly what the scan produced — the counters are a second,
+// independently-batched tally of the same sweep.
+func TestMeasureIngestObservedCounters(t *testing.T) {
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 2, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Create("/d/f"+string(rune('a'+i)), 2*64<<10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	images := []*ldiskfs.Image{c.MDT.Img}
+	for _, ost := range c.OSTs {
+		images = append(images, ost.Img)
+	}
+
+	var wantInodes, wantEdges int64
+	for _, img := range images {
+		p, err := scanner.ScanImage(img, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantInodes += p.Stats.InodesScanned
+		wantEdges += p.Stats.EdgesEmitted
+	}
+
+	reg := telemetry.NewRegistry()
+	if _, err := MeasureIngestObserved(images, 0, 0, reg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("scanner_inodes_scanned_total").Value(); got != wantInodes {
+		t.Errorf("inodes counter = %d, want %d", got, wantInodes)
+	}
+	if got := reg.Counter("scanner_edges_emitted_total").Value(); got != wantEdges {
+		t.Errorf("edges counter = %d, want %d", got, wantEdges)
+	}
+	if got := reg.Counter("agg_chunks_total").Value(); got == 0 {
+		t.Error("builder saw no chunks")
+	}
+	if got := reg.Gauge("agg_interned_fids").Value(); got == 0 {
+		t.Error("interner gauge not set")
+	}
+}

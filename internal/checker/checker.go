@@ -21,6 +21,7 @@ import (
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
 	"faultyrank/internal/scanner"
+	"faultyrank/internal/telemetry"
 	"faultyrank/internal/wire"
 )
 
@@ -64,6 +65,15 @@ type Options struct {
 	// streams on the TCP path — the test/bench hook for exercising the
 	// failure model (nil = no faults).
 	NetFaults map[string]*inject.NetFault
+
+	// Metrics is the registry the run's instruments resolve from. Nil
+	// means a private per-run registry — Result.Metrics, Result.Scan and
+	// the report counters are populated either way. Pass a shared
+	// registry to expose the same instruments on a live /metrics
+	// endpoint (cmd/faultyrank -metrics-addr) or across repeated runs;
+	// per-run views (NetStats, ScanStats) are computed as counter
+	// deltas, so sharing stays correct.
+	Metrics *telemetry.Registry
 }
 
 // Coverage reports which servers' partial graphs made it into the
@@ -198,6 +208,13 @@ type Result struct {
 	Coverage Coverage
 	// Net carries the scan stage's transfer counters (TCP path only).
 	Net NetStats
+	// Scan carries the scanner-side telemetry counters (both paths).
+	Scan ScanStats
+	// Phases is the run's phase-timing tree: run → scan (one child per
+	// server) → aggregate (merge, build) → rank (iterate, classify).
+	Phases *telemetry.SpanNode
+	// Metrics is the deterministic end-of-run registry snapshot.
+	Metrics telemetry.Snapshot
 
 	Unified  *agg.Unified
 	Graph    *graph.Bidirected
@@ -257,21 +274,26 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 		opt.Retry = wire.DefaultRetryPolicy()
 	}
 	res := &Result{Coverage: Coverage{Total: len(images)}}
+	obs := newRunObs(opt.Metrics)
+	ctx, root := telemetry.StartSpan(ctx, "run")
 
 	labels := make([]string, len(images))
 	for i, img := range images {
 		labels[i] = img.Label()
 	}
 	builder := agg.NewBuilder(labels)
+	builder.Observe(obs.aggM)
 
 	// ---- Stage 1: parallel scanners streaming chunks (T_scan) --------
 	t0 := time.Now()
+	scanCtx, scanSpan := telemetry.StartSpan(ctx, "scan")
 	var err error
 	if opt.UseTCP {
-		err = streamOverTCP(ctx, images, builder, opt, res)
+		err = streamOverTCP(scanCtx, images, builder, opt, res, obs)
 	} else {
-		err = streamInProcess(ctx, images, builder, opt)
+		err = streamInProcess(scanCtx, images, builder, opt, obs)
 	}
+	scanSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +301,8 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 
 	// ---- Stage 2: sharded merge + CSR build (T_graph) ----------------
 	t1 := time.Now()
+	aggCtx, aggSpan := telemetry.StartSpan(ctx, "aggregate")
+	_, mergeSpan := telemetry.StartSpan(aggCtx, "merge")
 	if opt.AllowDegraded {
 		var missing []string
 		res.Unified, missing, err = builder.FinishCompleted(opt.Workers)
@@ -286,13 +310,20 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 	} else {
 		res.Unified, err = builder.Finish(opt.Workers)
 	}
+	mergeSpan.End()
 	if err != nil {
+		aggSpan.End()
 		return nil, err
 	}
+	_, buildSpan := telemetry.StartSpan(aggCtx, "build")
 	res.Graph = res.Unified.Build(opt.Workers)
+	buildSpan.End()
+	aggSpan.End()
 	res.TGraph = time.Since(t1)
 
-	return res, rankAndClassify(res, images, opt)
+	err = rankAndClassify(ctx, res, images, opt)
+	obs.finish(res, root)
+	return res, err
 }
 
 // Analyze runs the pipeline's post-scan stages — aggregation, CSR
@@ -304,19 +335,33 @@ func Analyze(res *Result, images []*ldiskfs.Image, parts []*scanner.Partial, opt
 	if opt.Core.MaxIterations == 0 {
 		opt.Core = core.DefaultOptions()
 	}
+	obs := newRunObs(opt.Metrics)
+	ctx, root := telemetry.StartSpan(context.Background(), "analyze")
 	// ---- Stage 2: aggregate + CSR build (T_graph) --------------------
 	t1 := time.Now()
-	res.Unified = agg.MergeWorkers(parts, opt.Workers)
+	aggCtx, aggSpan := telemetry.StartSpan(ctx, "aggregate")
+	_, mergeSpan := telemetry.StartSpan(aggCtx, "merge")
+	res.Unified = agg.MergeWorkersObserved(parts, opt.Workers, obs.aggM)
+	mergeSpan.End()
+	_, buildSpan := telemetry.StartSpan(aggCtx, "build")
 	res.Graph = res.Unified.Build(opt.Workers)
+	buildSpan.End()
+	aggSpan.End()
 	res.TGraph = time.Since(t1)
-	return rankAndClassify(res, images, opt)
+	err := rankAndClassify(ctx, res, images, opt)
+	obs.finish(res, root)
+	return err
 }
 
 // rankAndClassify is stage 3 (T_FR), shared by Run and Analyze:
 // FaultyRank iteration, detection and fault classification.
-func rankAndClassify(res *Result, images []*ldiskfs.Image, opt Options) error {
+func rankAndClassify(ctx context.Context, res *Result, images []*ldiskfs.Image, opt Options) error {
 	t2 := time.Now()
+	rankCtx, rankSpan := telemetry.StartSpan(ctx, "rank")
+	_, iterSpan := telemetry.StartSpan(rankCtx, "iterate")
 	res.Rank = core.Run(res.Graph, opt.Core)
+	iterSpan.End()
+	_, classifySpan := telemetry.StartSpan(rankCtx, "classify")
 	res.Report = core.Detect(res.Graph, res.Rank, res.Unified.Present, opt.Core)
 	byLabel := make(map[string]*ldiskfs.Image, len(images))
 	for _, img := range images {
@@ -324,6 +369,8 @@ func rankAndClassify(res *Result, images []*ldiskfs.Image, opt Options) error {
 	}
 	res.Findings = classify(res, byLabel, opt)
 	res.Stats = res.Graph.Stats(opt.Workers)
+	classifySpan.End()
+	rankSpan.End()
 	res.TRank = time.Since(t2)
 	return nil
 }
@@ -350,14 +397,16 @@ func ClusterImages(c *lustre.Cluster) []*ldiskfs.Image {
 // streamInProcess runs every image's scanner concurrently, each
 // streaming its chunks straight into the shared sink (Builder.Emit is
 // thread-safe, so chunk interleaving across servers is harmless).
-func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.Sink, opt Options) error {
+func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.Sink, opt Options, obs *runObs) error {
 	errs := make([]error, len(images))
 	var wg sync.WaitGroup
 	for i, img := range images {
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
-			errs[i] = scanner.ScanImageToSinkContext(ctx, img, opt.Workers, opt.ChunkSize, sink)
+			_, sp := telemetry.StartSpan(ctx, "scan:"+img.Label())
+			defer sp.End()
+			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan)
 		}(i, img)
 	}
 	wg.Wait()
@@ -379,44 +428,42 @@ func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.
 // bounds the whole stage; when a stream is lost the degraded collector
 // keeps the surviving streams flowing, while strict mode aborts the
 // siblings and fails the run. The transfer counters land in res.Net.
-func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Builder, opt Options, res *Result) error {
+func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Builder, opt Options, res *Result, obs *runObs) error {
 	col, addr, err := wire.NewCollector()
 	if err != nil {
 		return err
 	}
 	defer col.Close()
+	col.Observe(obs.wireM)
 	if opt.ScanTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opt.ScanTimeout)
 		defer cancel()
 	}
 	errs := make([]error, len(images))
-	var retries int64
-	var retryMu sync.Mutex
 	var wg sync.WaitGroup
 	for i, img := range images {
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
+			_, sp := telemetry.StartSpan(ctx, "scan:"+img.Label())
+			defer sp.End()
 			fault := opt.NetFaults[img.Label()]
 			if fault != nil && fault.PreConnect() {
 				errs[i] = fmt.Errorf("%w before connect (%s)", inject.ErrScannerCrash, img.Label())
 				return
 			}
-			cs, err := wire.DialChunkStreamContext(ctx, addr, opt.Retry, opt.OpTimeout)
+			cs, err := wire.DialChunkStreamObserved(ctx, addr, opt.Retry, opt.OpTimeout, obs.wireM)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			defer cs.Close()
-			retryMu.Lock()
-			retries += int64(cs.DialRetries())
-			retryMu.Unlock()
 			sink := scanner.Sink(cs)
 			if fault != nil {
 				sink = fault.WrapStream(ctx, cs)
 			}
-			errs[i] = scanner.ScanImageToSinkContext(ctx, img, opt.Workers, opt.ChunkSize, sink)
+			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan)
 		}(i, img)
 	}
 	// A scanner that fails before or during its stream leaves the
@@ -435,12 +482,11 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 	}()
 	colRes, collectErr := col.CollectChunksContext(ctx, len(images), opt.AllowDegraded, builder.Emit)
 	wg.Wait()
-	res.Net = NetStats{
-		Frames:       colRes.Frames,
-		Bytes:        colRes.Bytes,
-		DialRetries:  retries,
-		StreamErrors: colRes.Errors,
-	}
+	// NetStats is a per-run view over the registry-backed wire counters;
+	// the error descriptions still come from the collector, which is the
+	// only place that knows why a stream died.
+	res.Net = obs.netStats()
+	res.Net.StreamErrors = colRes.Errors
 	if opt.AllowDegraded {
 		// Sender-side failures are part of the degraded story, not
 		// fatal; record them for the report.

@@ -40,6 +40,11 @@ func (r *Result) WriteReport(w io.Writer, verbose bool) error {
 		fmt.Fprintf(w, "transfer: %d frames, %d bytes, %d dial retries\n",
 			r.Net.Frames, r.Net.Bytes, r.Net.DialRetries)
 	}
+	if r.Scan != (ScanStats{}) {
+		fmt.Fprintf(w, "scan: %d inodes, %d dirents, %d edges emitted, %d chunks, %d parse issues\n",
+			r.Scan.InodesScanned, r.Scan.DirentsRead, r.Scan.EdgesEmitted,
+			r.Scan.Chunks, r.Scan.ParseIssues)
+	}
 
 	if len(r.Findings) == 0 {
 		fmt.Fprintln(w, "verdict: file system is consistent — no findings")

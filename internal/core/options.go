@@ -90,7 +90,25 @@ type Options struct {
 	// Workers bounds the goroutines used by the parallel kernels;
 	// <=0 means GOMAXPROCS.
 	Workers int
+
+	// ConvergenceTrace enables Result.Trace, the per-iteration record of
+	// max-delta and redistributed sink mass. Off by default: the trace is
+	// diagnostic output (run manifests, benches), not part of the
+	// algorithm, and Result.Diffs already carries the bare convergence
+	// series.
+	ConvergenceTrace bool
+
+	// TraceCap bounds Result.Trace when ConvergenceTrace is set; <=0 uses
+	// DefaultTraceCap. Iterations beyond the cap still run and still
+	// append to Diffs — only the detailed trace stops growing.
+	TraceCap int
 }
+
+// DefaultTraceCap bounds Result.Trace when Options.TraceCap is unset.
+// Runs converge in <20 iterations (paper §III), so 64 records every
+// realistic run while keeping a pathological non-converging loop from
+// growing the trace without bound.
+const DefaultTraceCap = 64
 
 // DefaultOptions returns the configuration used throughout the paper's
 // evaluation: ε=0.1, unpaired weight 1/10, sink mass to the other N-1
@@ -113,6 +131,13 @@ func (o Options) attributionSlack() float64 {
 		return 2.0
 	}
 	return o.AttributionSlack
+}
+
+func (o Options) traceCap() int {
+	if o.TraceCap <= 0 {
+		return DefaultTraceCap
+	}
+	return o.TraceCap
 }
 
 func (o Options) workers() int {

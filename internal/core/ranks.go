@@ -20,6 +20,24 @@ type Result struct {
 	// Diffs records the max-abs ID-rank change after each iteration
 	// (the convergence trace; useful for the ablation benches).
 	Diffs []float64
+	// Trace is the detailed per-iteration record — populated only when
+	// Options.ConvergenceTrace is set, and capped at Options.TraceCap
+	// entries (DefaultTraceCap when unset). Values are worker-count
+	// insensitive up to float summation order, like the ranks themselves.
+	Trace []IterStats
+}
+
+// IterStats is one iteration's convergence record.
+type IterStats struct {
+	// MaxDelta is the max-abs ID-rank change this iteration, on the
+	// unsmoothed scale Epsilon is compared against (same as Diffs).
+	MaxDelta float64 `json:"max_delta"`
+	// SinkMassID is the dangling mass redistributed in phase A, the
+	// sweep that produces the ID ranks.
+	SinkMassID float64 `json:"sink_mass_id"`
+	// SinkMassProp is the dangling mass redistributed in phase B, the
+	// sweep that produces the property ranks.
+	SinkMassProp float64 `json:"sink_mass_prop"`
 }
 
 // NormalizedID returns IDRank divided by N, the sum-to-one presentation
@@ -155,6 +173,13 @@ func Run(b *graph.Bidirected, opt Options) *Result {
 			diff /= blend
 		}
 		res.Diffs = append(res.Diffs, diff)
+		if opt.ConvergenceTrace && len(res.Trace) < opt.traceCap() {
+			res.Trace = append(res.Trace, IterStats{
+				MaxDelta:     diff,
+				SinkMassID:   sinkA,
+				SinkMassProp: sinkB,
+			})
+		}
 		res.IDRank, newID = newID, res.IDRank
 		res.PropRank, newProp = newProp, res.PropRank
 		res.Iterations = iter + 1

@@ -75,13 +75,14 @@ type chunkEmitter struct {
 	limit int
 	seq   int
 	cur   Chunk
+	ins   *Instr
 }
 
-func newChunkEmitter(label string, limit int, sink Sink) *chunkEmitter {
+func newChunkEmitter(label string, limit int, sink Sink, ins *Instr) *chunkEmitter {
 	if limit <= 0 {
 		limit = DefaultChunkEntries
 	}
-	return &chunkEmitter{label: label, sink: sink, limit: limit}
+	return &chunkEmitter{label: label, sink: sink, limit: limit, ins: ins}
 }
 
 func (e *chunkEmitter) flush(final bool) error {
@@ -91,6 +92,7 @@ func (e *chunkEmitter) flush(final bool) error {
 	c.Final = final
 	e.seq++
 	e.cur = Chunk{}
+	e.ins.chunk()
 	return e.sink.Emit(&c)
 }
 
@@ -163,8 +165,17 @@ func ScanImageToSink(img *ldiskfs.Image, workers, chunkEntries int, sink Sink) e
 // returns ctx.Err(), so a checker deadline cancels an in-flight sweep
 // instead of letting it ship chunks nobody will collect.
 func ScanImageToSinkContext(ctx context.Context, img *ldiskfs.Image, workers, chunkEntries int, sink Sink) error {
+	return ScanImageToSinkInstr(ctx, img, workers, chunkEntries, sink, nil)
+}
+
+// ScanImageToSinkInstr is ScanImageToSinkContext with instrumentation:
+// ins's run-wide counters (inodes, dirents, edges, parse issues,
+// chunks) are updated as groups are released — batched per group, so
+// the per-inode sweep stays free of atomics. A nil ins observes
+// nothing.
+func ScanImageToSinkInstr(ctx context.Context, img *ldiskfs.Image, workers, chunkEntries int, sink Sink, ins *Instr) error {
 	groups := img.Groups()
-	em := newChunkEmitter(img.Label(), chunkEntries, sink)
+	em := newChunkEmitter(img.Label(), chunkEntries, sink, ins)
 	if groups == 0 {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -203,6 +214,7 @@ func ScanImageToSinkContext(ctx context.Context, img *ldiskfs.Image, workers, ch
 			firstErr = fmt.Errorf("scanner: group %d: %w", g, errs[g])
 			continue
 		}
+		ins.group(shards[g]) // before add: add consumes the group's slices
 		if err := em.add(shards[g]); err != nil {
 			firstErr = err
 			continue

@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves a registry over HTTP: GET /metrics renders the
+// Prometheus text format, and /debug/pprof/... exposes the standard
+// runtime profiles. The pprof handlers are registered on this private
+// mux, not http.DefaultServeMux, so importing telemetry never leaks
+// profiling endpoints into an application's own server.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the metrics endpoint on addr (":9090", "127.0.0.1:0",
+// …) and returns the bound address plus a stop function. The server
+// runs until stop is called; a CLI typically defers stop and lets the
+// endpoint live exactly as long as the run it observes.
+func Serve(addr string, r *Registry) (boundAddr string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus: counters, gauges and histograms render in the
+// text exposition format with cumulative buckets and sanitized names.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wire_frames_sent_total").Add(42)
+	r.Gauge("agg.interned-fids").Set(7)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE wire_frames_sent_total counter\nwire_frames_sent_total 42\n",
+		"# TYPE agg_interned_fids gauge\nagg_interned_fids 7\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHandlerServesMetricsAndPprof: the HTTP handler exposes both the
+// Prometheus endpoint and the pprof index.
+func TestHandlerServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scanner_inodes_scanned_total").Add(9)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "scanner_inodes_scanned_total 9") {
+		t.Errorf("/metrics body: %s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ body lacks profiles: %.200s", body)
+	}
+}
+
+// TestServe: the standalone server binds an ephemeral port, serves
+// metrics, and stops cleanly.
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	addr, stop, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "c 1") {
+		t.Errorf("metrics body: %s", body)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after stop")
+	}
+}
+
+// TestWriteJSONManifest: the manifest writes atomically and round-trips.
+func TestWriteJSONManifest(t *testing.T) {
+	m := NewRunManifest("faultyrank")
+	m.Options = map[string]any{"workers": 4}
+	m.Results["findings"] = 0
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := WriteJSON(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{ManifestSchema, `"tool": "faultyrank"`, `"workers": 4`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("manifest missing %q:\n%s", want, data)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind")
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// A Span times one phase of a run. Spans nest: starting a span under a
+// context that already carries one attaches the new span as a child, so
+// a run's phases assemble into a tree (scan → per-server streams,
+// aggregate → merge/build, …) that Node() snapshots for reports and
+// manifests.
+//
+// Spans are safe for concurrent use — parallel scanners all start
+// children under the same parent — and tolerate a nil receiver, like
+// the rest of the package.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	children []*Span
+}
+
+type spanKey struct{}
+
+// StartSpan begins a span named name. If ctx already carries a span the
+// new one becomes its child; either way the returned context carries
+// the new span, so the nesting follows the call tree without explicit
+// plumbing. End the span when the phase completes.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// End marks the span complete. Second and later calls are no-ops, so a
+// deferred End after an explicit one is harmless.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's elapsed time — final once ended, running
+// until then (0 for nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// SpanNode is the JSON-ready snapshot of one span: its offset from the
+// tree's root start, its duration, and its children in start order.
+// Durations marshal as nanoseconds (time.Duration's default), with the
+// seconds mirror for human readers of the manifest.
+type SpanNode struct {
+	Name        string        `json:"name"`
+	StartOffset time.Duration `json:"start_offset_ns"`
+	Duration    time.Duration `json:"duration_ns"`
+	Seconds     float64       `json:"seconds"`
+	Children    []SpanNode    `json:"children,omitempty"`
+}
+
+// Node snapshots the span's subtree. Offsets are relative to this
+// span's start (the usual caller is the run's root span, making the
+// offsets run-relative). Unended spans report their running duration.
+func (s *Span) Node() SpanNode {
+	if s == nil {
+		return SpanNode{}
+	}
+	return s.node(s.start)
+}
+
+func (s *Span) node(root time.Time) SpanNode {
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	d := s.Duration()
+	n := SpanNode{
+		Name:        s.name,
+		StartOffset: s.start.Sub(root),
+		Duration:    d,
+		Seconds:     d.Seconds(),
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, c.node(root))
+	}
+	return n
+}
+
+// Find returns the first node named name in a depth-first walk of the
+// tree rooted at n, or nil — the report/test convenience accessor.
+func (n *SpanNode) Find(name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for i := range n.Children {
+		if m := n.Children[i].Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanTreeNesting: spans started under a parent's context attach as
+// children, in order, and the snapshot mirrors the call tree.
+func TestSpanTreeNesting(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "run")
+	sctx, scan := StartSpan(ctx, "scan")
+	_, s0 := StartSpan(sctx, "scan/mdt0")
+	s0.End()
+	_, s1 := StartSpan(sctx, "scan/ost0")
+	s1.End()
+	scan.End()
+	_, rank := StartSpan(ctx, "rank")
+	rank.End()
+	root.End()
+
+	n := root.Node()
+	if n.Name != "run" || len(n.Children) != 2 {
+		t.Fatalf("root node = %+v", n)
+	}
+	if n.Children[0].Name != "scan" || n.Children[1].Name != "rank" {
+		t.Fatalf("child order = %s, %s", n.Children[0].Name, n.Children[1].Name)
+	}
+	sc := n.Find("scan")
+	if sc == nil || len(sc.Children) != 2 {
+		t.Fatalf("scan subtree = %+v", sc)
+	}
+	if sc.Children[0].Name != "scan/mdt0" || sc.Children[1].Name != "scan/ost0" {
+		t.Fatalf("scan children = %+v", sc.Children)
+	}
+	if n.Find("nope") != nil {
+		t.Fatal("Find invented a node")
+	}
+	if n.Duration < sc.Duration {
+		t.Errorf("root duration %v < child duration %v", n.Duration, sc.Duration)
+	}
+	if n.Seconds != n.Duration.Seconds() {
+		t.Errorf("seconds mirror diverges: %g vs %g", n.Seconds, n.Duration.Seconds())
+	}
+	if sc.StartOffset < 0 {
+		t.Errorf("negative start offset %v", sc.StartOffset)
+	}
+}
+
+// TestSpanConcurrentChildren: parallel scanners starting spans under
+// one parent never lose a child (run under -race in CI).
+func TestSpanConcurrentChildren(t *testing.T) {
+	ctx, parent := StartSpan(context.Background(), "scan")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "child")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	parent.End()
+	if got := len(parent.Node().Children); got != n {
+		t.Fatalf("parent lost children: %d != %d", got, n)
+	}
+}
+
+// TestSpanEndIdempotent: a second End does not move the recorded end
+// time, and an unended span reports a running duration.
+func TestSpanEndIdempotent(t *testing.T) {
+	_, s := StartSpan(context.Background(), "x")
+	s.End()
+	d1 := s.Duration()
+	time.Sleep(5 * time.Millisecond)
+	s.End()
+	if d2 := s.Duration(); d2 != d1 {
+		t.Fatalf("second End moved the duration: %v -> %v", d1, d2)
+	}
+	_, open := StartSpan(context.Background(), "open")
+	time.Sleep(time.Millisecond)
+	if open.Duration() <= 0 {
+		t.Fatal("unended span reported no running duration")
+	}
+}

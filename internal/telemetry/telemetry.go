@@ -1,0 +1,315 @@
+// Package telemetry is the run-wide observability layer: a
+// dependency-free metrics core (atomic counters, gauges, fixed-bucket
+// histograms, a Registry with a deterministic Snapshot), a lightweight
+// span API recording a nested phase-timing tree per run, a Prometheus
+// text exposition writer with an HTTP handler (plus pprof), and the
+// RunManifest JSON the CLIs emit for machine-readable results.
+//
+// Design constraints, in order:
+//
+//   - Hot paths stay allocation-free: a Counter is one atomic word, a
+//     Histogram observation is one atomic add plus one CAS loop on the
+//     sum, and instruments are resolved from the Registry once, outside
+//     the loop, never per event.
+//   - Everything is nil-tolerant: methods on a nil *Counter, *Gauge,
+//     *Histogram or *Registry are no-ops, so uninstrumented call sites
+//     pay a single predictable branch and no plumbing is conditional.
+//   - Snapshots are deterministic: instruments render sorted by name,
+//     so two snapshots of equal state are byte-identical — reports and
+//     manifests diff cleanly run to run.
+//
+// The package depends only on the standard library and is safe under
+// the race detector: all mutation is atomic or mutex-guarded.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing atomic counter. The zero
+// value is ready to use; methods on a nil receiver are no-ops, which is
+// what makes an uninstrumented path free of conditionals.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is an instantaneous atomic value that can move both ways.
+// The zero value is ready; nil-receiver methods are no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// A Histogram counts observations into fixed buckets. Bounds are the
+// inclusive upper edges, ascending; every histogram has an implicit
+// +Inf bucket at the end, so len(counts) == len(bounds)+1. Observations
+// also accumulate into a total sum and count, which is what the
+// Prometheus text format and mean latency derivations need.
+//
+// The counts are independent atomics and the sum is a CAS loop on the
+// float bits, so concurrent observers never lose an event (asserted by
+// the package's -race test) while the hot path stays lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// DefSecondsBuckets are the default latency bounds (seconds): 100 µs to
+// ~100 s in decade-ish steps, tuned for the stage and frame timings
+// this code base observes.
+func DefSecondsBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5, 10, 50, 100}
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds (nil = DefSecondsBuckets). The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefSecondsBuckets()
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (≈13): linear scan beats binary search on real
+	// hardware at this size and keeps the code branch-predictable.
+	i := len(h.bounds)
+	for j, ub := range h.bounds {
+		if v <= ub {
+			i = j
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// A Registry names and owns a run's instruments. Lookup lazily creates
+// the instrument on first use; callers resolve instruments once and
+// keep the pointers (lookups take a mutex, instrument use does not).
+// A nil *Registry hands out nil instruments, turning a whole
+// instrumentation tree into no-ops with one decision at the root.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use
+// (nil registry → nil counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (nil bounds = DefSecondsBuckets; bounds of an
+// existing histogram are not re-checked).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. Counts are per-bucket
+// (not cumulative) and Counts[len(Bounds)] is the +Inf bucket.
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot is a deterministic point-in-time view of a registry: every
+// slice is sorted by instrument name, so equal registry states always
+// render byte-identically.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state (empty for nil).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns the named counter's value in the snapshot (0 when
+// absent) — the lookup reports and tests use.
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value in the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestCounterExactUnderConcurrency: no increment is ever lost — G
+// goroutines × N adds land exactly, for counters, gauges and histogram
+// counts/sums alike. Run under -race in CI.
+func TestCounterExactUnderConcurrency(t *testing.T) {
+	const goroutines, perG = 16, 10_000
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{0.5, 1.5})
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(2)
+				h.Observe(1) // second bucket
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter lost increments: %d != %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != 2*goroutines*perG {
+		t.Errorf("gauge lost adds: %d != %d", got, 2*goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram lost observations: %d != %d", got, goroutines*perG)
+	}
+	if got := h.Sum(); got != float64(goroutines*perG) {
+		t.Errorf("histogram sum drifted: %g != %d", got, goroutines*perG)
+	}
+	snap := r.Snapshot()
+	if snap.Histograms[0].Counts[1] != goroutines*perG {
+		t.Errorf("bucket counts = %v, want all mass in bucket 1", snap.Histograms[0].Counts)
+	}
+}
+
+// TestRegistryGetOrCreate: the same name always yields the same
+// instrument, and concurrent first lookups agree on one instance.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	results := make([]*Counter, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Counter("shared")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent lookups created distinct counters")
+		}
+	}
+	if r.Counter("shared") != results[0] {
+		t.Fatal("later lookup returned a different counter")
+	}
+}
+
+// TestSnapshotDeterministic: equal registry states snapshot
+// identically, with instruments sorted by name regardless of creation
+// order.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) Snapshot {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		r.Gauge("z_gauge").Set(7)
+		r.Gauge("a_gauge").Set(3)
+		r.Histogram("lat", []float64{1, 2}).Observe(1.5)
+		return r.Snapshot()
+	}
+	a := build([]string{"beta", "alpha", "gamma"})
+	b := build([]string{"gamma", "beta", "alpha"})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", a, b)
+	}
+	for i := 1; i < len(a.Counters); i++ {
+		if a.Counters[i-1].Name >= a.Counters[i].Name {
+			t.Fatalf("counters not sorted: %+v", a.Counters)
+		}
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("JSON renderings differ for equal state")
+	}
+}
+
+// TestNilSafety: every instrument and the registry itself tolerate nil
+// — the uninstrumented path must be safe without conditionals at call
+// sites.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments reported nonzero values")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if snap.Counter("x") != 0 || snap.Gauge("x") != 0 {
+		t.Fatal("missing instruments must read as zero")
+	}
+	var s *Span
+	s.End()
+	if s.Duration() != 0 || s.Name() != "" {
+		t.Fatal("nil span misbehaved")
+	}
+	if n := s.Node(); n.Name != "" || len(n.Children) != 0 {
+		t.Fatal("nil span produced a node")
+	}
+}
+
+// TestHistogramBuckets: observations land in the right buckets,
+// including the implicit +Inf overflow.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1, 2} // (..1], (1..10], (10..100], (100..)
+	got := make([]int64, len(h.counts))
+	for i := range h.counts {
+		got[i] = h.counts[i].Load()
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket counts = %v, want %v", got, want)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 0.5+1+5+50+500+5000 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+}

@@ -6,12 +6,12 @@ import (
 	"net"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"faultyrank/internal/graph"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/scanner"
+	"faultyrank/internal/telemetry"
 )
 
 // Chunk encoding (all little-endian):
@@ -139,9 +139,13 @@ type ChunkStream struct {
 	// relies on the ctx deadline alone.
 	opTimeout   time.Duration
 	dialRetries int
-	frames      int64
-	bytes       int64
-	err         error
+	// frames and bytes are this stream's own tallies (telemetry
+	// counters so Sent is race-free against a concurrent reader);
+	// metrics additionally feeds the run-wide registry when set.
+	frames  telemetry.Counter
+	bytes   telemetry.Counter
+	metrics *Metrics
+	err     error
 }
 
 // DialChunkStream connects one scanner stream to a collector with no
@@ -156,18 +160,29 @@ func DialChunkStream(addr string) (*ChunkStream, error) {
 // only), so a stalled collector surfaces as an I/O timeout instead of
 // hanging the scanner.
 func DialChunkStreamContext(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration) (*ChunkStream, error) {
+	return DialChunkStreamObserved(ctx, addr, policy, opTimeout, nil)
+}
+
+// DialChunkStreamObserved is DialChunkStreamContext with run-wide wire
+// metrics attached: dial retries, sent frames/bytes and per-frame
+// write latency land in m as the stream ships (nil m observes
+// nothing).
+func DialChunkStreamObserved(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration, m *Metrics) (*ChunkStream, error) {
 	conn, retries, err := dialRetry(ctx, addr, policy)
 	if err != nil {
 		return nil, err
 	}
-	return &ChunkStream{conn: conn, ctx: ctx, opTimeout: opTimeout, dialRetries: retries}, nil
+	if m != nil {
+		m.DialRetries.Add(int64(retries))
+	}
+	return &ChunkStream{conn: conn, ctx: ctx, opTimeout: opTimeout, dialRetries: retries, metrics: m}, nil
 }
 
 // DialRetries reports how many redials the initial connect needed.
 func (s *ChunkStream) DialRetries() int { return s.dialRetries }
 
 // Sent reports the frames and payload bytes shipped so far.
-func (s *ChunkStream) Sent() (frames, bytes int64) { return s.frames, s.bytes }
+func (s *ChunkStream) Sent() (frames, bytes int64) { return s.frames.Value(), s.bytes.Value() }
 
 // Emit frames and sends one chunk. A mid-stream collector failure
 // surfaces either as a write error here or as the error frame read in
@@ -194,12 +209,21 @@ func (s *ChunkStream) emit(payload []byte, final bool) error {
 		}
 	}
 	s.setDeadline(net.Conn.SetWriteDeadline)
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 	if err := WriteFrame(s.conn, MsgChunk, payload); err != nil {
 		s.err = err
 		return err
 	}
-	s.frames++
-	s.bytes += int64(len(payload))
+	s.frames.Inc()
+	s.bytes.Add(int64(len(payload)))
+	if s.metrics != nil {
+		s.metrics.FrameWrite.Observe(time.Since(t0).Seconds())
+		s.metrics.FramesSent.Inc()
+		s.metrics.BytesSent.Add(int64(len(payload)))
+	}
 	if !final {
 		return nil
 	}
@@ -236,7 +260,9 @@ func (s *ChunkStream) Close() error { return s.conn.Close() }
 // streams completed, and a human-readable account of every stream
 // failure (empty on a clean run).
 type CollectResult struct {
-	// Frames and Bytes count every chunk frame the collector decoded.
+	// Frames and Bytes count every chunk frame the collector decoded
+	// (snapshots of the per-collect counters, taken after all stream
+	// handlers stop).
 	Frames, Bytes int64
 	// Completed lists the server labels whose final chunk arrived,
 	// sorted for deterministic reporting.
@@ -269,6 +295,10 @@ func (c *Collector) CollectChunks(nStreams int, deliver func(*scanner.Chunk) err
 // in both modes so callers can report transfer counters.
 func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degraded bool, deliver func(*scanner.Chunk) error) (*CollectResult, error) {
 	res := &CollectResult{}
+	// Per-collect frame/byte tallies: telemetry counters rather than
+	// hand-rolled atomics, snapshotted into res once the handlers stop.
+	// c.metrics (when observed) additionally feeds the run registry.
+	var frames, bytes telemetry.Counter
 	var mu sync.Mutex // guards res fields and conns
 	conns := make(map[net.Conn]struct{})
 	var errs []error
@@ -325,7 +355,7 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 				mu.Unlock()
 				conn.Close()
 			}()
-			label, err := serveChunkStream(conn, deliver, res)
+			label, err := serveChunkStream(conn, deliver, &frames, &bytes, c.metrics)
 			mu.Lock()
 			if err != nil {
 				if label != "" {
@@ -333,6 +363,9 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 				}
 				errs = append(errs, err)
 				res.Errors = append(res.Errors, err.Error())
+				if c.metrics != nil {
+					c.metrics.StreamErrors.Inc()
+				}
 				mu.Unlock()
 				if !degraded {
 					stop() // abort the sibling streams
@@ -344,6 +377,8 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 		}(conn)
 	}
 	wg.Wait()
+	res.Frames = frames.Value()
+	res.Bytes = bytes.Value()
 	sort.Strings(res.Completed)
 	sort.Strings(res.Errors)
 	if degraded {
@@ -361,9 +396,10 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 }
 
 // serveChunkStream drains one connection's chunks into deliver,
-// counting frames and bytes into res. It returns the stream's server
-// label ("" if no chunk decoded before the failure).
-func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, res *CollectResult) (string, error) {
+// counting frames and bytes into the per-collect counters and, when
+// set, the run-wide metrics. It returns the stream's server label
+// ("" if no chunk decoded before the failure).
+func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames, bytes *telemetry.Counter, m *Metrics) (string, error) {
 	label := ""
 	for {
 		typ, payload, err := ReadFrame(conn)
@@ -383,8 +419,12 @@ func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, res *Co
 			_ = WriteError(conn, err)
 			return label, err
 		}
-		atomic.AddInt64(&res.Frames, 1)
-		atomic.AddInt64(&res.Bytes, int64(len(payload)))
+		frames.Inc()
+		bytes.Add(int64(len(payload)))
+		if m != nil {
+			m.FramesRecv.Inc()
+			m.BytesRecv.Add(int64(len(payload)))
+		}
 		label = ch.ServerLabel
 		if err := deliver(ch); err != nil {
 			_ = WriteError(conn, err)

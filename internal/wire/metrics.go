@@ -1,0 +1,38 @@
+package wire
+
+import "faultyrank/internal/telemetry"
+
+// Metrics is the wire layer's instrumentation: run-wide transfer
+// counters shared by every chunk stream and the collector. These are
+// the registry-backed replacements for the hand-rolled counters that
+// used to live behind checker.NetStats — NetStats survives as a
+// snapshot view over them. All instruments are nil-safe, so a nil
+// *Metrics (or one resolved from a nil registry) costs one predictable
+// branch per event.
+type Metrics struct {
+	// FramesSent and BytesSent count chunk frames shipped by senders.
+	FramesSent, BytesSent *telemetry.Counter
+	// FramesRecv and BytesRecv count chunk frames the collector decoded.
+	FramesRecv, BytesRecv *telemetry.Counter
+	// DialRetries counts sender-side redials beyond the first attempt.
+	DialRetries *telemetry.Counter
+	// StreamErrors counts failed or aborted streams at the collector.
+	StreamErrors *telemetry.Counter
+	// FrameWrite observes per-frame write latency on the sender
+	// (seconds), the distribution behind transfer stalls.
+	FrameWrite *telemetry.Histogram
+}
+
+// NewMetrics resolves the wire counters from reg (nil reg → no-op
+// instruments).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		FramesSent:   reg.Counter("wire_frames_sent_total"),
+		BytesSent:    reg.Counter("wire_bytes_sent_total"),
+		FramesRecv:   reg.Counter("wire_frames_received_total"),
+		BytesRecv:    reg.Counter("wire_bytes_received_total"),
+		DialRetries:  reg.Counter("wire_dial_retries_total"),
+		StreamErrors: reg.Counter("wire_stream_errors_total"),
+		FrameWrite:   reg.Histogram("wire_frame_write_seconds", nil),
+	}
+}

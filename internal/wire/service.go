@@ -435,7 +435,16 @@ func SendPartialToContext(ctx context.Context, addr string, payload []byte, poli
 // endpoint).
 type Collector struct {
 	ln net.Listener
+	// metrics, when set via Observe, feeds the run-wide transfer
+	// counters as chunk frames are decoded.
+	metrics *Metrics
 }
+
+// Observe attaches run-wide wire metrics to the collector: every
+// decoded chunk frame and every stream failure is counted into m in
+// addition to the per-collect CollectResult tallies. Call before
+// collection starts.
+func (c *Collector) Observe(m *Metrics) { c.metrics = m }
 
 // NewCollector listens on a fresh localhost port.
 func NewCollector() (*Collector, string, error) {
