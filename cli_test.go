@@ -117,13 +117,21 @@ func TestCLIObservability(t *testing.T) {
 	run(t, 0, bin, "frmkfs", "-out", cluster, "-files", "120", "-compact")
 
 	manifest := filepath.Join(work, "run.json")
+	clusterMf := filepath.Join(work, "cluster.json")
 	out := run(t, 0, bin, "faultyrank", "-dir", cluster, "-tcp",
-		"-metrics-addr", "127.0.0.1:0", "-run-manifest", manifest)
+		"-metrics-addr", "127.0.0.1:0", "-run-manifest", manifest,
+		"-cluster-manifest", clusterMf, "-profile-rates", "100")
 	if !strings.Contains(out, "serving /metrics") {
 		t.Fatalf("metrics endpoint not announced: %s", out)
 	}
 	if !strings.Contains(out, "run manifest written") {
 		t.Fatalf("manifest not announced: %s", out)
+	}
+	if !strings.Contains(out, "cluster manifest written") {
+		t.Fatalf("cluster manifest not announced: %s", out)
+	}
+	if !strings.Contains(out, "per-server scan timeline:") || !strings.Contains(out, "straggler: ") {
+		t.Fatalf("report lacks the per-server timeline: %s", out)
 	}
 	data, err := os.ReadFile(manifest)
 	if err != nil {
@@ -142,10 +150,44 @@ func TestCLIObservability(t *testing.T) {
 	if m.Schema != "faultyrank/run-manifest/v1" || m.Phases.Name != "run" {
 		t.Fatalf("manifest shape wrong: schema=%q root=%q", m.Schema, m.Phases.Name)
 	}
-	for _, key := range []string{"coverage", "convergence", "scan", "net"} {
+	for _, key := range []string{"coverage", "convergence", "scan", "net", "cluster"} {
 		if _, ok := m.Results[key]; !ok {
 			t.Errorf("manifest results lack %q:\n%s", key, data)
 		}
+	}
+
+	// The standalone cluster manifest: versioned schema, one section per
+	// server (frmkfs -compact builds 1 MDT + 8 OSTs), a named straggler.
+	cdata, err := os.ReadFile(clusterMf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cm struct {
+		Schema  string `json:"schema"`
+		Servers []struct {
+			Server  string `json:"server"`
+			Missing bool   `json:"missing"`
+		} `json:"servers"`
+		Skew struct {
+			Straggler string `json:"straggler"`
+		} `json:"skew"`
+	}
+	if err := json.Unmarshal(cdata, &cm); err != nil {
+		t.Fatalf("cluster manifest not valid JSON: %v\n%s", err, cdata)
+	}
+	if cm.Schema != "faultyrank/cluster-manifest/v1" {
+		t.Fatalf("cluster manifest schema = %q", cm.Schema)
+	}
+	if len(cm.Servers) != 9 {
+		t.Fatalf("cluster manifest has %d server sections, want 9:\n%s", len(cm.Servers), cdata)
+	}
+	for _, s := range cm.Servers {
+		if s.Missing {
+			t.Errorf("clean run marked %s missing", s.Server)
+		}
+	}
+	if cm.Skew.Straggler == "" {
+		t.Fatalf("cluster manifest names no straggler:\n%s", cdata)
 	}
 
 	// Machine-readable bench artifact.

@@ -8,6 +8,7 @@
 //	faultyrank -dir cluster/ -tcp       # ship partial graphs over TCP
 //	faultyrank -dir cluster/ -metrics-addr :9090   # live /metrics + pprof
 //	faultyrank -dir cluster/ -run-manifest run.json # machine-readable record
+//	faultyrank -dir cluster/ -tcp -cluster-manifest cm.json # per-server telemetry + skew
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"faultyrank/internal/checker"
 	"faultyrank/internal/imgdir"
@@ -39,8 +41,15 @@ func main() {
 		verbose   = flag.Bool("v", false, "print ranks of suspicious vertices and the repair log")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while running")
 		manifest  = flag.String("run-manifest", "", "write a machine-readable run manifest (JSON) to this path")
+		clusterMf = flag.String("cluster-manifest", "", "write the per-server cluster manifest (JSON) to this path")
+		profRates = flag.Int("profile-rates", 0, "enable mutex/block profiling at this sampling rate (for /debug/pprof)")
 	)
 	flag.Parse()
+
+	if *profRates > 0 {
+		runtime.SetMutexProfileFraction(*profRates)
+		runtime.SetBlockProfileRate(*profRates)
+	}
 
 	images, err := imgdir.Load(*dir)
 	if err != nil {
@@ -84,6 +93,12 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("run manifest written to %s", *manifest)
+	}
+	if *clusterMf != "" {
+		if err := telemetry.WriteJSON(*clusterMf, res.Cluster); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cluster manifest written to %s", *clusterMf)
 	}
 	if len(res.Findings) == 0 {
 		return

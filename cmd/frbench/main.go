@@ -11,6 +11,7 @@
 //	frbench -table ablation        # design ablation matrix
 //	frbench -table ingest          # ingestion scaling (scan→CSR vs workers)
 //	frbench -table net             # network path under injected scanner faults
+//	frbench -table skew            # per-server scan skew from wire-shipped telemetry
 //	frbench -table all -scale smoke
 //
 // -scale picks sizing: smoke (seconds), default (minutes), paper (the
@@ -32,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("frbench: ")
 	var (
-		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|dne|ablation|ingest|net|all")
+		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|all")
 		scaleStr = flag.String("scale", "default", "sizing: smoke|default|paper")
 		workers  = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		useTCP   = flag.Bool("tcp", true, "Table VI: run both checkers over localhost TCP")
@@ -114,6 +115,13 @@ func main() {
 		}
 		emit("net", bench.NetPathTable(rows))
 	}
+	if want("skew") {
+		rows, sum, err := bench.SkewMeasure(scale, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("skew", bench.SkewTable(rows, sum))
+	}
 	if want("ablation") {
 		tab, err := bench.AblationMatrix(scale)
 		if err != nil {
@@ -126,6 +134,6 @@ func main() {
 		emit("ablation", tab, fp)
 	}
 	if !ran {
-		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|all)", *table)
+		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|all)", *table)
 	}
 }

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/workload"
+)
+
+// skewBarWidth is the character budget of the per-server bar column.
+const skewBarWidth = 20
+
+// SkewRow is one server's line of the cluster-skew artifact: the
+// per-server telemetry columns the TCP run shipped home in its wire
+// trailer, as assembled into the checker's cluster manifest.
+type SkewRow struct {
+	Server       string
+	Missing      bool
+	ScanSeconds  float64
+	Inodes       int64
+	Frames       int64
+	Bytes        int64
+	Redials      int64
+	StallSeconds float64
+}
+
+// SkewSummary is the straggler attribution over the rows.
+type SkewSummary struct {
+	Straggler      string
+	Fastest        string
+	SlowestSeconds float64
+	FastestSeconds float64
+	MeanSeconds    float64
+	StragglerRatio float64
+}
+
+// SkewMeasure ages one 1 MDT + 8 OST cluster and runs the TCP checker
+// once, then reads the per-server sections and skew analysis off the
+// run's cluster manifest. Unlike the net-path table this injects no
+// faults — the point is the attribution itself: which server set the
+// scan stage's wall clock and by how much.
+func SkewMeasure(scale Scale, workers int) ([]SkewRow, SkewSummary, error) {
+	geometry := ldiskfs.CompactGeometry()
+	if scale == ScalePaper {
+		geometry = ldiskfs.DefaultGeometry()
+	}
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 8, StripeSize: 64 << 10, StripeCount: -1, Geometry: geometry,
+	})
+	if err != nil {
+		return nil, SkewSummary{}, err
+	}
+	target := ingestTarget(scale)
+	if _, err := workload.Age(c, workload.AgeSpec{
+		TargetMDTInodes: target, ChurnFraction: 0.15, Seed: target,
+	}); err != nil {
+		return nil, SkewSummary{}, err
+	}
+
+	opt := checker.DefaultOptions()
+	opt.UseTCP = true
+	opt.Workers = workers
+	opt.ChunkSize = 1024
+	res, err := checker.Run(checker.ClusterImages(c), opt)
+	if err != nil {
+		return nil, SkewSummary{}, fmt.Errorf("bench: skew run: %w", err)
+	}
+	m := res.Cluster
+	if m == nil {
+		return nil, SkewSummary{}, fmt.Errorf("bench: skew run produced no cluster manifest")
+	}
+	var rows []SkewRow
+	for _, s := range m.Servers {
+		rows = append(rows, SkewRow{
+			Server:       s.Server,
+			Missing:      s.Missing,
+			ScanSeconds:  s.ScanSeconds,
+			Inodes:       s.InodesScanned,
+			Frames:       s.Frames,
+			Bytes:        s.Bytes,
+			Redials:      s.DialRetries,
+			StallSeconds: s.StallSeconds,
+		})
+	}
+	sum := SkewSummary{
+		Straggler:      m.Skew.Straggler,
+		Fastest:        m.Skew.Fastest,
+		SlowestSeconds: m.Skew.SlowestSeconds,
+		FastestSeconds: m.Skew.FastestSeconds,
+		MeanSeconds:    m.Skew.MeanSeconds,
+		StragglerRatio: m.Skew.StragglerRatio,
+	}
+	return rows, sum, nil
+}
+
+// SkewTable renders the per-server rows with a text bar scaled to the
+// slowest scan span, plus the straggler attribution in the notes.
+func SkewTable(rows []SkewRow, sum SkewSummary) *Table {
+	t := &Table{
+		Title: "Per-server scan skew over TCP (wire-shipped telemetry, 1 MDT + 8 OSTs)",
+		Columns: []string{
+			"server", "scan", "scan(s)", "inodes", "frames", "MiB", "redials", "stall(s)",
+		},
+	}
+	for _, r := range rows {
+		if r.Missing {
+			t.Rows = append(t.Rows, []string{r.Server, "(missing)", "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		cells := 0
+		if sum.SlowestSeconds > 0 {
+			cells = int(r.ScanSeconds / sum.SlowestSeconds * skewBarWidth)
+		}
+		if cells < 1 {
+			cells = 1
+		}
+		bar := strings.Repeat("#", cells) + strings.Repeat(".", skewBarWidth-cells)
+		t.Rows = append(t.Rows, []string{
+			r.Server,
+			bar,
+			fmt.Sprintf("%.3f", r.ScanSeconds),
+			fmt.Sprintf("%d", r.Inodes),
+			fmt.Sprintf("%d", r.Frames),
+			mib(r.Bytes),
+			fmt.Sprintf("%d", r.Redials),
+			fmt.Sprintf("%.3f", r.StallSeconds),
+		})
+	}
+	if sum.Straggler != "" {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"straggler: %s at %.3fs (%.2fx the %.3fs mean); fastest: %s at %.3fs",
+			sum.Straggler, sum.SlowestSeconds, sum.StragglerRatio,
+			sum.MeanSeconds, sum.Fastest, sum.FastestSeconds))
+	}
+	t.Notes = append(t.Notes,
+		"each row is that server's own wire trailer: scan-span duration, frames/bytes it shipped, redials, frame-write stall time",
+		"the scan stage's wall clock is the slowest row; the ratio measures how much parallel speedup the skew costs")
+	return t
+}

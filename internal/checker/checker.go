@@ -215,6 +215,11 @@ type Result struct {
 	Phases *telemetry.SpanNode
 	// Metrics is the deterministic end-of-run registry snapshot.
 	Metrics telemetry.Snapshot
+	// Cluster is the cluster-scoped telemetry view: one section per
+	// server (wire-shipped snapshots on the TCP path), merged cluster
+	// totals, and the straggler analysis. Nil for Analyze-only results
+	// (no scan stage ran).
+	Cluster *ClusterManifest
 
 	Unified  *agg.Unified
 	Graph    *graph.Bidirected
@@ -288,16 +293,18 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 	t0 := time.Now()
 	scanCtx, scanSpan := telemetry.StartSpan(ctx, "scan")
 	var err error
+	var ships []*wire.Telemetry
 	if opt.UseTCP {
-		err = streamOverTCP(scanCtx, images, builder, opt, res, obs)
+		ships, err = streamOverTCP(scanCtx, images, builder, opt, res, obs)
 	} else {
-		err = streamInProcess(scanCtx, images, builder, opt, obs)
+		ships, err = streamInProcess(scanCtx, images, builder, opt, obs)
 	}
 	scanSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	res.TScan = time.Since(t0)
+	res.Cluster = BuildClusterManifest(labels, ships)
 
 	// ---- Stage 2: sharded merge + CSR build (T_graph) ----------------
 	t1 := time.Now()
@@ -396,26 +403,38 @@ func ClusterImages(c *lustre.Cluster) []*ldiskfs.Image {
 
 // streamInProcess runs every image's scanner concurrently, each
 // streaming its chunks straight into the shared sink (Builder.Emit is
-// thread-safe, so chunk interleaving across servers is harmless).
-func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.Sink, opt Options, obs *runObs) error {
+// thread-safe, so chunk interleaving across servers is harmless). Each
+// scanner also keeps a per-server registry — the same set of
+// instruments the TCP path ships home as a telemetry trailer — so the
+// cluster manifest has per-server sections on both paths.
+func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.Sink, opt Options, obs *runObs) ([]*wire.Telemetry, error) {
 	errs := make([]error, len(images))
+	ships := make([]*wire.Telemetry, len(images))
 	var wg sync.WaitGroup
 	for i, img := range images {
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
-			_, sp := telemetry.StartSpan(ctx, "scan:"+img.Label())
+			label := img.Label()
+			srvReg := telemetry.NewRegistry()
+			srvIns := scanner.NewInstr(srvReg)
+			_, sp := telemetry.StartSpan(ctx, "scan:"+label)
 			defer sp.End()
-			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan)
+			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan, srvIns)
+			if errs[i] == nil {
+				sp.End()
+				node := sp.Node()
+				ships[i] = &wire.Telemetry{Server: label, Snapshot: srvReg.Snapshot().Labeled(label), Span: &node}
+			}
 		}(i, img)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return ships, nil
 }
 
 // streamOverTCP reproduces the deployment data path: every scanner
@@ -428,10 +447,17 @@ func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.
 // bounds the whole stage; when a stream is lost the degraded collector
 // keeps the surviving streams flowing, while strict mode aborts the
 // siblings and fails the run. The transfer counters land in res.Net.
-func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Builder, opt Options, res *Result, obs *runObs) error {
+//
+// Each scanner keeps a per-server registry (its own scan counters and
+// wire metrics) and ships it to the collector as a telemetry trailer
+// after its final chunk — best-effort when the scan fails, since its
+// connection may already be gone. The collected trailers become the
+// cluster manifest's per-server sections; a crashed server simply has
+// no trailer and turns into a missing-telemetry entry.
+func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Builder, opt Options, res *Result, obs *runObs) ([]*wire.Telemetry, error) {
 	col, addr, err := wire.NewCollector()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer col.Close()
 	col.Observe(obs.wireM)
@@ -446,24 +472,41 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 		wg.Add(1)
 		go func(i int, img *ldiskfs.Image) {
 			defer wg.Done()
-			_, sp := telemetry.StartSpan(ctx, "scan:"+img.Label())
+			label := img.Label()
+			srvReg := telemetry.NewRegistry()
+			srvIns := scanner.NewInstr(srvReg)
+			srvWire := wire.NewMetrics(srvReg)
+			_, sp := telemetry.StartSpan(ctx, "scan:"+label)
 			defer sp.End()
-			fault := opt.NetFaults[img.Label()]
+			fault := opt.NetFaults[label]
 			if fault != nil && fault.PreConnect() {
-				errs[i] = fmt.Errorf("%w before connect (%s)", inject.ErrScannerCrash, img.Label())
+				errs[i] = fmt.Errorf("%w before connect (%s)", inject.ErrScannerCrash, label)
 				return
 			}
-			cs, err := wire.DialChunkStreamObserved(ctx, addr, opt.Retry, opt.OpTimeout, obs.wireM)
+			cs, err := wire.DialChunkStreamObserved(ctx, addr, opt.Retry, opt.OpTimeout, obs.wireM, srvWire)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			defer cs.Close()
+			// The trailer source runs right after the final chunk frame is
+			// written — the server's instruments are final at that moment.
+			cs.SetTelemetrySource(func() *wire.Telemetry {
+				sp.End()
+				node := sp.Node()
+				return &wire.Telemetry{Server: label, Snapshot: srvReg.Snapshot().Labeled(label), Span: &node}
+			})
 			sink := scanner.Sink(cs)
 			if fault != nil {
 				sink = fault.WrapStream(ctx, cs)
 			}
-			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan)
+			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan, srvIns)
+			if errs[i] != nil {
+				// Best-effort partial telemetry for the failure path; the
+				// connection is usually gone, and that is fine — the server
+				// then shows up as a missing-telemetry entry.
+				_ = cs.SendTelemetry(nil)
+			}
 		}(i, img)
 	}
 	// A scanner that fails before or during its stream leaves the
@@ -496,14 +539,14 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 					fmt.Sprintf("scanner %s: %v", images[i].Label(), err))
 			}
 		}
-		return nil
+		return colRes.Telemetry, nil
 	}
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return collectErr
+	return colRes.Telemetry, collectErr
 }
 
 // sortFindings orders findings deterministically for stable output.

@@ -68,6 +68,9 @@ func (r *Result) Manifest(opt Options) *telemetry.RunManifest {
 			"stream_errors": r.Net.StreamErrors,
 		},
 	}
+	if r.Cluster != nil {
+		results["cluster"] = r.Cluster
+	}
 	if r.Rank != nil {
 		conv := map[string]any{
 			"iterations": r.Rank.Iterations,

@@ -3,7 +3,62 @@ package checker
 import (
 	"fmt"
 	"io"
+	"strings"
 )
+
+// timelineBarWidth is the character budget of a per-server phase bar.
+const timelineBarWidth = 30
+
+// writeTimeline renders the cluster manifest's per-server section as a
+// text timeline: one bar per server scaled to the slowest scan span,
+// annotated with the per-server columns, and the straggler attribution
+// line. Rendered only when a cluster manifest exists (a run with a scan
+// stage) — hand-built results keep their report unchanged.
+func writeTimeline(w io.Writer, m *ClusterManifest) {
+	if m == nil || len(m.Servers) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "per-server scan timeline:")
+	wide := 0
+	for _, s := range m.Servers {
+		if len(s.Server) > wide {
+			wide = len(s.Server)
+		}
+	}
+	for _, s := range m.Servers {
+		if s.Missing {
+			fmt.Fprintf(w, "  %-*s  [telemetry missing — stream lost]\n", wide, s.Server)
+			continue
+		}
+		cells := 0
+		if m.Skew.SlowestSeconds > 0 {
+			cells = int(s.ScanSeconds / m.Skew.SlowestSeconds * timelineBarWidth)
+		}
+		if cells < 1 {
+			cells = 1
+		}
+		bar := strings.Repeat("█", cells) + strings.Repeat("·", timelineBarWidth-cells)
+		fmt.Fprintf(w, "  %-*s  %s %8.3fs  %d inodes", wide, s.Server, bar, s.ScanSeconds, s.InodesScanned)
+		if s.Frames > 0 {
+			fmt.Fprintf(w, ", %d frames, %d B", s.Frames, s.Bytes)
+		}
+		if s.DialRetries > 0 {
+			fmt.Fprintf(w, ", %d redials", s.DialRetries)
+		}
+		if s.StallSeconds > 0 {
+			fmt.Fprintf(w, ", %.3fs stalled", s.StallSeconds)
+		}
+		fmt.Fprintln(w)
+	}
+	if sk := m.Skew; sk.Straggler != "" {
+		fmt.Fprintf(w, "  straggler: %s at %.3fs (%.2fx the %.3fs mean; fastest %s at %.3fs)\n",
+			sk.Straggler, sk.SlowestSeconds, sk.StragglerRatio, sk.MeanSeconds,
+			sk.Fastest, sk.FastestSeconds)
+	}
+	if len(m.Skew.MissingTelemetry) > 0 {
+		fmt.Fprintf(w, "  missing telemetry: %s\n", strings.Join(m.Skew.MissingTelemetry, " "))
+	}
+}
 
 // WriteReport renders a human-readable account of a checker run: the
 // graph summary, the paper's stage timings, and every finding with its
@@ -45,6 +100,7 @@ func (r *Result) WriteReport(w io.Writer, verbose bool) error {
 			r.Scan.InodesScanned, r.Scan.DirentsRead, r.Scan.EdgesEmitted,
 			r.Scan.Chunks, r.Scan.ParseIssues)
 	}
+	writeTimeline(w, r.Cluster)
 
 	if len(r.Findings) == 0 {
 		fmt.Fprintln(w, "verdict: file system is consistent — no findings")

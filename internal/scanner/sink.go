@@ -75,10 +75,10 @@ type chunkEmitter struct {
 	limit int
 	seq   int
 	cur   Chunk
-	ins   *Instr
+	ins   []*Instr
 }
 
-func newChunkEmitter(label string, limit int, sink Sink, ins *Instr) *chunkEmitter {
+func newChunkEmitter(label string, limit int, sink Sink, ins []*Instr) *chunkEmitter {
 	if limit <= 0 {
 		limit = DefaultChunkEntries
 	}
@@ -92,7 +92,9 @@ func (e *chunkEmitter) flush(final bool) error {
 	c.Final = final
 	e.seq++
 	e.cur = Chunk{}
-	e.ins.chunk()
+	for _, in := range e.ins {
+		in.chunk()
+	}
 	return e.sink.Emit(&c)
 }
 
@@ -165,15 +167,16 @@ func ScanImageToSink(img *ldiskfs.Image, workers, chunkEntries int, sink Sink) e
 // returns ctx.Err(), so a checker deadline cancels an in-flight sweep
 // instead of letting it ship chunks nobody will collect.
 func ScanImageToSinkContext(ctx context.Context, img *ldiskfs.Image, workers, chunkEntries int, sink Sink) error {
-	return ScanImageToSinkInstr(ctx, img, workers, chunkEntries, sink, nil)
+	return ScanImageToSinkInstr(ctx, img, workers, chunkEntries, sink)
 }
 
 // ScanImageToSinkInstr is ScanImageToSinkContext with instrumentation:
-// ins's run-wide counters (inodes, dirents, edges, parse issues,
-// chunks) are updated as groups are released — batched per group, so
-// the per-inode sweep stays free of atomics. A nil ins observes
-// nothing.
-func ScanImageToSinkInstr(ctx context.Context, img *ldiskfs.Image, workers, chunkEntries int, sink Sink, ins *Instr) error {
+// each ins's counters (inodes, dirents, edges, parse issues, chunks)
+// are updated as groups are released — batched per group, so the
+// per-inode sweep stays free of atomics. The cluster path passes two
+// instruments, the run-wide one and the per-server set a telemetry
+// trailer snapshots; none (or nil entries) observe nothing.
+func ScanImageToSinkInstr(ctx context.Context, img *ldiskfs.Image, workers, chunkEntries int, sink Sink, ins ...*Instr) error {
 	groups := img.Groups()
 	em := newChunkEmitter(img.Label(), chunkEntries, sink, ins)
 	if groups == 0 {
@@ -214,7 +217,9 @@ func ScanImageToSinkInstr(ctx context.Context, img *ldiskfs.Image, workers, chun
 			firstErr = fmt.Errorf("scanner: group %d: %w", g, errs[g])
 			continue
 		}
-		ins.group(shards[g]) // before add: add consumes the group's slices
+		for _, in := range ins {
+			in.group(shards[g]) // before add: add consumes the group's slices
+		}
 		if err := em.add(shards[g]); err != nil {
 			firstErr = err
 			continue

@@ -1,0 +1,487 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// This file is the cluster side of the telemetry package: a
+// deterministic, versioned binary codec for Snapshot and SpanNode (the
+// blobs a scanner ships home in a wire trailer frame), and the merge
+// semantics that fold per-server snapshots into one cluster view.
+//
+// Codec invariants:
+//
+//   - Versioned: every blob starts with "FRTM" | version | kind, so a
+//     mixed-version cluster fails loudly instead of misparsing.
+//   - Canonical: instruments encode sorted by name and decode REJECTS
+//     out-of-order or duplicate names, so encoding is bijective — a
+//     payload either fails to decode or re-encodes byte-identically
+//     (the wire fuzz target leans on this, like the chunk codec).
+//   - Bounded: counts from untrusted headers are sanity-checked against
+//     the remaining payload before any allocation sized from them.
+//
+// Merge semantics (MergeSnapshots): counters sum, gauges keep the
+// labeled maximum, histograms add bucket-wise (union of bounds). Every
+// per-instrument operation is a commutative monoid — integer sums,
+// max under a total order on (value, label), pointwise bucket sums —
+// and float sums are accumulated in canonically sorted order, so the
+// merge of N snapshots is permutation-invariant down to the byte
+// (asserted by the codec tests and the checker's cluster tests).
+
+// CodecVersion identifies the binary layout of telemetry blobs. Bump on
+// any incompatible change.
+const CodecVersion = 1
+
+const (
+	codecKindSnapshot = 1
+	codecKindSpan     = 2
+)
+
+var codecMagic = [4]byte{'F', 'R', 'T', 'M'}
+
+// headerLen is magic + version + kind.
+const headerLen = 6
+
+func appendHeader(b []byte, kind byte) []byte {
+	b = append(b, codecMagic[:]...)
+	return append(b, CodecVersion, kind)
+}
+
+func cputU16(b []byte, v uint16) []byte {
+	return binary.LittleEndian.AppendUint16(b, v)
+}
+func cputU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+func cputU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+func cputStr(b []byte, s string) []byte {
+	b = cputU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// EncodeSnapshot renders s as a versioned binary blob. Instruments are
+// canonicalised (sorted by name) before encoding, so equal snapshots
+// always produce identical bytes.
+func EncodeSnapshot(s Snapshot) []byte {
+	return AppendSnapshot(nil, s)
+}
+
+// AppendSnapshot appends the encoding of s to b.
+func AppendSnapshot(b []byte, s Snapshot) []byte {
+	b = appendHeader(b, codecKindSnapshot)
+
+	cs := append([]CounterValue(nil), s.Counters...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	b = cputU32(b, uint32(len(cs)))
+	for _, c := range cs {
+		b = cputStr(b, c.Name)
+		b = cputU64(b, uint64(c.Value))
+	}
+
+	gs := append([]GaugeValue(nil), s.Gauges...)
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+	b = cputU32(b, uint32(len(gs)))
+	for _, g := range gs {
+		b = cputStr(b, g.Name)
+		b = cputStr(b, g.Label)
+		b = cputU64(b, uint64(g.Value))
+	}
+
+	hs := append([]HistogramValue(nil), s.Histograms...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
+	b = cputU32(b, uint32(len(hs)))
+	for _, h := range hs {
+		b = cputStr(b, h.Name)
+		b = cputU32(b, uint32(len(h.Bounds)))
+		for _, ub := range h.Bounds {
+			b = cputU64(b, math.Float64bits(ub))
+		}
+		// Always len(bounds)+1 counts on the wire; a hand-built value
+		// with a short Counts slice encodes missing buckets as zero.
+		for i := 0; i <= len(h.Bounds); i++ {
+			var n int64
+			if i < len(h.Counts) {
+				n = h.Counts[i]
+			}
+			b = cputU64(b, uint64(n))
+		}
+		b = cputU64(b, math.Float64bits(h.Sum))
+		b = cputU64(b, uint64(h.Count))
+	}
+	return b
+}
+
+// tdec is the telemetry-side bounded decoder (the package cannot import
+// wire's, as wire imports telemetry).
+type tdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *tdec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.err = fmt.Errorf("telemetry: truncated blob at offset %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *tdec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *tdec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *tdec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *tdec) str() string {
+	n := int(d.u16())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// remaining reports the undecoded byte count (0 once errored).
+func (d *tdec) remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
+func (d *tdec) header(kind byte) {
+	if !d.need(headerLen) {
+		return
+	}
+	if [4]byte(d.b[d.off:d.off+4]) != codecMagic {
+		d.err = fmt.Errorf("telemetry: bad blob magic %q", d.b[d.off:d.off+4])
+		return
+	}
+	if v := d.b[d.off+4]; v != CodecVersion {
+		d.err = fmt.Errorf("telemetry: unsupported codec version %d (have %d)", v, CodecVersion)
+		return
+	}
+	if k := d.b[d.off+5]; k != kind {
+		d.err = fmt.Errorf("telemetry: blob kind %d, want %d", k, kind)
+		return
+	}
+	d.off += headerLen
+}
+
+// DecodeSnapshot parses an encoded snapshot. Counts are sanity-bounded
+// against the payload before allocation, and the canonical form —
+// strictly ascending instrument names — is enforced, which is what
+// makes the codec bijective.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	d := &tdec{b: b}
+	d.header(codecKindSnapshot)
+	var s Snapshot
+
+	nC := d.u32()
+	// Minimum counter record: 2-byte name length + 8-byte value.
+	if d.err == nil && uint64(nC)*10 > uint64(d.remaining()) {
+		return s, fmt.Errorf("telemetry: implausible counter count %d", nC)
+	}
+	prev := ""
+	for i := uint32(0); i < nC && d.err == nil; i++ {
+		name := d.str()
+		v := int64(d.u64())
+		if d.err == nil && i > 0 && name <= prev {
+			return s, fmt.Errorf("telemetry: counters not in canonical order at %q", name)
+		}
+		prev = name
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: v})
+	}
+
+	nG := d.u32()
+	if d.err == nil && uint64(nG)*12 > uint64(d.remaining()) {
+		return s, fmt.Errorf("telemetry: implausible gauge count %d", nG)
+	}
+	prev = ""
+	for i := uint32(0); i < nG && d.err == nil; i++ {
+		name := d.str()
+		label := d.str()
+		v := int64(d.u64())
+		if d.err == nil && i > 0 && name <= prev {
+			return s, fmt.Errorf("telemetry: gauges not in canonical order at %q", name)
+		}
+		prev = name
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Label: label, Value: v})
+	}
+
+	nH := d.u32()
+	// Minimum histogram record: name len + bound count + one (+Inf)
+	// bucket + sum + count.
+	if d.err == nil && uint64(nH)*30 > uint64(d.remaining()) {
+		return s, fmt.Errorf("telemetry: implausible histogram count %d", nH)
+	}
+	prev = ""
+	for i := uint32(0); i < nH && d.err == nil; i++ {
+		name := d.str()
+		nB := d.u32()
+		if d.err == nil && uint64(nB)*16 > uint64(d.remaining()) {
+			return s, fmt.Errorf("telemetry: implausible bound count %d in %q", nB, name)
+		}
+		if d.err != nil {
+			break
+		}
+		hv := HistogramValue{Name: name}
+		if nB > 0 {
+			hv.Bounds = make([]float64, nB)
+		}
+		for j := uint32(0); j < nB; j++ {
+			hv.Bounds[j] = math.Float64frombits(d.u64())
+		}
+		for j := uint32(1); d.err == nil && j < nB; j++ {
+			if !(hv.Bounds[j-1] < hv.Bounds[j]) {
+				return s, fmt.Errorf("telemetry: histogram %q bounds not ascending", name)
+			}
+		}
+		hv.Counts = make([]int64, nB+1)
+		for j := range hv.Counts {
+			hv.Counts[j] = int64(d.u64())
+		}
+		hv.Sum = math.Float64frombits(d.u64())
+		hv.Count = int64(d.u64())
+		if d.err == nil && i > 0 && name <= prev {
+			return s, fmt.Errorf("telemetry: histograms not in canonical order at %q", name)
+		}
+		prev = name
+		s.Histograms = append(s.Histograms, hv)
+	}
+
+	if d.err != nil {
+		return Snapshot{}, d.err
+	}
+	if d.off != len(b) {
+		return Snapshot{}, fmt.Errorf("telemetry: %d trailing bytes in snapshot", len(b)-d.off)
+	}
+	return s, nil
+}
+
+// EncodeSpanNode renders a span tree as a versioned binary blob.
+func EncodeSpanNode(n *SpanNode) []byte {
+	return AppendSpanNode(nil, n)
+}
+
+// AppendSpanNode appends the encoding of the tree rooted at n to b.
+func AppendSpanNode(b []byte, n *SpanNode) []byte {
+	b = appendHeader(b, codecKindSpan)
+	return appendSpanBody(b, n)
+}
+
+func appendSpanBody(b []byte, n *SpanNode) []byte {
+	if n == nil {
+		n = &SpanNode{}
+	}
+	b = cputStr(b, n.Name)
+	b = cputU64(b, uint64(n.StartOffset))
+	b = cputU64(b, uint64(n.Duration))
+	b = cputU64(b, math.Float64bits(n.Seconds))
+	b = cputU32(b, uint32(len(n.Children)))
+	for i := range n.Children {
+		b = appendSpanBody(b, &n.Children[i])
+	}
+	return b
+}
+
+// spanMinRecord is the smallest possible encoded node (empty name, no
+// children): the allocation bound for child counts from hostile input.
+const spanMinRecord = 2 + 8 + 8 + 8 + 4
+
+// maxSpanDepth bounds decode recursion against adversarial deep chains.
+const maxSpanDepth = 1024
+
+// DecodeSpanNode parses an encoded span tree, bounding child counts
+// against the remaining payload and the nesting depth.
+func DecodeSpanNode(b []byte) (*SpanNode, error) {
+	d := &tdec{b: b}
+	d.header(codecKindSpan)
+	n := decodeSpanBody(d, 0)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes in span", len(b)-d.off)
+	}
+	return n, nil
+}
+
+func decodeSpanBody(d *tdec, depth int) *SpanNode {
+	if depth > maxSpanDepth {
+		d.err = fmt.Errorf("telemetry: span tree deeper than %d", maxSpanDepth)
+		return nil
+	}
+	n := &SpanNode{}
+	n.Name = d.str()
+	n.StartOffset = time.Duration(d.u64())
+	n.Duration = time.Duration(d.u64())
+	n.Seconds = math.Float64frombits(d.u64())
+	nKids := d.u32()
+	if d.err == nil && uint64(nKids)*spanMinRecord > uint64(d.remaining()) {
+		d.err = fmt.Errorf("telemetry: implausible span child count %d", nKids)
+		return nil
+	}
+	for i := uint32(0); i < nKids && d.err == nil; i++ {
+		if c := decodeSpanBody(d, depth+1); c != nil {
+			n.Children = append(n.Children, *c)
+		}
+	}
+	return n
+}
+
+// Labeled returns a copy of s with every gauge's origin label set to
+// server — the stamp a scanner applies before shipping its snapshot, so
+// a merged cluster view can attribute each gauge maximum to the server
+// that held it.
+func (s Snapshot) Labeled(server string) Snapshot {
+	out := Snapshot{
+		Counters:   append([]CounterValue(nil), s.Counters...),
+		Gauges:     append([]GaugeValue(nil), s.Gauges...),
+		Histograms: append([]HistogramValue(nil), s.Histograms...),
+	}
+	for i := range out.Gauges {
+		out.Gauges[i].Label = server
+	}
+	return out
+}
+
+// Histogram returns the named histogram in the snapshot (false when
+// absent) — the lookup the cluster manifest's derived columns use.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// MergeSnapshots folds any number of per-server snapshots into one
+// cluster snapshot: counters sum, gauges keep the labeled maximum
+// (ties broken toward the lexicographically smaller label), histograms
+// add bucket-wise over the union of their bounds. The result is
+// canonical (name-sorted) and permutation-invariant: merging the same
+// snapshots in any order yields byte-identical encodings, because every
+// per-instrument operation is commutative and float sums are
+// accumulated in sorted order.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	counters := make(map[string]int64)
+	type gmax struct {
+		v     int64
+		label string
+		set   bool
+	}
+	gauges := make(map[string]*gmax)
+	type hacc struct {
+		buckets map[float64]int64
+		inf     int64
+		sums    []float64
+		count   int64
+	}
+	hists := make(map[string]*hacc)
+
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			counters[c.Name] += c.Value
+		}
+		for _, g := range s.Gauges {
+			cur := gauges[g.Name]
+			if cur == nil {
+				cur = &gmax{}
+				gauges[g.Name] = cur
+			}
+			// Max under the total order (value desc, label asc): taking
+			// the maximum of a total order is commutative+associative.
+			if !cur.set || g.Value > cur.v || (g.Value == cur.v && g.Label < cur.label) {
+				*cur = gmax{v: g.Value, label: g.Label, set: true}
+			}
+		}
+		for _, h := range s.Histograms {
+			a := hists[h.Name]
+			if a == nil {
+				a = &hacc{buckets: make(map[float64]int64)}
+				hists[h.Name] = a
+			}
+			for i, ub := range h.Bounds {
+				if i < len(h.Counts) {
+					a.buckets[ub] += h.Counts[i]
+				}
+			}
+			if len(h.Counts) > len(h.Bounds) {
+				a.inf += h.Counts[len(h.Bounds)]
+			}
+			if len(h.sumTerms) > 0 {
+				a.sums = append(a.sums, h.sumTerms...)
+			} else {
+				a.sums = append(a.sums, h.Sum)
+			}
+			a.count += h.Count
+		}
+	}
+
+	var out Snapshot
+	for name, v := range counters {
+		out.Counters = append(out.Counters, CounterValue{Name: name, Value: v})
+	}
+	for name, g := range gauges {
+		out.Gauges = append(out.Gauges, GaugeValue{Name: name, Value: g.v, Label: g.label})
+	}
+	for name, a := range hists {
+		hv := HistogramValue{Name: name, Count: a.count}
+		for ub := range a.buckets {
+			hv.Bounds = append(hv.Bounds, ub)
+		}
+		sort.Float64s(hv.Bounds)
+		hv.Counts = make([]int64, len(hv.Bounds)+1)
+		for i, ub := range hv.Bounds {
+			hv.Counts[i] = a.buckets[ub]
+		}
+		hv.Counts[len(hv.Bounds)] = a.inf
+		// Float sums folded in sorted order over the full multiset of
+		// constituent terms: permutation- and grouping-invariant to the
+		// bit (the terms ride along for any further merge).
+		sort.Float64s(a.sums)
+		for _, v := range a.sums {
+			hv.Sum += v
+		}
+		hv.sumTerms = a.sums
+		out.Histograms = append(out.Histograms, hv)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}

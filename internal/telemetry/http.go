@@ -6,6 +6,10 @@ import (
 	"net/http/pprof"
 )
 
+// PromContentType is the versioned Content-Type the /metrics endpoint
+// answers with, per the Prometheus text exposition conventions.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Handler serves a registry over HTTP: GET /metrics renders the
 // Prometheus text format, and /debug/pprof/... exposes the standard
 // runtime profiles. The pprof handlers are registered on this private
@@ -14,7 +18,7 @@ import (
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Header().Set("Content-Type", PromContentType)
 		_ = WritePrometheus(w, r.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

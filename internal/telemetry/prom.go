@@ -9,19 +9,28 @@ import (
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples,
-// histograms as cumulative _bucket/_sum/_count series. Instrument names
-// are sanitized to the Prometheus charset; the snapshot's sorted order
-// makes the output deterministic.
+// histograms as cumulative _bucket/_sum/_count series. Counter names
+// get the conventional _total suffix when the instrument name lacks it,
+// gauges with an origin label render it as a server="..." label pair,
+// and instrument names are sanitized to the Prometheus charset; the
+// snapshot's sorted order makes the output deterministic.
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, c := range s.Counters {
 		name := promName(c.Name)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		name := promName(g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+		series := name
+		if g.Label != "" {
+			series = fmt.Sprintf("%s{server=%q}", name, g.Label)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, series, g.Value); err != nil {
 			return err
 		}
 	}

@@ -15,6 +15,7 @@ import (
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("wire_frames_sent_total").Add(42)
+	r.Counter("bare_events").Add(3) // no _total in the instrument name
 	r.Gauge("agg.interned-fids").Set(7)
 	h := r.Histogram("lat_seconds", []float64{0.1, 1})
 	h.Observe(0.05)
@@ -28,6 +29,7 @@ func TestWritePrometheus(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"# TYPE wire_frames_sent_total counter\nwire_frames_sent_total 42\n",
+		"# TYPE bare_events_total counter\nbare_events_total 3\n",
 		"# TYPE agg_interned_fids gauge\nagg_interned_fids 7\n",
 		"# TYPE lat_seconds histogram\n",
 		`lat_seconds_bucket{le="0.1"} 1`,
@@ -40,6 +42,23 @@ func TestWritePrometheus(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "_total_total") {
+		t.Errorf("suffix applied twice:\n%s", out)
+	}
+}
+
+// TestWritePrometheusGaugeLabel: a merged snapshot's labeled gauge
+// maximum renders with its origin server as a label pair.
+func TestWritePrometheusGaugeLabel(t *testing.T) {
+	s := Snapshot{Gauges: []GaugeValue{{Name: "agg_interner_size", Value: 99, Label: "ost5"}}}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE agg_interner_size gauge\nagg_interner_size{server=\"ost5\"} 99\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
 }
 
 // TestHandlerServesMetricsAndPprof: the HTTP handler exposes both the
@@ -50,7 +69,7 @@ func TestHandlerServesMetricsAndPprof(t *testing.T) {
 	srv := httptest.NewServer(Handler(r))
 	defer srv.Close()
 
-	get := func(path string) string {
+	get := func(path string) (string, http.Header) {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -63,12 +82,16 @@ func TestHandlerServesMetricsAndPprof(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return string(body)
+		return string(body), resp.Header
 	}
-	if body := get("/metrics"); !strings.Contains(body, "scanner_inodes_scanned_total 9") {
+	body, hdr := get("/metrics")
+	if !strings.Contains(body, "scanner_inodes_scanned_total 9") {
 		t.Errorf("/metrics body: %s", body)
 	}
-	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+	if ct := hdr.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if body, _ := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ body lacks profiles: %.200s", body)
 	}
 }
@@ -88,7 +111,7 @@ func TestServe(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body), "c 1") {
+	if !strings.Contains(string(body), "c_total 1") {
 		t.Errorf("metrics body: %s", body)
 	}
 	if err := stop(); err != nil {

@@ -235,10 +235,13 @@ type CounterValue struct {
 	Value int64  `json:"value"`
 }
 
-// GaugeValue is one gauge in a snapshot.
+// GaugeValue is one gauge in a snapshot. Label names the origin of the
+// value — in merged cluster snapshots it attributes the surviving
+// maximum to the server that held it (empty for in-process snapshots).
 type GaugeValue struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
+	Label string `json:"label,omitempty"`
 }
 
 // HistogramValue is one histogram in a snapshot. Counts are per-bucket
@@ -249,6 +252,15 @@ type HistogramValue struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+
+	// sumTerms carries the constituent per-server sums through a chain
+	// of merges (nil for a leaf snapshot, where Sum is the only term).
+	// Float addition is not associative, so a pairwise fold of merges
+	// would drift from a flat merge by intermediate rounding; keeping
+	// the multiset of terms and always deriving Sum as its sorted fold
+	// makes MergeSnapshots associative and commutative to the bit. The
+	// field is in-memory only: JSON and the binary codec see Sum.
+	sumTerms []float64
 }
 
 // Snapshot is a deterministic point-in-time view of a registry: every

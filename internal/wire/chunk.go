@@ -130,8 +130,9 @@ func DecodeChunk(b []byte) (*scanner.Chunk, error) {
 // connection. It implements scanner.Sink, so it plugs directly under
 // scanner.ScanImageToSink: each emitted chunk is framed and written
 // immediately, which is what lets the MDS-side aggregation overlap the
-// transfer instead of waiting for a whole encoded partial. The final
-// chunk is acknowledged by the collector before Emit returns.
+// transfer instead of waiting for a whole encoded partial. After the
+// final chunk the stream ships its telemetry trailer (MsgTelemetry),
+// then waits for the collector's acknowledgement before Emit returns.
 type ChunkStream struct {
 	conn net.Conn
 	ctx  context.Context
@@ -141,11 +142,16 @@ type ChunkStream struct {
 	dialRetries int
 	// frames and bytes are this stream's own tallies (telemetry
 	// counters so Sent is race-free against a concurrent reader);
-	// metrics additionally feeds the run-wide registry when set.
+	// metrics additionally feeds each attached registry view — the
+	// run-wide one and, on the cluster path, the per-server one.
 	frames  telemetry.Counter
 	bytes   telemetry.Counter
-	metrics *Metrics
-	err     error
+	metrics []*Metrics
+	// telemetrySource, when set, is invoked right after the final chunk
+	// frame is written — the moment the server's instruments stop
+	// moving — to build the trailer shipped before the ack.
+	telemetrySource func() *Telemetry
+	err             error
 }
 
 // DialChunkStream connects one scanner stream to a collector with no
@@ -160,23 +166,32 @@ func DialChunkStream(addr string) (*ChunkStream, error) {
 // only), so a stalled collector surfaces as an I/O timeout instead of
 // hanging the scanner.
 func DialChunkStreamContext(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration) (*ChunkStream, error) {
-	return DialChunkStreamObserved(ctx, addr, policy, opTimeout, nil)
+	return DialChunkStreamObserved(ctx, addr, policy, opTimeout)
 }
 
-// DialChunkStreamObserved is DialChunkStreamContext with run-wide wire
-// metrics attached: dial retries, sent frames/bytes and per-frame
-// write latency land in m as the stream ships (nil m observes
-// nothing).
-func DialChunkStreamObserved(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration, m *Metrics) (*ChunkStream, error) {
+// DialChunkStreamObserved is DialChunkStreamContext with wire metrics
+// attached: dial retries, sent frames/bytes and per-frame write latency
+// land in every registry view in ms as the stream ships. The cluster
+// path passes two — the run-wide metrics and the per-server set the
+// telemetry trailer snapshots — and nil entries observe nothing.
+func DialChunkStreamObserved(ctx context.Context, addr string, policy RetryPolicy, opTimeout time.Duration, ms ...*Metrics) (*ChunkStream, error) {
 	conn, retries, err := dialRetry(ctx, addr, policy)
 	if err != nil {
 		return nil, err
 	}
-	if m != nil {
-		m.DialRetries.Add(int64(retries))
+	for _, m := range ms {
+		if m != nil {
+			m.DialRetries.Add(int64(retries))
+		}
 	}
-	return &ChunkStream{conn: conn, ctx: ctx, opTimeout: opTimeout, dialRetries: retries, metrics: m}, nil
+	return &ChunkStream{conn: conn, ctx: ctx, opTimeout: opTimeout, dialRetries: retries, metrics: ms}, nil
 }
+
+// SetTelemetrySource attaches the callback that builds this stream's
+// telemetry trailer. It runs exactly when the final chunk frame has
+// been written (instruments final, ack not yet requested), or when
+// SendTelemetry ships a best-effort trailer on the failure path.
+func (s *ChunkStream) SetTelemetrySource(fn func() *Telemetry) { s.telemetrySource = fn }
 
 // DialRetries reports how many redials the initial connect needed.
 func (s *ChunkStream) DialRetries() int { return s.dialRetries }
@@ -210,7 +225,7 @@ func (s *ChunkStream) emit(payload []byte, final bool) error {
 	}
 	s.setDeadline(net.Conn.SetWriteDeadline)
 	var t0 time.Time
-	if s.metrics != nil {
+	if len(s.metrics) > 0 {
 		t0 = time.Now()
 	}
 	if err := WriteFrame(s.conn, MsgChunk, payload); err != nil {
@@ -219,13 +234,23 @@ func (s *ChunkStream) emit(payload []byte, final bool) error {
 	}
 	s.frames.Inc()
 	s.bytes.Add(int64(len(payload)))
-	if s.metrics != nil {
-		s.metrics.FrameWrite.Observe(time.Since(t0).Seconds())
-		s.metrics.FramesSent.Inc()
-		s.metrics.BytesSent.Add(int64(len(payload)))
+	for _, m := range s.metrics {
+		if m != nil {
+			m.FrameWrite.Observe(time.Since(t0).Seconds())
+			m.FramesSent.Inc()
+			m.BytesSent.Add(int64(len(payload)))
+		}
 	}
 	if !final {
 		return nil
+	}
+	// The stream's instruments are final now: build and ship the
+	// telemetry trailer before requesting the ack. The trailer rides
+	// the same write deadline as the chunk and deliberately does not
+	// count into the frame/byte tallies, which report graph transfer.
+	if err := WriteFrame(s.conn, MsgTelemetry, EncodeTelemetry(s.trailer())); err != nil {
+		s.err = err
+		return err
 	}
 	s.setDeadline(net.Conn.SetReadDeadline)
 	typ, body, err := ReadFrame(s.conn)
@@ -242,6 +267,34 @@ func (s *ChunkStream) emit(payload []byte, final bool) error {
 		return s.err
 	}
 	return nil
+}
+
+// trailer builds the stream's telemetry trailer: the source callback's
+// result when one is attached, an empty (but valid) trailer otherwise,
+// so the collector-side protocol is uniform for every sender.
+func (s *ChunkStream) trailer() *Telemetry {
+	if s.telemetrySource != nil {
+		if t := s.telemetrySource(); t != nil {
+			return t
+		}
+	}
+	return &Telemetry{}
+}
+
+// SendTelemetry ships a best-effort telemetry trailer outside the
+// normal final-chunk flow — the path a cancelled or failed scanner uses
+// so its partial instruments still reach the collector when the
+// connection happens to survive. Errors are returned for logging but a
+// failure here must never escalate: the run is already degraded.
+func (s *ChunkStream) SendTelemetry(t *Telemetry) error {
+	if s.err != nil {
+		return s.err
+	}
+	if t == nil {
+		t = s.trailer()
+	}
+	s.setDeadline(net.Conn.SetWriteDeadline)
+	return WriteFrame(s.conn, MsgTelemetry, EncodeTelemetry(t))
 }
 
 func (s *ChunkStream) setDeadline(set func(net.Conn, time.Time) error) {
@@ -269,6 +322,11 @@ type CollectResult struct {
 	Completed []string
 	// Errors describes each failed or aborted stream.
 	Errors []string
+	// Telemetry holds the trailers received, one per server label
+	// (last wins on a duplicate), sorted by server for determinism. A
+	// server that crashed before its trailer simply has no entry here —
+	// missing telemetry never fails a collect.
+	Telemetry []*Telemetry
 }
 
 // CollectChunks accepts nStreams chunk-stream connections and delivers
@@ -299,9 +357,18 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 	// hand-rolled atomics, snapshotted into res once the handlers stop.
 	// c.metrics (when observed) additionally feeds the run registry.
 	var frames, bytes telemetry.Counter
-	var mu sync.Mutex // guards res fields and conns
+	var mu sync.Mutex // guards res fields, telems and conns
 	conns := make(map[net.Conn]struct{})
+	telems := make(map[string]*Telemetry)
 	var errs []error
+	record := func(t *Telemetry) {
+		if t == nil || t.Server == "" {
+			return
+		}
+		mu.Lock()
+		telems[t.Server] = t
+		mu.Unlock()
+	}
 
 	// stop unblocks the accept wait and all in-flight reads exactly
 	// once: on ctx expiry, or (strict mode) on the first stream error.
@@ -355,7 +422,7 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 				mu.Unlock()
 				conn.Close()
 			}()
-			label, err := serveChunkStream(conn, deliver, &frames, &bytes, c.metrics)
+			label, err := serveChunkStream(conn, deliver, &frames, &bytes, c.metrics, record)
 			mu.Lock()
 			if err != nil {
 				if label != "" {
@@ -381,6 +448,10 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 	res.Bytes = bytes.Value()
 	sort.Strings(res.Completed)
 	sort.Strings(res.Errors)
+	for _, t := range telems {
+		res.Telemetry = append(res.Telemetry, t)
+	}
+	sort.Slice(res.Telemetry, func(i, j int) bool { return res.Telemetry[i].Server < res.Telemetry[j].Server })
 	if degraded {
 		return res, nil
 	}
@@ -397,9 +468,13 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 
 // serveChunkStream drains one connection's chunks into deliver,
 // counting frames and bytes into the per-collect counters and, when
-// set, the run-wide metrics. It returns the stream's server label
-// ("" if no chunk decoded before the failure).
-func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames, bytes *telemetry.Counter, m *Metrics) (string, error) {
+// set, the run-wide metrics. Telemetry trailers — the one expected
+// after the final chunk, or a best-effort one a failing scanner ships
+// mid-stream — are handed to record; a malformed trailer is dropped,
+// never escalated, since telemetry must not fail a stream whose graph
+// data is intact. Returns the stream's server label ("" if no chunk
+// decoded before the failure).
+func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames, bytes *telemetry.Counter, m *Metrics, record func(*Telemetry)) (string, error) {
 	label := ""
 	for {
 		typ, payload, err := ReadFrame(conn)
@@ -408,6 +483,12 @@ func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames,
 		}
 		if err := AsError(typ, payload); err != nil {
 			return label, err
+		}
+		if typ == MsgTelemetry {
+			if t, derr := DecodeTelemetry(payload); derr == nil && record != nil {
+				record(t)
+			}
+			continue
 		}
 		if typ != MsgChunk {
 			err := fmt.Errorf("wire: expected chunk, got message %d", typ)
@@ -431,6 +512,15 @@ func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames,
 			return label, err
 		}
 		if ch.Final {
+			// Every ChunkStream sender ships its trailer between the
+			// final chunk and the ack wait. Read it tolerantly: a read
+			// error or unexpected type leaves telemetry missing but the
+			// ack still goes out — the graph transfer did complete.
+			if typ, payload, err := ReadFrame(conn); err == nil && typ == MsgTelemetry {
+				if t, derr := DecodeTelemetry(payload); derr == nil && record != nil {
+					record(t)
+				}
+			}
 			return label, WriteFrame(conn, MsgAck, nil)
 		}
 	}

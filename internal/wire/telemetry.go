@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"fmt"
+
+	"faultyrank/internal/telemetry"
+)
+
+// Telemetry is the trailer a scanner ships after its last chunk (and
+// best-effort when its context is cancelled): the server's metric
+// snapshot plus, optionally, its span tree. The collector gathers these
+// tolerantly — a missing or malformed trailer never fails a stream
+// whose chunks completed — and the checker merges them into the
+// cluster manifest.
+type Telemetry struct {
+	Server   string
+	Snapshot telemetry.Snapshot
+	Span     *telemetry.SpanNode
+}
+
+// Telemetry encoding (little-endian):
+//
+//	u16 serverLen | server
+//	u32 snapLen   | snapshot blob (telemetry.EncodeSnapshot)
+//	u32 spanLen   | span blob (telemetry.EncodeSpanNode; len 0 = absent)
+//
+// Like the chunk codec, the encoding is bijective: the inner telemetry
+// blobs enforce canonical form, so a payload either fails
+// DecodeTelemetry or re-encodes to identical bytes (the fuzz target
+// leans on this).
+
+// EncodeTelemetry serializes one trailer for transfer.
+func EncodeTelemetry(t *Telemetry) []byte {
+	snap := telemetry.EncodeSnapshot(t.Snapshot)
+	buf := make([]byte, 0, 2+len(t.Server)+8+len(snap)+64)
+	buf = appendU16(buf, uint16(len(t.Server)))
+	buf = append(buf, t.Server...)
+	buf = appendU32(buf, uint32(len(snap)))
+	buf = append(buf, snap...)
+	if t.Span == nil {
+		return appendU32(buf, 0)
+	}
+	span := telemetry.EncodeSpanNode(t.Span)
+	buf = appendU32(buf, uint32(len(span)))
+	return append(buf, span...)
+}
+
+// DecodeTelemetry parses an encoded trailer. Lengths come from an
+// untrusted header, so they are bounded against the payload before any
+// slice is taken, and the inner blobs go through the telemetry codec's
+// own canonical-form and allocation checks.
+func DecodeTelemetry(b []byte) (*Telemetry, error) {
+	d := &decoder{b: b}
+	t := &Telemetry{}
+	t.Server = d.str16()
+
+	snapLen := int(d.u32())
+	if !d.need(snapLen) {
+		return nil, fmt.Errorf("wire: telemetry snapshot blob truncated")
+	}
+	snap, err := telemetry.DecodeSnapshot(d.b[d.off : d.off+snapLen])
+	if err != nil {
+		return nil, fmt.Errorf("wire: telemetry trailer: %w", err)
+	}
+	t.Snapshot = snap
+	d.off += snapLen
+
+	spanLen := int(d.u32())
+	if spanLen > 0 {
+		if !d.need(spanLen) {
+			return nil, fmt.Errorf("wire: telemetry span blob truncated")
+		}
+		node, err := telemetry.DecodeSpanNode(d.b[d.off : d.off+spanLen])
+		if err != nil {
+			return nil, fmt.Errorf("wire: telemetry trailer: %w", err)
+		}
+		t.Span = node
+		d.off += spanLen
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in telemetry trailer", len(b)-d.off)
+	}
+	return t, nil
+}

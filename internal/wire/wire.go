@@ -39,6 +39,10 @@ const (
 	// MsgChunk carries one encoded scanner.Chunk of a streamed partial
 	// graph; the chunk marked final ends the stream and is acked.
 	MsgChunk
+	// MsgTelemetry carries a scanner's telemetry trailer (snapshot +
+	// span tree), sent between the final chunk and the ack — and
+	// best-effort mid-stream when the scanner's context is cancelled.
+	MsgTelemetry
 )
 
 // MaxFrame bounds a single frame (a partial graph of a multi-million
