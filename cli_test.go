@@ -217,6 +217,63 @@ func TestCLIObservability(t *testing.T) {
 	}
 }
 
+// TestCLIOnline drives the incremental-check surface: a one-shot
+// -online check against an injected fault, the flag guards, a bounded
+// watch loop, and the online bench artifact.
+func TestCLIOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs CLIs")
+	}
+	bin := buildTools(t)
+	work := t.TempDir()
+	cluster := filepath.Join(work, "cluster")
+	run(t, 0, bin, "frmkfs", "-out", cluster, "-files", "200", "-compact")
+
+	// Clean cluster, bounded watch loop: idle rounds, exit 0.
+	out := run(t, 0, bin, "faultyrank", "-dir", cluster, "-online",
+		"-watch", "10ms", "-watch-rounds", "3")
+	if !strings.Contains(out, "round 3: refreshed 0 inode(s)") {
+		t.Fatalf("watch output lacks round 3: %s", out)
+	}
+
+	// Flag guards: -online is check-only, -watch needs -online.
+	run(t, 1, bin, "faultyrank", "-dir", cluster, "-online", "-repair")
+	run(t, 1, bin, "faultyrank", "-dir", cluster, "-watch", "1s")
+
+	// Inject, then a one-shot online check finds it: exit 1.
+	run(t, 0, bin, "frinject", "-dir", cluster, "-scenario", "dangling/object-id-corrupt")
+	out = run(t, 1, bin, "faultyrank", "-dir", cluster, "-online")
+	if !strings.Contains(out, "faulty-id") {
+		t.Fatalf("online check output: %s", out)
+	}
+
+	// The online bench artifact.
+	out = run(t, 0, bin, "frbench", "-table", "online", "-scale", "smoke", "-json", "-out", work)
+	if !strings.Contains(out, "BENCH_online.json") {
+		t.Fatalf("artifact path not announced: %s", out)
+	}
+	bdata, err := os.ReadFile(filepath.Join(work, "BENCH_online.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Schema string `json:"schema"`
+		Name   string `json:"name"`
+		Tables []struct {
+			Rows [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(bdata, &art); err != nil {
+		t.Fatalf("artifact not valid JSON: %v\n%s", err, bdata)
+	}
+	if art.Schema != "faultyrank/bench/v1" || art.Name != "online" {
+		t.Fatalf("artifact identity wrong: %q %q", art.Schema, art.Name)
+	}
+	if len(art.Tables) == 0 || len(art.Tables[0].Rows) == 0 {
+		t.Fatalf("artifact has no rows: %s", bdata)
+	}
+}
+
 // TestCLIAgedCluster exercises the -inodes aging path of frmkfs plus a
 // TCP-mode check.
 func TestCLIAgedCluster(t *testing.T) {

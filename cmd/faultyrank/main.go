@@ -9,17 +9,25 @@
 //	faultyrank -dir cluster/ -metrics-addr :9090   # live /metrics + pprof
 //	faultyrank -dir cluster/ -run-manifest run.json # machine-readable record
 //	faultyrank -dir cluster/ -tcp -cluster-manifest cm.json # per-server telemetry + skew
+//	faultyrank -dir cluster/ -online                # incremental check from the change feed
+//	faultyrank -dir cluster/ -online -watch 2s      # loop update→check, print per-round deltas
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"faultyrank/internal/checker"
 	"faultyrank/internal/imgdir"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/online"
 	"faultyrank/internal/repair"
 	"faultyrank/internal/telemetry"
 )
@@ -43,8 +51,18 @@ func main() {
 		manifest  = flag.String("run-manifest", "", "write a machine-readable run manifest (JSON) to this path")
 		clusterMf = flag.String("cluster-manifest", "", "write the per-server cluster manifest (JSON) to this path")
 		profRates = flag.Int("profile-rates", 0, "enable mutex/block profiling at this sampling rate (for /debug/pprof)")
+		useOnline = flag.Bool("online", false, "incremental online check: track the change feed instead of a full offline scan")
+		watch     = flag.Duration("watch", 0, "with -online: loop update→check at this interval, printing per-round deltas")
+		watchN    = flag.Int("watch-rounds", 0, "with -online -watch: stop after this many rounds (0 = until interrupted)")
 	)
 	flag.Parse()
+
+	if *useOnline && *doRepair {
+		log.Fatal("-online is check-only: apply repairs with an offline -repair run")
+	}
+	if (*watch != 0 || *watchN != 0) && !*useOnline {
+		log.Fatal("-watch/-watch-rounds require -online")
+	}
 
 	if *profRates > 0 {
 		runtime.SetMutexProfileFraction(*profRates)
@@ -79,6 +97,11 @@ func main() {
 		// The manifest records the convergence series; recording it is
 		// cheap and bounded (core.DefaultTraceCap).
 		opt.Core.ConvergenceTrace = true
+	}
+
+	if *useOnline {
+		runOnline(images, opt, *watch, *watchN, *verbose, *manifest, *clusterMf)
+		return
 	}
 
 	res, err := checker.Run(images, opt)
@@ -131,4 +154,81 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("repaired images written back to %s\n", *dir)
+}
+
+// runOnline is the -online mode: an incremental Tracker over the loaded
+// images. Without -watch it runs one update→check and reports like an
+// offline run; with -watch it loops, printing one delta line per round.
+// Exits 1 when the (last) check surfaced findings.
+func runOnline(images []*ldiskfs.Image, opt checker.Options, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string) {
+	tr, err := online.NewTracker(images, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeManifests := func(res *online.CheckResult) {
+		if manifest != "" {
+			if err := telemetry.WriteJSON(manifest, res.Manifest(opt)); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("run manifest written to %s", manifest)
+		}
+		if clusterMf != "" {
+			if err := telemetry.WriteJSON(clusterMf, res.Cluster); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("cluster manifest written to %s", clusterMf)
+		}
+	}
+	if interval == 0 && rounds == 0 {
+		res, err := tr.Check()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteReport(os.Stdout, verbose); err != nil {
+			log.Fatal(err)
+		}
+		writeManifests(res)
+		if len(res.Findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var last *online.CheckResult
+	prevFindings := 0
+	err = tr.Watch(ctx, online.WatchOptions{
+		Interval: interval,
+		Rounds:   rounds,
+		OnRound: func(round int, res *online.CheckResult) {
+			start := "warm"
+			if !res.Warm {
+				start = "cold"
+			}
+			fmt.Printf("round %d: refreshed %d inode(s), findings %d (%+d), %d iteration(s) %s-start, update %.4fs graph %.4fs rank %.4fs\n",
+				round, res.InodesRefreshed, len(res.Findings), len(res.Findings)-prevFindings,
+				res.Rank.Iterations, start,
+				res.TUpdate.Seconds(), res.TGraph.Seconds(), res.TRank.Seconds())
+			for _, rr := range res.PerServer {
+				fmt.Printf("  %s: %d refreshed, %d dropped\n", rr.Server, rr.Refreshed, rr.Dropped)
+			}
+			if verbose {
+				for _, f := range res.Findings {
+					fmt.Printf("  [%v] %v %s\n", f.Kind, f.FID, f.Detail)
+				}
+			}
+			prevFindings = len(res.Findings)
+			last = res
+		},
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	if last != nil {
+		writeManifests(last)
+		if len(last.Findings) > 0 {
+			os.Exit(1)
+		}
+	}
 }

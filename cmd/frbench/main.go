@@ -12,6 +12,7 @@
 //	frbench -table ingest          # ingestion scaling (scan→CSR vs workers)
 //	frbench -table net             # network path under injected scanner faults
 //	frbench -table skew            # per-server scan skew from wire-shipped telemetry
+//	frbench -table online          # incremental delta check vs cold full recheck
 //	frbench -table all -scale smoke
 //
 // -scale picks sizing: smoke (seconds), default (minutes), paper (the
@@ -33,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("frbench: ")
 	var (
-		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|all")
+		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|online|all")
 		scaleStr = flag.String("scale", "default", "sizing: smoke|default|paper")
 		workers  = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		useTCP   = flag.Bool("tcp", true, "Table VI: run both checkers over localhost TCP")
@@ -122,6 +123,13 @@ func main() {
 		}
 		emit("skew", bench.SkewTable(rows, sum))
 	}
+	if want("online") {
+		rows, err := bench.OnlineMeasure(scale, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("online", bench.OnlineTable(rows))
+	}
 	if want("ablation") {
 		tab, err := bench.AblationMatrix(scale)
 		if err != nil {
@@ -134,6 +142,6 @@ func main() {
 		emit("ablation", tab, fp)
 	}
 	if !ran {
-		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|all)", *table)
+		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|online|all)", *table)
 	}
 }

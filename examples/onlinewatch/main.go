@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"faultyrank/internal/checker"
 	"faultyrank/internal/inject"
@@ -64,6 +67,47 @@ func main() {
 	for _, f := range res.Findings {
 		fmt.Printf("  [%v] %v — %s\n", f.Kind, f.FID, f.Detail)
 	}
+	// Watch mode as a library: a live mutator and the watcher share the
+	// quiesce lock, and every round after the first attempts to
+	// warm-start its ranking from the previous result (falling back to a
+	// cold start when the seed does not converge within its budget).
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			_, _ = cluster.Create(fmt.Sprintf("/bg-%03d.dat", i), 64<<10)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	err = tracker.Watch(context.Background(), online.WatchOptions{
+		Interval: 25 * time.Millisecond,
+		Rounds:   4,
+		Quiesce:  &mu,
+		OnRound: func(round int, res *online.CheckResult) {
+			start := "warm"
+			if !res.Warm {
+				start = "cold"
+			}
+			fmt.Printf("watch round %d: refreshed %d inode(s), %d finding(s), %d iteration(s) %s-start\n",
+				round, res.InodesRefreshed, len(res.Findings), res.Rank.Iterations, start)
+		},
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	updates, rescanned := tracker.Stats()
 	fmt.Printf("tracker lifetime: %d updates, %d inodes re-parsed (vs %d for one offline scan)\n",
 		updates, rescanned, cluster.TotalInodes())

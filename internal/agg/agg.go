@@ -49,6 +49,10 @@ type Unified struct {
 	Issues []string
 
 	byFID fidShards
+	// gidFn, when non-nil, overrides byFID lookups. Incremental
+	// producers (DeltaBuilder) resolve GIDs through their persistent
+	// interner instead of rebuilding per-run lookup maps.
+	gidFn func(lustre.FID) (uint32, bool)
 }
 
 // N returns the vertex count of the unified graph.
@@ -56,6 +60,9 @@ func (u *Unified) N() int { return len(u.FIDs) }
 
 // GID resolves a FID to its dense id.
 func (u *Unified) GID(f lustre.FID) (uint32, bool) {
+	if u.gidFn != nil {
+		return u.gidFn(f)
+	}
 	return u.byFID.gid(f)
 }
 

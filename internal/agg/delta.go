@@ -1,0 +1,281 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/scanner"
+)
+
+// DeltaBuilder maintains the unified metadata graph incrementally: the
+// online checker (package online) feeds it one inode's scan result at a
+// time — Apply for a changed inode, Remove for a freed one — and each
+// check materialises a Unified without re-interning or re-merging the
+// unchanged majority. Where the batch Builder re-consumes every
+// server's full chunk stream per run, the DeltaBuilder's per-check cost
+// is O(delta) map work plus O(N+E) array passes (the same order as the
+// CSR build any check needs), with no per-occurrence map lookups.
+//
+// Internally FIDs are interned once, persistently, onto stable internal
+// ids (IIDs) that are never recycled; per-inode contributions are
+// cached in IID space. Materialize densely renumbers the *live* IIDs —
+// those still claimed by an object or touched by an edge — into the
+// check's GID space, so dead FIDs (deleted and no longer referenced)
+// leave no zombie vertices behind.
+//
+// The FID-space content of a materialised Unified — present FIDs,
+// claim lists, types, the edge multiset and its canonical (server,
+// inode, emission) order — is identical to a cold MergeWorkers over
+// fresh full scans of the same images (property-tested in package
+// online). Only the GID numbering differs: first appearance in the
+// tracker's history rather than in the current canonical stream. Every
+// consumer downstream of the merge works in FID space or is
+// permutation-invariant, so findings match a cold run exactly.
+type DeltaBuilder struct {
+	labels  []string
+	servers []*deltaServer
+
+	// Persistent interner: FID -> IID, append-only.
+	iidOf fidShards
+	fids  []lustre.FID // IID -> FID
+}
+
+// deltaServer caches one server's per-inode contributions plus a lazily
+// maintained sorted iteration order: membership changes are buffered in
+// added/removed and folded in at the next Materialize, keeping Apply
+// O(contribution) and the re-sort O(n + delta·log delta) instead of a
+// full O(n·log n) sort per check.
+type deltaServer struct {
+	label   string
+	contrib map[ldiskfs.Ino]*inoContrib
+	sorted  []ldiskfs.Ino // sorted members as of the last fold
+	added   []ldiskfs.Ino // new members since, unsorted
+	removed map[ldiskfs.Ino]struct{}
+}
+
+// inoContrib is one inode's cached scan result in IID space.
+type inoContrib struct {
+	objs   []contribObj
+	edges  []contribEdge
+	issues []scanner.Issue
+}
+
+type contribObj struct {
+	iid uint32
+	typ ldiskfs.FileType
+}
+
+type contribEdge struct {
+	src, dst uint32
+	kind     graph.EdgeKind
+}
+
+// Materialized is one check's dense view plus the IID<->GID mapping the
+// online checker uses to carry warm-start ranks across checks.
+type Materialized struct {
+	U *Unified
+	// IIDOfGID maps this check's GID to the stable IID.
+	IIDOfGID []uint32
+	// NumIIDs is the interner size at materialisation time; IIDs >= it
+	// belong to later deltas.
+	NumIIDs int
+}
+
+// NewDeltaBuilder fixes the canonical server order (MDTs first, then
+// OSTs by index — the same convention as NewBuilder).
+func NewDeltaBuilder(labels []string) *DeltaBuilder {
+	b := &DeltaBuilder{labels: labels, iidOf: newFIDShards()}
+	for _, l := range labels {
+		b.servers = append(b.servers, &deltaServer{
+			label:   l,
+			contrib: make(map[ldiskfs.Ino]*inoContrib),
+			removed: make(map[ldiskfs.Ino]struct{}),
+		})
+	}
+	return b
+}
+
+// intern resolves (or assigns) the stable IID of a FID.
+func (b *DeltaBuilder) intern(f lustre.FID) uint32 {
+	if iid, ok := b.iidOf.gid(f); ok {
+		return iid
+	}
+	iid := uint32(len(b.fids))
+	b.iidOf[shardOf(f)][f] = iid
+	b.fids = append(b.fids, f)
+	return iid
+}
+
+// Apply replaces one inode's contribution with a fresh scan result
+// (scanner.ScanInode output for that inode).
+func (b *DeltaBuilder) Apply(server int, ino ldiskfs.Ino, p *scanner.Partial) error {
+	if server < 0 || server >= len(b.servers) {
+		return fmt.Errorf("agg: delta apply for unknown server index %d", server)
+	}
+	s := b.servers[server]
+	c := &inoContrib{issues: p.Issues}
+	for _, o := range p.Objects {
+		c.objs = append(c.objs, contribObj{iid: b.intern(o.FID), typ: o.Type})
+	}
+	for _, e := range p.Edges {
+		c.edges = append(c.edges, contribEdge{
+			src: b.intern(e.Src), dst: b.intern(e.Dst), kind: e.Kind,
+		})
+	}
+	if _, tracked := s.contrib[ino]; !tracked {
+		if _, wasRemoved := s.removed[ino]; wasRemoved {
+			delete(s.removed, ino)
+		}
+		s.added = append(s.added, ino)
+	}
+	s.contrib[ino] = c
+	return nil
+}
+
+// Remove drops one inode's contribution (the tombstone for a freed
+// inode). Removing an untracked inode is a no-op.
+func (b *DeltaBuilder) Remove(server int, ino ldiskfs.Ino) {
+	if server < 0 || server >= len(b.servers) {
+		return
+	}
+	s := b.servers[server]
+	if _, tracked := s.contrib[ino]; !tracked {
+		return
+	}
+	delete(s.contrib, ino)
+	s.removed[ino] = struct{}{}
+}
+
+// fold merges the buffered membership changes into the sorted order.
+func (s *deltaServer) fold() {
+	if len(s.added) == 0 && len(s.removed) == 0 {
+		return
+	}
+	sort.Slice(s.added, func(i, j int) bool { return s.added[i] < s.added[j] })
+	merged := make([]ldiskfs.Ino, 0, len(s.contrib))
+	i, j := 0, 0
+	for i < len(s.sorted) || j < len(s.added) {
+		var ino ldiskfs.Ino
+		switch {
+		case i >= len(s.sorted):
+			ino = s.added[j]
+			j++
+		case j >= len(s.added):
+			ino = s.sorted[i]
+			i++
+		case s.added[j] < s.sorted[i]:
+			ino = s.added[j]
+			j++
+		case s.added[j] == s.sorted[i]:
+			// re-added after a removal that predates the last fold
+			ino = s.sorted[i]
+			i++
+			j++
+		default:
+			ino = s.sorted[i]
+			i++
+		}
+		if _, gone := s.removed[ino]; gone {
+			continue
+		}
+		// A fold can see the same ino from both streams (removed then
+		// re-added between folds lands in added while still in sorted).
+		if n := len(merged); n > 0 && merged[n-1] == ino {
+			continue
+		}
+		merged = append(merged, ino)
+	}
+	s.sorted = merged
+	s.added = s.added[:0]
+	clear(s.removed)
+}
+
+// Materialize renumbers the live IIDs densely and assembles the check's
+// Unified in the canonical (server order, ascending inode) walk — the
+// same walk a cold merge over full scans performs.
+func (b *DeltaBuilder) Materialize() *Materialized {
+	nIID := len(b.fids)
+	live := make([]bool, nIID)
+	var nEdge int
+	for _, s := range b.servers {
+		s.fold()
+		for _, c := range s.contrib {
+			for _, o := range c.objs {
+				live[o.iid] = true
+			}
+			for _, e := range c.edges {
+				live[e.src] = true
+				live[e.dst] = true
+			}
+			nEdge += len(c.edges)
+		}
+	}
+
+	gidOf := make([]uint32, nIID)
+	iidOfGID := make([]uint32, 0, nIID)
+	for iid, l := range live {
+		if l {
+			gidOf[iid] = uint32(len(iidOfGID))
+			iidOfGID = append(iidOfGID, uint32(iid))
+		}
+	}
+	n := len(iidOfGID)
+
+	u := &Unified{
+		FIDs:    make([]lustre.FID, n),
+		Present: make([]bool, n),
+		Types:   make([]ldiskfs.FileType, n),
+		Claims:  make([][]ObjectLoc, n),
+		Edges:   make([]graph.Edge, 0, nEdge),
+	}
+	for g, iid := range iidOfGID {
+		u.FIDs[g] = b.fids[iid]
+	}
+
+	// Pass 1: objects claim their FIDs; first claim in canonical order
+	// fixes Present and Types, exactly as the batch merge does. Issues
+	// fold in alongside, preserving the cold per-server order.
+	for _, s := range b.servers {
+		for _, ino := range s.sorted {
+			c := s.contrib[ino]
+			for _, o := range c.objs {
+				g := gidOf[o.iid]
+				if !u.Present[g] {
+					u.Present[g] = true
+					u.Types[g] = o.typ
+				}
+				u.Claims[g] = append(u.Claims[g], ObjectLoc{Server: s.label, Ino: ino})
+			}
+			for _, is := range c.issues {
+				u.Issues = append(u.Issues, fmt.Sprintf("%s: %s", s.label, is))
+			}
+		}
+	}
+
+	// Pass 2: edges in canonical order.
+	for _, s := range b.servers {
+		for _, ino := range s.sorted {
+			for _, e := range s.contrib[ino].edges {
+				u.Edges = append(u.Edges, graph.Edge{
+					Src: gidOf[e.src], Dst: gidOf[e.dst], Kind: e.kind,
+				})
+			}
+		}
+	}
+
+	// GID lookups resolve through the persistent interner. The closure
+	// snapshots live/gidOf, so lookups against this Unified stay correct
+	// (and merely miss FIDs interned by later deltas) after the builder
+	// moves on.
+	u.gidFn = func(f lustre.FID) (uint32, bool) {
+		iid, ok := b.iidOf.gid(f)
+		if !ok || int(iid) >= len(live) || !live[iid] {
+			return 0, false
+		}
+		return gidOf[iid], true
+	}
+	return &Materialized{U: u, IIDOfGID: iidOfGID, NumIIDs: nIID}
+}

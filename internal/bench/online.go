@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/online"
+	"faultyrank/internal/workload"
+)
+
+// OnlineRow is one delta-size measurement: the latency of an
+// incremental online check after mutating `DeltaFiles` files, against a
+// cold full recheck (scan + merge + rank from scratch) of the same
+// images.
+type OnlineRow struct {
+	DeltaFiles  int
+	Refreshed   int // inodes the online update actually re-parsed
+	Update      time.Duration
+	Graph       time.Duration
+	Rank        time.Duration
+	Online      time.Duration // Update + Graph + Rank
+	OnlineIters int
+	Cold        time.Duration
+	ColdIters   int
+	Speedup     float64
+}
+
+// OnlineMeasure ages a cluster, hands it to an online Tracker (initial
+// full scan plus one warm-up check), then sweeps delta sizes: each
+// round creates a batch of files and times the incremental check
+// against a cold checker.Run over the same images. Findings are
+// cross-checked between the two paths; a divergence fails the bench.
+func OnlineMeasure(scale Scale, workers int) ([]OnlineRow, error) {
+	geometry := ldiskfs.CompactGeometry()
+	if scale == ScalePaper {
+		geometry = ldiskfs.DefaultGeometry()
+	}
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 8, StripeSize: 64 << 10, StripeCount: -1, Geometry: geometry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	target := ingestTarget(scale)
+	if _, err := workload.Age(c, workload.AgeSpec{
+		TargetMDTInodes: target, ChurnFraction: 0.15, Seed: target,
+	}); err != nil {
+		return nil, err
+	}
+	if err := c.MkdirAll("/online-bench"); err != nil {
+		return nil, err
+	}
+
+	opt := checker.DefaultOptions()
+	opt.Workers = workers
+	tr, err := online.NewTracker(checker.ClusterImages(c), opt)
+	if err != nil {
+		return nil, err
+	}
+	// Warm-up check: the first check is cold by definition (no previous
+	// ranks); the sweep measures the steady state.
+	if _, err := tr.Check(); err != nil {
+		return nil, err
+	}
+
+	deltas := []int{
+		max(1, int(target/10_000)),
+		max(2, int(target/1_000)),
+		max(4, int(target/100)),
+	}
+	var rows []OnlineRow
+	seq := 0
+	for _, d := range deltas {
+		for i := 0; i < d; i++ {
+			seq++
+			if _, err := c.Create(fmt.Sprintf("/online-bench/d%06d", seq), 64<<10); err != nil {
+				return nil, err
+			}
+		}
+		res, err := tr.Check()
+		if err != nil {
+			return nil, err
+		}
+		cold, err := checker.Run(checker.ClusterImages(c), opt)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Findings) != len(cold.Findings) {
+			return nil, fmt.Errorf("bench: online found %d findings, cold recheck %d",
+				len(res.Findings), len(cold.Findings))
+		}
+		row := OnlineRow{
+			DeltaFiles:  d,
+			Refreshed:   res.InodesRefreshed,
+			Update:      res.TUpdate,
+			Graph:       res.TGraph,
+			Rank:        res.TRank,
+			Online:      res.TUpdate + res.TGraph + res.TRank,
+			OnlineIters: res.Rank.Iterations,
+			Cold:        cold.Total(),
+			ColdIters:   cold.Rank.Iterations,
+		}
+		row.Speedup = float64(row.Cold) / float64(row.Online)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// OnlineTable renders the delta sweep.
+func OnlineTable(rows []OnlineRow) *Table {
+	t := &Table{
+		Title: "Online checking — incremental delta check vs. cold full recheck",
+		Columns: []string{
+			"delta files", "inodes refreshed", "T_update", "T_graph", "T_rank",
+			"online total", "iters", "cold total", "cold iters", "speedup",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.DeltaFiles),
+			fmt.Sprintf("%d", r.Refreshed),
+			fmt.Sprintf("%.4f", r.Update.Seconds()),
+			fmt.Sprintf("%.4f", r.Graph.Seconds()),
+			fmt.Sprintf("%.4f", r.Rank.Seconds()),
+			fmt.Sprintf("%.4f", r.Online.Seconds()),
+			fmt.Sprintf("%d", r.OnlineIters),
+			fmt.Sprintf("%.4f", r.Cold.Seconds()),
+			fmt.Sprintf("%d", r.ColdIters),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"online: change-feed re-parse of the delta + cached-contribution graph assembly + warm-started ranking; cold: full scan + merge + uniform-start ranking over the same images",
+		"T_update is O(delta): it should stay roughly flat in absolute terms while the cold scan grows with the image — and warm-started iteration counts should sit at or below the cold counts",
+		"both paths are cross-checked to produce the same number of findings before a row is reported")
+	return t
+}

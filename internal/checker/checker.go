@@ -360,6 +360,31 @@ func Analyze(res *Result, images []*ldiskfs.Image, parts []*scanner.Partial, opt
 	return err
 }
 
+// AnalyzeUnified runs the post-merge stages — CSR build, ranking and
+// classification — over an already-materialised unified graph. It is
+// the online checker's per-check entry point: the incremental
+// aggregator (agg.DeltaBuilder) maintains the Unified across checks, so
+// neither scanning nor merging re-runs; what remains is exactly the
+// work any check must do on the current graph.
+func AnalyzeUnified(res *Result, images []*ldiskfs.Image, u *agg.Unified, opt Options) error {
+	if opt.Core.MaxIterations == 0 {
+		opt.Core = core.DefaultOptions()
+	}
+	obs := newRunObs(opt.Metrics)
+	ctx, root := telemetry.StartSpan(context.Background(), "analyze")
+	t1 := time.Now()
+	aggCtx, aggSpan := telemetry.StartSpan(ctx, "aggregate")
+	_, buildSpan := telemetry.StartSpan(aggCtx, "build")
+	res.Unified = u
+	res.Graph = u.Build(opt.Workers)
+	buildSpan.End()
+	aggSpan.End()
+	res.TGraph = time.Since(t1)
+	err := rankAndClassify(ctx, res, images, opt)
+	obs.finish(res, root)
+	return err
+}
+
 // rankAndClassify is stage 3 (T_FR), shared by Run and Analyze:
 // FaultyRank iteration, detection and fault classification.
 func rankAndClassify(ctx context.Context, res *Result, images []*ldiskfs.Image, opt Options) error {

@@ -91,6 +91,17 @@ type Options struct {
 	// <=0 means GOMAXPROCS.
 	Workers int
 
+	// InitialID and InitialProp seed the iteration instead of the
+	// paper's uniform 1.0 start — the warm-start hook for incremental
+	// checkers (package online): after a small metadata delta the
+	// previous check's converged ranks are already near the new fixed
+	// point, so seeding from them cuts the iteration count to a handful.
+	// Each is used only when its length equals the graph's vertex count;
+	// nil (or a stale length) falls back to the uniform start. The fixed
+	// point itself does not depend on the seed, so a warm run converges
+	// to the same ranks a cold run does (within Epsilon).
+	InitialID, InitialProp []float64
+
 	// ConvergenceTrace enables Result.Trace, the per-iteration record of
 	// max-delta and redistributed sink mass. Off by default: the trace is
 	// diagnostic output (run manifests, benches), not part of the

@@ -81,10 +81,32 @@ func Run(b *graph.Bidirected, opt Options) *Result {
 	}
 	workers := opt.workers()
 
-	// Initial ranks: 1.0 per vertex (paper §III-C).
-	for i := 0; i < n; i++ {
-		res.IDRank[i] = 1
-		res.PropRank[i] = 1
+	// Initial ranks: 1.0 per vertex (paper §III-C), unless the caller
+	// seeds from a previous result (Options.InitialID/InitialProp — the
+	// online warm start). A seed of the wrong length is ignored: the
+	// graph changed shape and positional ranks would be meaningless.
+	// Seeds are rescaled to total mass N — the invariant the uniform
+	// start establishes and the iteration conserves. A warm seed
+	// assembled from a *different* graph's ranks (vertices added or
+	// removed since) carries the wrong total, and an off-mass seed
+	// converges to an off-mass scale while the slow mass-redistribution
+	// modes crawl; rescaling puts the seed back on the manifold the
+	// cold start iterates on.
+	if len(opt.InitialID) == n {
+		copy(res.IDRank, opt.InitialID)
+		rescaleMass(res.IDRank)
+	} else {
+		for i := 0; i < n; i++ {
+			res.IDRank[i] = 1
+		}
+	}
+	if len(opt.InitialProp) == n {
+		copy(res.PropRank, opt.InitialProp)
+		rescaleMass(res.PropRank)
+	} else {
+		for i := 0; i < n; i++ {
+			res.PropRank[i] = 1
+		}
 	}
 
 	// invOut[v] = 1/outdeg_G(v), 0 for sinks: phase A divisor.
@@ -189,6 +211,26 @@ func Run(b *graph.Bidirected, opt Options) *Result {
 		}
 	}
 	return res
+}
+
+// rescaleMass scales xs so it sums to len(xs), the mass-N scale of the
+// uniform start. A non-positive sum (degenerate seed) falls back to
+// uniform 1.0.
+func rescaleMass(xs []float64) {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum <= 0 {
+		for i := range xs {
+			xs[i] = 1
+		}
+		return
+	}
+	scale := float64(len(xs)) / sum
+	for i := range xs {
+		xs[i] *= scale
+	}
 }
 
 // sinkMass sums rank[v] over vertices whose inverse divisor is zero,

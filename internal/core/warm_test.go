@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWarmStartConvergesToColdRanks: seeding from a previous converged
+// result reaches the same fixed point (per-vertex ranks within Epsilon
+// of the cold run) in no more iterations than the cold run took — the
+// property the online checker's warm start relies on.
+func TestWarmStartConvergesToColdRanks(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(200)
+		b := randomGraph(r, n, 3*n)
+		opt := DefaultOptions()
+		cold := Run(b, opt)
+
+		warmOpt := opt
+		warmOpt.InitialID = cold.IDRank
+		warmOpt.InitialProp = cold.PropRank
+		warm := Run(b, warmOpt)
+		if !warm.Converged {
+			t.Fatalf("seed %d: warm run did not converge", seed)
+		}
+		if warm.Iterations > cold.Iterations {
+			t.Errorf("seed %d: warm start took %d iterations, cold took %d",
+				seed, warm.Iterations, cold.Iterations)
+		}
+		for v := range cold.IDRank {
+			if d := math.Abs(warm.IDRank[v] - cold.IDRank[v]); d > opt.Epsilon {
+				t.Fatalf("seed %d: vertex %d id rank diverged by %g (warm %g, cold %g)",
+					seed, v, d, warm.IDRank[v], cold.IDRank[v])
+			}
+			if d := math.Abs(warm.PropRank[v] - cold.PropRank[v]); d > opt.Epsilon {
+				t.Fatalf("seed %d: vertex %d prop rank diverged by %g", seed, v, d)
+			}
+		}
+	}
+}
+
+// TestWarmStartWrongLengthIgnored: a seed whose length does not match
+// the vertex count (the graph changed shape) falls back to the uniform
+// start instead of misassigning positional ranks.
+func TestWarmStartWrongLengthIgnored(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	b := randomGraph(r, 40, 120)
+	opt := DefaultOptions()
+	cold := Run(b, opt)
+
+	stale := opt
+	stale.InitialID = make([]float64, 7) // wrong length
+	stale.InitialProp = make([]float64, 7)
+	got := Run(b, stale)
+	if got.Iterations != cold.Iterations {
+		t.Fatalf("stale seed changed the run: %d iterations vs %d",
+			got.Iterations, cold.Iterations)
+	}
+	for v := range cold.IDRank {
+		if got.IDRank[v] != cold.IDRank[v] {
+			t.Fatalf("stale seed changed vertex %d rank", v)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package ldiskfs
 import (
 	"errors"
 	"fmt"
+	"slices"
 )
 
 // Common errors.
@@ -428,12 +429,9 @@ func (im *Image) DirtyInodes() []Ino {
 	for ino := range im.dirty {
 		out = append(out, ino)
 	}
-	// insertion sort is fine: change batches are small by design
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	// An aging workload can accumulate tens of thousands of dirty inodes
+	// between checks, so this must not be quadratic.
+	slices.Sort(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package ldiskfs
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -275,5 +276,54 @@ func TestCorruptBytes(t *testing.T) {
 	}
 	if err := im.CorruptBytes(int64(len(im.Bytes())), []byte{0}); err == nil {
 		t.Error("out-of-range offset accepted")
+	}
+}
+
+func TestDirtyInodesSorted(t *testing.T) {
+	im := MustNew(CompactGeometry())
+	r := rand.New(rand.NewSource(7))
+	want := map[Ino]struct{}{}
+	for i := 0; i < 500; i++ {
+		ino := Ino(1 + r.Intn(10000))
+		im.MarkDirty(ino)
+		want[ino] = struct{}{}
+	}
+	got := im.DirtyInodes()
+	if len(got) != len(want) {
+		t.Fatalf("%d dirty inodes, want %d", len(got), len(want))
+	}
+	for i, ino := range got {
+		if _, ok := want[ino]; !ok {
+			t.Fatalf("unexpected dirty ino %d", ino)
+		}
+		if i > 0 && got[i-1] >= ino {
+			t.Fatalf("not strictly ascending at %d: %d >= %d", i, got[i-1], ino)
+		}
+	}
+	im.ClearDirty()
+	if len(im.DirtyInodes()) != 0 {
+		t.Fatal("feed not cleared")
+	}
+}
+
+// BenchmarkDirtyInodes guards the feed drain against the quadratic
+// insertion sort it used to ship with: an aging workload can easily
+// accumulate 64k dirty inodes between online checks.
+func BenchmarkDirtyInodes(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			im := MustNew(CompactGeometry())
+			r := rand.New(rand.NewSource(1))
+			for i := 0; i < n; i++ {
+				im.MarkDirty(Ino(r.Uint64() >> 16))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := im.DirtyInodes(); len(got) == 0 {
+					b.Fatal("empty feed")
+				}
+			}
+		})
 	}
 }

@@ -6,9 +6,21 @@
 // ChangeLog): only the inodes whose metadata changed since the last
 // update are re-parsed, and checks run on the maintained snapshot.
 //
-// The equivalence invariant — an incrementally maintained snapshot is
-// byte-identical in content to a full offline rescan — is what makes the
-// online mode trustworthy, and is enforced by property tests.
+// The pipeline is incremental end to end. Re-parsed inodes feed an
+// agg.DeltaBuilder that keeps the FID interner and the unified graph's
+// per-inode contributions cached across checks, so a check after a
+// small delta re-interns only the delta instead of re-merging every
+// server's full partial. Ranking warm-starts from the previous check's
+// converged ranks (core.Options.InitialID/InitialProp), carried across
+// checks on the builder's stable internal ids, so the kernel converges
+// in a handful of iterations instead of re-deriving everything from the
+// uniform start.
+//
+// The equivalence invariant — an incrementally maintained snapshot
+// yields exactly the findings of a full offline rescan — is what makes
+// the online mode trustworthy, and is enforced by property tests
+// (FID-space graph equivalence plus finding-for-finding agreement with
+// a cold checker.Analyze).
 //
 // Silent corruption (byte flips that bypass the metadata API) does not
 // appear in the change feed, exactly as it would not appear in a real
@@ -17,13 +29,19 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"faultyrank/internal/agg"
 	"faultyrank/internal/checker"
+	"faultyrank/internal/core"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/scanner"
+	"faultyrank/internal/telemetry"
+	"faultyrank/internal/wire"
 )
 
 // Tracker maintains incrementally-updated partial graphs for a set of
@@ -33,16 +51,72 @@ type Tracker struct {
 	servers []*serverState
 	opt     checker.Options
 
-	// stats
-	updates      int64
-	inodesRescan int64
+	// delta is the incremental aggregator: per-inode contributions and
+	// the FID interner survive across checks.
+	delta *agg.DeltaBuilder
+
+	// Warm-start state, indexed by the delta builder's stable internal
+	// ids so ranks survive arbitrary GID renumbering between checks.
+	prevID, prevProp []float64
+	haveWarm         bool
+
+	// scan re-parses one inode; a test seam for injecting scan errors.
+	scan func(*ldiskfs.Image, ldiskfs.Ino) (*scanner.Partial, error)
+
+	// lastIters is the most recent converged check's iteration count —
+	// the yardstick for the next warm attempt's budget.
+	lastIters int
+
+	// Lifetime stats. updates counts only rounds that refreshed at
+	// least one inode — idle watch rounds are not "updates" — and
+	// inodesRescan counts exactly the inodes whose refresh was
+	// committed, even when a later server's feed fails mid-round.
+	updates       int64
+	inodesRescan  int64
+	checks        int64
+	warmFallbacks int64
 }
 
-// serverState is one server's per-inode scan store.
+// warmIterCap bounds a warm ranking attempt: twice the last converged
+// count (floor 16), never above the configured cap. A warm seed that
+// has not converged within that budget is resuming a creep the cold
+// criterion would truncate — not saving work.
+func warmIterCap(lastIters, maxIters int) int {
+	c := 2 * lastIters
+	if c < 16 {
+		c = 16
+	}
+	if maxIters > 0 && c > maxIters {
+		c = maxIters
+	}
+	return c
+}
+
+// serverState is one server's per-inode scan store plus its telemetry.
 type serverState struct {
 	img *ldiskfs.Image
 	// byIno holds the last scan result of each live inode.
 	byIno map[ldiskfs.Ino]*scanner.Partial
+
+	// Per-server instruments: the online analogue of the per-server
+	// registries the offline TCP path ships home as wire trailers.
+	reg       *telemetry.Registry
+	refreshed *telemetry.Counter // scanner_inodes_scanned_total
+	dropped   *telemetry.Counter // online_inodes_dropped_total
+	rounds    *telemetry.Counter // online_update_rounds_total
+	lastSpan  *telemetry.SpanNode
+}
+
+func newServerState(img *ldiskfs.Image) *serverState {
+	reg := telemetry.NewRegistry()
+	return &serverState{
+		img:       img,
+		byIno:     make(map[ldiskfs.Ino]*scanner.Partial),
+		reg:       reg,
+		refreshed: reg.Counter("scanner_inodes_scanned_total"),
+		dropped:   reg.Counter("online_inodes_dropped_total"),
+		rounds:    reg.Counter("online_update_rounds_total"),
+	}
 }
 
 // NewTracker performs the initial full scan (clearing the change feeds)
@@ -51,71 +125,163 @@ func NewTracker(images []*ldiskfs.Image, opt checker.Options) (*Tracker, error) 
 	if len(images) == 0 {
 		return nil, fmt.Errorf("online: no images")
 	}
-	t := &Tracker{images: images, opt: opt}
+	if opt.Core.MaxIterations == 0 {
+		opt.Core = core.DefaultOptions()
+	}
+	t := &Tracker{images: images, opt: opt, scan: scanner.ScanInode}
 	for _, img := range images {
-		st := &serverState{img: img, byIno: make(map[ldiskfs.Ino]*scanner.Partial)}
-		err := img.AllocatedInodes(func(ino ldiskfs.Ino, _ ldiskfs.FileType) error {
-			p, err := scanner.ScanInode(img, ino)
-			if err != nil {
-				return err
-			}
-			st.byIno[ino] = p
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		img.ClearDirty()
-		t.servers = append(t.servers, st)
+		t.servers = append(t.servers, newServerState(img))
+	}
+	if err := t.fullScan(); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
-// Update consumes every server's dirty-inode feed, re-parsing exactly
-// the changed inodes. It returns how many inodes were refreshed.
-func (t *Tracker) Update() (int, error) {
-	refreshed := 0
-	for _, st := range t.servers {
-		for _, ino := range st.img.DirtyInodes() {
-			if !st.img.InodeAllocated(ino) {
-				delete(st.byIno, ino)
-				refreshed++
-				continue
-			}
-			p, err := scanner.ScanInode(st.img, ino)
-			if err != nil {
-				return refreshed, err
-			}
-			st.byIno[ino] = p
-			refreshed++
-		}
-		st.img.ClearDirty()
+// fullScan (re)builds every server's inode store and the incremental
+// aggregator from scratch, then clears the change feeds.
+func (t *Tracker) fullScan() error {
+	labels := make([]string, len(t.images))
+	for i, img := range t.images {
+		labels[i] = img.Label()
 	}
-	t.updates++
-	t.inodesRescan += int64(refreshed)
-	return refreshed, nil
-}
-
-// Rescan discards the incremental state of every server and re-sweeps
-// from the images (the periodic full-scrub escape hatch for silent
-// corruption the change feed cannot see).
-func (t *Tracker) Rescan() error {
-	for _, st := range t.servers {
+	t.delta = agg.NewDeltaBuilder(labels)
+	for si, st := range t.servers {
 		st.byIno = make(map[ldiskfs.Ino]*scanner.Partial)
 		err := st.img.AllocatedInodes(func(ino ldiskfs.Ino, _ ldiskfs.FileType) error {
-			p, err := scanner.ScanInode(st.img, ino)
+			p, err := t.scan(st.img, ino)
 			if err != nil {
 				return err
 			}
 			st.byIno[ino] = p
-			return nil
+			return t.delta.Apply(si, ino, p)
 		})
 		if err != nil {
 			return err
 		}
 		st.img.ClearDirty()
 	}
+	// The graph may change arbitrarily across a full rescan; stale
+	// warm-start ranks (and the old interner's id space) are dropped.
+	t.prevID, t.prevProp, t.haveWarm = nil, nil, false
 	return nil
+}
+
+// RoundRefresh is one server's share of an update round.
+type RoundRefresh struct {
+	Server string
+	// Refreshed counts inodes actually re-parsed or dropped from the
+	// tracked set this round.
+	Refreshed int
+	// Dropped is the subset of Refreshed that were deallocations.
+	Dropped int
+}
+
+// staged is one dirty inode's pending outcome: a fresh scan result, or
+// a tombstone for a deallocated inode.
+type staged struct {
+	ino     ldiskfs.Ino
+	p       *scanner.Partial // nil = deallocated
+	tracked bool             // was in byIno before this round
+}
+
+// Update consumes every server's dirty-inode feed, re-parsing exactly
+// the changed inodes. It returns how many inodes were refreshed.
+//
+// Consumption is all-or-nothing per server: every dirty inode is
+// re-parsed into a staging batch first, and only a fully scanned batch
+// is committed (and the server's feed cleared). A mid-feed scan error
+// leaves that server's state and feed untouched — the next Update sees
+// the same dirty set — while servers committed earlier in the round
+// keep their refresh, and the lifetime stats count exactly what was
+// committed. A deallocated inode that was never tracked contributes
+// nothing and is not counted.
+func (t *Tracker) Update() (int, error) {
+	refreshed, _, err := t.update()
+	return refreshed, err
+}
+
+func (t *Tracker) update() (int, []RoundRefresh, error) {
+	refreshed := 0
+	var perServer []RoundRefresh
+	commit := func() {
+		if refreshed > 0 {
+			t.updates++
+			t.inodesRescan += int64(refreshed)
+		}
+	}
+	for si, st := range t.servers {
+		dirty := st.img.DirtyInodes()
+		if len(dirty) == 0 {
+			continue
+		}
+		_, sp := telemetry.StartSpan(context.Background(), "update:"+st.img.Label())
+		// Stage: parse the whole feed before touching any state.
+		batch := make([]staged, 0, len(dirty))
+		for _, ino := range dirty {
+			_, tracked := st.byIno[ino]
+			if !st.img.InodeAllocated(ino) {
+				batch = append(batch, staged{ino: ino, tracked: tracked})
+				continue
+			}
+			p, err := t.scan(st.img, ino)
+			if err != nil {
+				sp.End()
+				commit()
+				return refreshed, perServer, fmt.Errorf(
+					"online: %s ino %d: %w (feed left intact)", st.img.Label(), ino, err)
+			}
+			batch = append(batch, staged{ino: ino, p: p, tracked: tracked})
+		}
+		// Commit: apply the batch, clear the feed, count what was done.
+		count, dropped := 0, 0
+		for _, s := range batch {
+			if s.p == nil {
+				if !s.tracked {
+					// Freed before we ever saw it (created and deleted
+					// between updates): nothing to refresh, nothing to
+					// count.
+					continue
+				}
+				delete(st.byIno, s.ino)
+				t.delta.Remove(si, s.ino)
+				count++
+				dropped++
+				continue
+			}
+			st.byIno[s.ino] = s.p
+			if err := t.delta.Apply(si, s.ino, s.p); err != nil {
+				sp.End()
+				commit()
+				return refreshed, perServer, err
+			}
+			count++
+		}
+		st.img.ClearDirty()
+		sp.End()
+		if count > 0 {
+			node := sp.Node()
+			st.lastSpan = &node
+			st.refreshed.Add(int64(count))
+			st.dropped.Add(int64(dropped))
+			st.rounds.Inc()
+			perServer = append(perServer, RoundRefresh{
+				Server: st.img.Label(), Refreshed: count, Dropped: dropped,
+			})
+			refreshed += count
+		}
+	}
+	commit()
+	return refreshed, perServer, nil
+}
+
+// Rescan discards the incremental state of every server and re-sweeps
+// from the images (the periodic full-scrub escape hatch for silent
+// corruption the change feed cannot see). Warm-start ranks are dropped
+// with it — the next check starts cold, as trust in the old snapshot is
+// exactly what a rescan revokes.
+func (t *Tracker) Rescan() error {
+	return t.fullScan()
 }
 
 // Partials materialises the maintained per-server partial graphs in
@@ -152,27 +318,179 @@ type CheckResult struct {
 	TUpdate time.Duration
 	// InodesRefreshed is how many inodes this check re-parsed.
 	InodesRefreshed int
+	// PerServer breaks the refresh down by server for this round.
+	PerServer []RoundRefresh
+	// Round is this check's sequence number (1 = the first check).
+	Round int64
+	// Warm reports whether ranking was seeded from the previous check.
+	Warm bool
 }
 
 // Check consumes pending changes and runs the analysis stages on the
 // maintained snapshot — the online equivalent of checker.Run, without
-// any unmount or full rescan.
+// any unmount or full rescan. The unified graph comes from the
+// incremental aggregator and ranking warm-starts from the previous
+// check, so the cost after a small delta is the delta's re-parse plus
+// the CSR build and a handful of iterations.
 func (t *Tracker) Check() (*CheckResult, error) {
 	t0 := time.Now()
-	refreshed, err := t.Update()
+	refreshed, perServer, err := t.update()
 	if err != nil {
 		return nil, err
 	}
 	update := time.Since(t0)
+
+	mat := t.delta.Materialize()
+	opt := t.opt
+	warm := t.haveWarm
 	res := &checker.Result{}
-	if err := checker.Analyze(res, t.images, t.Partials(), t.opt); err != nil {
-		return nil, err
+	if warm {
+		// The warm attempt gets a bounded iteration budget. On most
+		// deltas the previous fixed point is a few steps from the new
+		// one and the attempt converges almost immediately; but on
+		// hub-heavy graphs a warm seed can resume the slow hub-
+		// equilibration creep that a cold run's loose stopping rule
+		// truncates early, crawling for the full iteration cap. If the
+		// budget runs out unconverged, abandon the seed and redo the
+		// round cold — warm checks then never cost more than a small
+		// multiple of a cold one, and always converge when cold would.
+		wopt := opt
+		wopt.Core.InitialID = t.warmVector(t.prevID, mat)
+		wopt.Core.InitialProp = t.warmVector(t.prevProp, mat)
+		wopt.Core.MaxIterations = warmIterCap(t.lastIters, opt.Core.MaxIterations)
+		if err := checker.AnalyzeUnified(res, t.images, mat.U, wopt); err != nil {
+			return nil, err
+		}
+		if !res.Rank.Converged {
+			res = &checker.Result{}
+			warm = false
+			t.warmFallbacks++
+		}
+	}
+	if !warm {
+		if err := checker.AnalyzeUnified(res, t.images, mat.U, opt); err != nil {
+			return nil, err
+		}
 	}
 	res.TScan = update // stage-1 role in the online pipeline
-	return &CheckResult{Result: res, TUpdate: update, InodesRefreshed: refreshed}, nil
+	res.Cluster = t.clusterManifest()
+	t.saveWarmState(res, mat)
+	if res.Rank.Converged {
+		t.lastIters = res.Rank.Iterations
+	}
+	t.checks++
+	return &CheckResult{
+		Result:          res,
+		TUpdate:         update,
+		InodesRefreshed: refreshed,
+		PerServer:       perServer,
+		Round:           t.checks,
+		Warm:            warm,
+	}, nil
 }
 
-// Stats reports the tracker's lifetime work.
+// warmVector lifts IID-indexed ranks into the current check's GID
+// space; vertices first seen this check start at the uniform 1.0.
+func (t *Tracker) warmVector(prev []float64, mat *agg.Materialized) []float64 {
+	out := make([]float64, len(mat.IIDOfGID))
+	for g, iid := range mat.IIDOfGID {
+		if int(iid) < len(prev) {
+			out[g] = prev[iid]
+		} else {
+			out[g] = 1
+		}
+	}
+	return out
+}
+
+// saveWarmState stores the converged ranks keyed by stable IID for the
+// next check's warm start.
+func (t *Tracker) saveWarmState(res *checker.Result, mat *agg.Materialized) {
+	id := make([]float64, mat.NumIIDs)
+	prop := make([]float64, mat.NumIIDs)
+	for i := range id {
+		id[i], prop[i] = 1, 1
+	}
+	for g, iid := range mat.IIDOfGID {
+		id[iid] = res.Rank.IDRank[g]
+		prop[iid] = res.Rank.PropRank[g]
+	}
+	t.prevID, t.prevProp, t.haveWarm = id, prop, true
+}
+
+// clusterManifest assembles the per-server telemetry sections — the
+// online counterpart of the wire trailers a TCP run ships home. Each
+// server's section carries its lifetime refresh counters and the span
+// of its last non-empty update round.
+func (t *Tracker) clusterManifest() *checker.ClusterManifest {
+	labels := make([]string, len(t.images))
+	ships := make([]*wire.Telemetry, len(t.servers))
+	for i, st := range t.servers {
+		label := st.img.Label()
+		labels[i] = label
+		ships[i] = &wire.Telemetry{
+			Server:   label,
+			Snapshot: st.reg.Snapshot().Labeled(label),
+			Span:     st.lastSpan,
+		}
+	}
+	return checker.BuildClusterManifest(labels, ships)
+}
+
+// Stats reports the tracker's lifetime work: rounds that refreshed at
+// least one inode, and the total inodes re-parsed (or dropped) by
+// committed rounds.
 func (t *Tracker) Stats() (updates, inodesRescanned int64) {
 	return t.updates, t.inodesRescan
+}
+
+// WatchOptions configures Tracker.Watch.
+type WatchOptions struct {
+	// Interval between rounds (<= 0 = one second).
+	Interval time.Duration
+	// Rounds bounds the loop (<= 0 = until ctx is done).
+	Rounds int
+	// Quiesce, when non-nil, is held while a round reads the images —
+	// the synchronisation point with a live mutator. The simulation's
+	// in-process mutators take the same lock; a real deployment would
+	// read a quiesced snapshot per round instead.
+	Quiesce sync.Locker
+	// OnRound observes each completed round.
+	OnRound func(round int, res *CheckResult)
+}
+
+// Watch loops Update→Check at an interval: the `faultyrank -online
+// -watch` mode. It returns on ctx cancellation (with ctx's error), when
+// the configured number of rounds completes, or on the first check
+// error.
+func (t *Tracker) Watch(ctx context.Context, opt WatchOptions) error {
+	interval := opt.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for round := 1; opt.Rounds <= 0 || round <= opt.Rounds; round++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		res, err := t.checkQuiesced(opt.Quiesce)
+		if err != nil {
+			return err
+		}
+		if opt.OnRound != nil {
+			opt.OnRound(round, res)
+		}
+	}
+	return nil
+}
+
+func (t *Tracker) checkQuiesced(lock sync.Locker) (*CheckResult, error) {
+	if lock != nil {
+		lock.Lock()
+		defer lock.Unlock()
+	}
+	return t.Check()
 }
