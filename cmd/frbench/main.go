@@ -13,6 +13,7 @@
 //	frbench -table net             # network path under injected scanner faults
 //	frbench -table skew            # per-server scan skew from wire-shipped telemetry
 //	frbench -table online          # incremental delta check vs cold full recheck
+//	frbench -table partition       # rank-stage scaling across BSP partition workers
 //	frbench -table all -scale smoke
 //
 // -scale picks sizing: smoke (seconds), default (minutes), paper (the
@@ -30,11 +31,24 @@ import (
 	"faultyrank/internal/bench"
 )
 
+// tableNames lists every artifact -table accepts, in doc-comment order.
+// The flag help and the unknown-table error derive from it, so the two
+// user-facing lists can no longer drift from the dispatch below.
+var tableNames = []string{
+	"2", "3", "4", "5", "6", "fig7", "dne", "ablation",
+	"ingest", "net", "skew", "online", "partition",
+}
+
+// tableChoices renders the accepted -table values for help and errors.
+func tableChoices() string {
+	return strings.Join(tableNames, "|") + "|all"
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("frbench: ")
 	var (
-		table    = flag.String("table", "all", "which artifact: 2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|online|all")
+		table    = flag.String("table", "all", "which artifact: "+tableChoices())
 		scaleStr = flag.String("scale", "default", "sizing: smoke|default|paper")
 		workers  = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		useTCP   = flag.Bool("tcp", true, "Table VI: run both checkers over localhost TCP")
@@ -47,10 +61,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	known := *table == "all"
+	for _, name := range tableNames {
+		if strings.EqualFold(*table, name) {
+			known = true
+			break
+		}
+	}
+	if !known {
+		log.Fatalf("unknown table %q (%s)", *table, tableChoices())
+	}
 	want := func(name string) bool {
 		return *table == "all" || strings.EqualFold(*table, name)
 	}
-	ran := false
 	// emit prints each table and, with -json, writes the artifact file.
 	emit := func(name string, tabs ...*bench.Table) {
 		for _, t := range tabs {
@@ -63,7 +86,6 @@ func main() {
 			}
 			log.Printf("wrote %s", path)
 		}
-		ran = true
 	}
 	if want("2") {
 		emit("2", bench.Table2())
@@ -141,7 +163,11 @@ func main() {
 		}
 		emit("ablation", tab, fp)
 	}
-	if !ran {
-		log.Fatalf("unknown table %q (2|3|4|5|6|fig7|dne|ablation|ingest|net|skew|online|all)", *table)
+	if want("partition") {
+		rows, err := bench.PartitionMeasure(scale, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit("partition", bench.PartitionTable(rows))
 	}
 }

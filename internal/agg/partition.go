@@ -1,0 +1,40 @@
+package agg
+
+import (
+	"faultyrank/internal/graph"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/par"
+)
+
+// PartitionOf maps a FID onto one of k rank partitions. It reuses the
+// interner's shard hash (shardOf), so the partition key is the same
+// pure function of the FID the aggregation pipeline already shards by —
+// deterministic across runs, machines, and worker counts, and
+// independent of the GID numbering.
+func PartitionOf(f lustre.FID, k int) int {
+	return shardOf(f) % k
+}
+
+// PartitionOwners computes the owners map of the unified graph's GID
+// space for a k-way partitioned rank execution (the input of
+// graph.PartitionPlan). Both the batch aggregator and the incremental
+// delta builder populate FIDs, so the owners map is available on either
+// path.
+func (u *Unified) PartitionOwners(k int) []uint16 {
+	owners := make([]uint16, len(u.FIDs))
+	par.ForRange(len(u.FIDs), par.DefaultWorkers(), func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			owners[g] = uint16(PartitionOf(u.FIDs[g], k))
+		}
+	})
+	return owners
+}
+
+// BuildPartitioned materializes the bidirected graph and its k-way
+// partition plan in one call — the per-partition CSRs with their
+// boundary cut that the distributed rank stage executes over.
+func (u *Unified) BuildPartitioned(k, workers int) (*graph.Bidirected, *graph.Plan) {
+	b := u.Build(workers)
+	plan := graph.PartitionPlan(b, u.PartitionOwners(k), k, workers)
+	return b, plan
+}

@@ -66,6 +66,24 @@ type Options struct {
 	// failure model (nil = no faults).
 	NetFaults map[string]*inject.NetFault
 
+	// RankWorkers shards the CSR across this many rank partitions and
+	// iterates as BSP supersteps (internal/core superstep protocol);
+	// <= 1 runs the legacy single-process kernel. The partitioned path
+	// is exact — ranks and findings are bit-identical to the
+	// single-process kernel for any worker count — so this trades
+	// nothing but exchange overhead for per-partition parallelism. With
+	// UseTCP the workers run behind real localhost TCP links (the
+	// deployment shape: rank shards on separate nodes); otherwise they
+	// are in-process goroutines on channel links.
+	RankWorkers int
+	// RankFaults injects a crash into the numbered rank partitions'
+	// superstep links — the test/bench hook for the rank-stage failure
+	// model (nil = no faults). A lost partition fails a strict run with
+	// a PartError naming it; with AllowDegraded the checker falls back
+	// to the single-process kernel (the whole graph is local to the
+	// coordinator) and records the fallback in the rank manifest.
+	RankFaults map[int]*inject.RankFault
+
 	// Metrics is the registry the run's instruments resolve from. Nil
 	// means a private per-run registry — Result.Metrics, Result.Scan and
 	// the report counters are populated either way. Pass a shared
@@ -221,6 +239,12 @@ type Result struct {
 	// (no scan stage ran).
 	Cluster *ClusterManifest
 
+	// RankExec describes the partitioned rank execution — partition
+	// shapes, per-superstep exchange stats, degraded fallback — and is
+	// also folded into Cluster as its rank section. Nil when the
+	// single-process kernel ran (RankWorkers <= 1).
+	RankExec *RankManifest
+
 	Unified  *agg.Unified
 	Graph    *graph.Bidirected
 	Rank     *core.Result
@@ -328,7 +352,7 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 	aggSpan.End()
 	res.TGraph = time.Since(t1)
 
-	err = rankAndClassify(ctx, res, images, opt)
+	err = rankAndClassify(ctx, res, images, opt, obs)
 	obs.finish(res, root)
 	return res, err
 }
@@ -355,7 +379,7 @@ func Analyze(res *Result, images []*ldiskfs.Image, parts []*scanner.Partial, opt
 	buildSpan.End()
 	aggSpan.End()
 	res.TGraph = time.Since(t1)
-	err := rankAndClassify(ctx, res, images, opt)
+	err := rankAndClassify(ctx, res, images, opt, obs)
 	obs.finish(res, root)
 	return err
 }
@@ -380,19 +404,25 @@ func AnalyzeUnified(res *Result, images []*ldiskfs.Image, u *agg.Unified, opt Op
 	buildSpan.End()
 	aggSpan.End()
 	res.TGraph = time.Since(t1)
-	err := rankAndClassify(ctx, res, images, opt)
+	err := rankAndClassify(ctx, res, images, opt, obs)
 	obs.finish(res, root)
 	return err
 }
 
 // rankAndClassify is stage 3 (T_FR), shared by Run and Analyze:
-// FaultyRank iteration, detection and fault classification.
-func rankAndClassify(ctx context.Context, res *Result, images []*ldiskfs.Image, opt Options) error {
+// FaultyRank iteration — single-process or partitioned per
+// opt.RankWorkers — then detection and fault classification.
+func rankAndClassify(ctx context.Context, res *Result, images []*ldiskfs.Image, opt Options, obs *runObs) error {
 	t2 := time.Now()
 	rankCtx, rankSpan := telemetry.StartSpan(ctx, "rank")
-	_, iterSpan := telemetry.StartSpan(rankCtx, "iterate")
-	res.Rank = core.Run(res.Graph, opt.Core)
+	iterCtx, iterSpan := telemetry.StartSpan(rankCtx, "iterate")
+	err := runRank(iterCtx, res, opt, obs)
 	iterSpan.End()
+	if err != nil {
+		rankSpan.End()
+		res.TRank = time.Since(t2)
+		return err
+	}
 	_, classifySpan := telemetry.StartSpan(rankCtx, "classify")
 	res.Report = core.Detect(res.Graph, res.Rank, res.Unified.Present, opt.Core)
 	byLabel := make(map[string]*ldiskfs.Image, len(images))

@@ -31,6 +31,14 @@ type runObs struct {
 	wireM *wire.Metrics
 	aggM  *agg.Metrics
 	base  map[*telemetry.Counter]int64
+
+	// Partitioned-rank instruments: supersteps driven, exchange volume
+	// (canonical encoded frame sizes, so the in-process path reports the
+	// same bytes TCP would move), and the partition count of the latest
+	// run.
+	rankSupersteps *telemetry.Counter
+	rankBytes      *telemetry.Counter
+	rankParts      *telemetry.Gauge
 }
 
 func newRunObs(reg *telemetry.Registry) *runObs {
@@ -43,6 +51,10 @@ func newRunObs(reg *telemetry.Registry) *runObs {
 		wireM: wire.NewMetrics(reg),
 		aggM:  agg.NewMetrics(reg),
 		base:  make(map[*telemetry.Counter]int64),
+
+		rankSupersteps: reg.Counter("rank_supersteps_total"),
+		rankBytes:      reg.Counter("rank_exchange_bytes_total"),
+		rankParts:      reg.Gauge("rank_partitions"),
 	}
 	for _, c := range []*telemetry.Counter{
 		o.scan.InodesScanned, o.scan.DirentsRead, o.scan.EdgesEmitted,

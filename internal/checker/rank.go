@@ -1,0 +1,220 @@
+package checker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"faultyrank/internal/core"
+	"faultyrank/internal/graph"
+	"faultyrank/internal/par"
+	"faultyrank/internal/telemetry"
+	"faultyrank/internal/wire"
+)
+
+// Partitioned rank orchestration: when Options.RankWorkers > 1, the
+// checker shards the CSR by the aggregator's FID hash (the same hash
+// that sharded the interner, so the owners map is a pure function of
+// the FID table), spawns one rank worker per partition, and drives the
+// BSP superstep protocol as coordinator. The decomposition is exact, so
+// the only observable differences from the single-process kernel are
+// the per-partition spans, the exchange counters and the rank manifest.
+
+// RankManifest is the rank section of the cluster manifest: how the
+// graph was sharded, what each superstep exchanged, and — in degraded
+// runs — which partition was lost and how the run completed anyway.
+type RankManifest struct {
+	// Partitions is the rank worker count (Options.RankWorkers).
+	Partitions int `json:"partitions"`
+	// Transport is "in-process" or "tcp" — which link flavour carried
+	// the superstep frames.
+	Transport string `json:"transport"`
+	// Supersteps is the iteration count the exchange drove.
+	Supersteps int `json:"supersteps"`
+	// UpBytes/DownBytes are run totals of canonical encoded frame sizes
+	// (identical on both transports by construction).
+	UpBytes   int64 `json:"up_bytes"`
+	DownBytes int64 `json:"down_bytes"`
+	// CutEdges counts row entries whose column lives on another
+	// partition — the ghost traffic driver.
+	CutEdges int64 `json:"cut_edges"`
+	// Fallback, when set, records the degraded path: a partition's link
+	// broke mid-exchange, and the ranks were recomputed on the
+	// single-process kernel (the coordinator holds the whole graph). It
+	// names the lost partition; Parts/Steps then describe the aborted
+	// exchange.
+	Fallback string `json:"fallback,omitempty"`
+	// Parts describes each partition's share of the graph.
+	Parts []core.PartSummary `json:"parts,omitempty"`
+	// Steps carries the per-superstep exchange stats.
+	Steps []core.SuperstepStats `json:"steps,omitempty"`
+}
+
+// runRank executes the rank iteration: the legacy single-process kernel
+// for RankWorkers <= 1 (the degenerate case every pre-existing caller
+// stays on), the partitioned BSP execution otherwise.
+func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
+	k := opt.RankWorkers
+	if k <= 1 {
+		res.Rank = core.Run(res.Graph, opt.Core)
+		return nil
+	}
+
+	_, partSpan := telemetry.StartSpan(ctx, "partition")
+	owners := res.Unified.PartitionOwners(k)
+	plan := graph.PartitionPlan(res.Graph, owners, k, opt.Workers)
+	partSpan.End()
+
+	man := &RankManifest{
+		Partitions: k,
+		Transport:  "in-process",
+		CutEdges:   plan.CutEdges(),
+	}
+	if opt.UseTCP {
+		man.Transport = "tcp"
+	}
+
+	var (
+		rank *core.Result
+		rep  *core.ExchangeReport
+		err  error
+	)
+	if opt.UseTCP {
+		rank, rep, err = rankOverTCP(ctx, plan, opt, obs)
+	} else {
+		rank, rep, err = rankInProcess(ctx, plan, opt)
+	}
+	if rep != nil {
+		man.Supersteps = len(rep.Supersteps)
+		man.UpBytes = rep.UpBytes
+		man.DownBytes = rep.DownBytes
+		man.Parts = rep.Partitions
+		man.Steps = rep.Supersteps
+	}
+	if err != nil {
+		if !opt.AllowDegraded {
+			return err
+		}
+		// Degraded completion: unlike a lost scanner stream, a lost rank
+		// worker costs no data — the coordinator holds the whole unified
+		// graph — so the run falls back to the single-process kernel and
+		// the manifest names what died.
+		man.Fallback = fmt.Sprintf("%v; re-ranked on the single-process kernel", err)
+		rank = core.Run(res.Graph, opt.Core)
+	}
+	res.Rank = rank
+	obs.rankSupersteps.Add(int64(man.Supersteps))
+	obs.rankBytes.Add(man.UpBytes + man.DownBytes)
+	obs.rankParts.Set(int64(k))
+	res.RankExec = man
+	if res.Cluster != nil {
+		res.Cluster.Rank = man
+	}
+	return nil
+}
+
+// partOptions divides the run's worker budget across partitions
+// (minimum 1 each), mirroring core.RunPartitioned's split.
+func partOptions(opt Options, k int) core.Options {
+	wopt := opt.Core
+	w := wopt.Workers
+	if w <= 0 {
+		w = opt.Workers
+	}
+	if w <= 0 {
+		w = par.DefaultWorkers()
+	}
+	wopt.Workers = w / k
+	if wopt.Workers < 1 {
+		wopt.Workers = 1
+	}
+	return wopt
+}
+
+// workerLoop is one rank worker's lifetime under its own telemetry
+// span, with any injected fault interposed on the link.
+func workerLoop(ctx context.Context, plan *graph.Plan, p int, wopt core.Options, opt Options, link core.Link) error {
+	_, sp := telemetry.StartSpan(ctx, fmt.Sprintf("rank:p%d", p))
+	defer sp.End()
+	if f := opt.RankFaults[p]; f != nil {
+		link = f.WrapLink(link)
+	}
+	return core.RunPartition(core.NewPartState(plan.Parts[p], wopt), link)
+}
+
+// rankInProcess runs the workers as goroutines on channel link pairs —
+// same protocol, same frames, no sockets.
+func rankInProcess(ctx context.Context, plan *graph.Plan, opt Options) (*core.Result, *core.ExchangeReport, error) {
+	wopt := partOptions(opt, plan.K)
+	links := make([]core.Link, plan.K)
+	workers := make([]*core.LocalLink, plan.K)
+	var wg sync.WaitGroup
+	for p := 0; p < plan.K; p++ {
+		coord, worker := core.LinkPair()
+		links[p], workers[p] = coord, worker
+		wg.Add(1)
+		go func(p int, worker *core.LocalLink) {
+			defer wg.Done()
+			// A worker death tears its pair down, so the coordinator's
+			// next wait on this partition returns a named PartError.
+			if err := workerLoop(ctx, plan, p, wopt, opt, worker); err != nil {
+				worker.Close()
+			}
+		}(p, worker)
+	}
+	rank, rep, err := core.Coordinate(plan, links, opt.Core)
+	for _, w := range workers {
+		w.Close()
+	}
+	wg.Wait()
+	return rank, rep, err
+}
+
+// rankOverTCP runs the deployment shape: a localhost exchange accepts
+// one dialing worker per partition, and every superstep frame crosses
+// the versioned MsgRankDelta codec with the established deadline/retry
+// discipline. A worker that crashes mid-superstep drops its connection;
+// the coordinator's read fails within OpTimeout and Coordinate returns
+// a PartError naming the partition — closing the exchange then releases
+// the surviving workers, so nothing hangs.
+func rankOverTCP(ctx context.Context, plan *graph.Plan, opt Options, obs *runObs) (*core.Result, *core.ExchangeReport, error) {
+	x, addr, err := wire.NewRankExchange(opt.OpTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer x.Close()
+	x.Observe(obs.wireM)
+
+	// A worker that cannot even dial would leave the accept loop waiting
+	// for a connection that never comes; cancelling the handshake context
+	// turns that into a prompt error instead.
+	rankCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	wopt := partOptions(opt, plan.K)
+	var wg sync.WaitGroup
+	for p := 0; p < plan.K; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			conn, err := wire.DialRankLink(rankCtx, addr, p, opt.Retry, opt.OpTimeout)
+			if err != nil {
+				cancel()
+				return
+			}
+			defer conn.Close()
+			_ = workerLoop(rankCtx, plan, p, wopt, opt, conn)
+		}(p)
+	}
+
+	links, err := x.AcceptWorkers(rankCtx, plan.K)
+	if err != nil {
+		x.Close()
+		wg.Wait()
+		return nil, nil, err
+	}
+	rank, rep, err := core.Coordinate(plan, links, opt.Core)
+	x.Close()
+	wg.Wait()
+	return rank, rep, err
+}

@@ -233,15 +233,45 @@ func rescaleMass(xs []float64) {
 	}
 }
 
+// sinkBlock is the fixed width of the canonical sink-mass summation
+// blocks. Float64 addition is not associative, so the fold order IS the
+// definition of the sum: per-block partials accumulate sequentially in
+// ascending vertex order, and the partials fold sequentially in
+// ascending block order. That order depends only on the vertex
+// numbering — never on the worker count or on how the vertices are
+// partitioned — which is what lets the distributed coordinator
+// (superstep.go) reproduce the single-process ranks bit for bit.
+const sinkBlock = 1 << 12
+
 // sinkMass sums rank[v] over vertices whose inverse divisor is zero,
-// i.e. the sinks of the graph orientation the divisor belongs to.
+// i.e. the sinks of the graph orientation the divisor belongs to. The
+// blocks are independent, so they compute in parallel; the fold order
+// is canonical (see sinkBlock).
 func sinkMass(rank, invDiv []float64, workers int) float64 {
-	return par.MapReduceFloat64(len(rank), workers, func(i int) float64 {
-		if invDiv[i] == 0 {
-			return rank[i]
-		}
+	n := len(rank)
+	if n == 0 {
 		return 0
+	}
+	nb := (n + sinkBlock - 1) / sinkBlock
+	partial := make([]float64, nb)
+	par.ForRange(nb, workers, func(lo, hi int) {
+		for blk := lo; blk < hi; blk++ {
+			s := blk * sinkBlock
+			e := min(s+sinkBlock, n)
+			var acc float64
+			for i := s; i < e; i++ {
+				if invDiv[i] == 0 {
+					acc += rank[i]
+				}
+			}
+			partial[blk] = acc
+		}
 	})
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
 }
 
 // sinkShares converts total sink mass into the per-vertex additive base

@@ -1,0 +1,807 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"faultyrank/internal/graph"
+	"faultyrank/internal/par"
+)
+
+// Partitioned rank execution. Run's two-phase sweep decomposes into a
+// bulk-synchronous protocol between one coordinator and K partition
+// workers, each holding a graph.SubGraph:
+//
+//	coordinator            worker p (per iteration)
+//	---------------------  -------------------------------------------
+//	                   <-- UpA   {sink-A values, boundary prop values}
+//	fold sink mass,
+//	route ghosts       --> DownA {baseA, perSinkA, ghost prop values}
+//	                       phase A sweep over local Rev rows
+//	                   <-- UpB   {sink-B values, boundary ID values,
+//	                              local max |Δ id|}
+//	fold, decide halt  --> DownB {baseB, perSinkB, ghost IDs, halt?}
+//	                       phase B sweep over local Fwd rows
+//
+// The protocol is framed by Init (seed scatter) and Done (rank gather).
+//
+// The decomposition is exact, not approximate: every float operation of
+// the single-process kernel happens in the same order with the same
+// operands. The per-vertex gathers preserve global CSR row order
+// (graph.SubGraph's construction invariant); the only cross-partition
+// reductions are the sink-mass sums, whose canonical fixed-block order
+// (see sinkBlock in ranks.go) the coordinator reproduces term for term
+// by routing raw sink values through a static global-ascending
+// schedule; and max |Δ| is order-insensitive. So a K-partition run
+// returns ranks bit-identical to Run's for any K and any owners map —
+// the equivalence tests assert exactly that.
+
+// RankDelta frame kinds.
+const (
+	// RankHello is the TCP handshake: a dialing worker announces its
+	// partition index before the coordinator starts the protocol.
+	RankHello uint8 = iota + 1
+	// RankInit scatters the (rescaled) initial ranks to one partition;
+	// Halt set means "answer with Done immediately" (zero-iteration runs).
+	RankInit
+	// RankUpA carries a partition's phase-A inputs: its local sink
+	// values and its boundary prop values, one bundle per peer.
+	RankUpA
+	// RankDownA answers with the folded sink shares and the partition's
+	// ghost prop values.
+	RankDownA
+	// RankUpB carries the phase-B inputs plus the partition-local
+	// max |Δ id_rank|.
+	RankUpB
+	// RankDownB answers like DownA and carries the halt decision.
+	RankDownB
+	// RankDone returns a partition's final local ranks.
+	RankDone
+)
+
+// RankDelta is the single frame type of the superstep exchange; which
+// fields are populated depends on Kind. It crosses the wire via the
+// versioned MsgRankDelta codec (internal/wire) and crosses goroutines
+// verbatim on the in-process path.
+type RankDelta struct {
+	Kind uint8
+	Part uint32
+	Iter uint32
+
+	// Base and PerSink are the folded sink shares (sinkShares output)
+	// on Down frames; Diff is the local max |Δ id| on UpB.
+	Base    float64
+	PerSink float64
+	Diff    float64
+
+	// Halt on DownB ends the loop after the current phase B; on Init it
+	// requests an immediate Done.
+	Halt bool
+
+	// Sink carries the partition's sink-vertex rank values in ascending
+	// local order (Up frames); Ghost the partition's ghost-column
+	// values in ghost order (Down frames).
+	Sink  []float64
+	Ghost []float64
+
+	// ID and Prop carry per-local rank vectors (Init seeds, Done results).
+	ID   []float64
+	Prop []float64
+
+	// Bound[q] carries the values partition q needs as ghosts, in the
+	// SubGraph.SendTo[q] schedule order (Up frames). Length K or nil.
+	Bound [][]float64
+}
+
+// WireSize returns the byte length of the frame's canonical wire
+// encoding (wire.EncodeRankDelta), so exchange accounting reports the
+// same volumes on the in-process and TCP paths.
+func (d *RankDelta) WireSize() int {
+	n := 53 // version, kind, part, iter, 3 floats, halt, 4 counts, bound count
+	n += 8 * (len(d.Sink) + len(d.Ghost) + len(d.ID) + len(d.Prop))
+	for _, b := range d.Bound {
+		n += 4 + 8*len(b)
+	}
+	return n
+}
+
+// Link is one coordinator<->worker duplex channel. The in-process path
+// uses buffered Go channels; the TCP path is wire.RankConn.
+type Link interface {
+	Send(*RankDelta) error
+	Recv() (*RankDelta, error)
+}
+
+// PartError attributes a failed exchange to the partition whose link
+// broke — the checker's degraded mode reports the name.
+type PartError struct {
+	Part int
+	Err  error
+}
+
+func (e *PartError) Error() string { return fmt.Sprintf("rank partition %d: %v", e.Part, e.Err) }
+func (e *PartError) Unwrap() error { return e.Err }
+
+// phaseASinkCol reports whether a column is a phase-A sink (no forward
+// out-edges; invOut would be 0). Must stay equivalent to the invOut
+// construction in both Run and NewPartState.
+func phaseASinkCol(sub *graph.SubGraph, col int) bool { return sub.OutDeg[col] <= 0 }
+
+// phaseBSinkCol reports whether a column is a phase-B sink (zero
+// reversed-distribution weight; invW would be 0), using the exact float
+// expression of the invW construction.
+func phaseBSinkCol(sub *graph.SubGraph, opt Options, col int) bool {
+	if opt.LeakyDistribution {
+		return sub.PairedIn[col]+sub.UnpairedIn[col] <= 0
+	}
+	w := float64(sub.PairedIn[col]) + opt.UnpairedWeight*float64(sub.UnpairedIn[col])
+	return !(w > 0)
+}
+
+// PartState is one rank worker's mutable state: the divisor vectors and
+// the double-buffered column-sized rank arrays (locals in [0, NLocal),
+// ghosts above).
+type PartState struct {
+	Sub *graph.SubGraph
+
+	opt     Options
+	workers int
+	sigma   float64
+	blend   float64
+
+	invOut []float64 // per column: 1/outdeg, 0 for sinks
+	invW   []float64 // per column: 1/W(v), 0 for reversed-graph sinks
+
+	// sinkALoc/sinkBLoc list the local indices that are phase A/B
+	// sinks, ascending; their values feed the coordinator's canonical
+	// sink-mass fold.
+	sinkALoc []uint32
+	sinkBLoc []uint32
+
+	idCur, idNext     []float64
+	propCur, propNext []float64
+}
+
+// NewPartState prepares a worker for RunPartition. opt.Workers bounds
+// this partition's sweep parallelism (the checker divides its worker
+// budget across partitions).
+func NewPartState(sub *graph.SubGraph, opt Options) *PartState {
+	nCols := sub.NCols()
+	st := &PartState{
+		Sub:      sub,
+		opt:      opt,
+		workers:  opt.workers(),
+		sigma:    opt.Smoothing,
+		blend:    1 - opt.Smoothing,
+		invOut:   make([]float64, nCols),
+		invW:     make([]float64, nCols),
+		idCur:    make([]float64, nCols),
+		idNext:   make([]float64, nCols),
+		propCur:  make([]float64, nCols),
+		propNext: make([]float64, nCols),
+	}
+	// Same expressions as Run's divisor construction, fed from the
+	// replicated per-column metadata.
+	par.ForRange(nCols, st.workers, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if d := sub.OutDeg[c]; d > 0 {
+				st.invOut[c] = 1 / float64(d)
+			}
+			if opt.LeakyDistribution {
+				if d := sub.PairedIn[c] + sub.UnpairedIn[c]; d > 0 {
+					st.invW[c] = 1 / float64(d)
+				}
+			} else {
+				w := float64(sub.PairedIn[c]) + opt.UnpairedWeight*float64(sub.UnpairedIn[c])
+				if w > 0 {
+					st.invW[c] = 1 / w
+				}
+			}
+		}
+	})
+	for l := 0; l < sub.NLocal(); l++ {
+		if phaseASinkCol(sub, l) {
+			st.sinkALoc = append(st.sinkALoc, uint32(l))
+		}
+		if phaseBSinkCol(sub, opt, l) {
+			st.sinkBLoc = append(st.sinkBLoc, uint32(l))
+		}
+	}
+	return st
+}
+
+func gatherAt(dst []float64, src []float64, idx []uint32) []float64 {
+	dst = dst[:0]
+	for _, i := range idx {
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// RunPartition executes one worker's side of the superstep protocol
+// until the coordinator halts it or the link breaks.
+func RunPartition(st *PartState, link Link) error {
+	sub := st.Sub
+	nLocal := sub.NLocal()
+
+	init, err := link.Recv()
+	if err != nil {
+		return err
+	}
+	if init.Kind != RankInit {
+		return fmt.Errorf("rank worker %d: expected Init, got kind %d", sub.Part, init.Kind)
+	}
+	if len(init.ID) != nLocal || len(init.Prop) != nLocal {
+		return fmt.Errorf("rank worker %d: Init seed length %d/%d, want %d", sub.Part, len(init.ID), len(init.Prop), nLocal)
+	}
+	copy(st.idCur, init.ID)
+	copy(st.propCur, init.Prop)
+
+	done := func() error {
+		return link.Send(&RankDelta{
+			Kind: RankDone,
+			Part: uint32(sub.Part),
+			ID:   st.idCur[:nLocal],
+			Prop: st.propCur[:nLocal],
+		})
+	}
+	if init.Halt {
+		return done()
+	}
+
+	// Reused frame buffers: values are copied into the frames (gathers
+	// are non-contiguous), so the compute arrays stay private.
+	upA := &RankDelta{Kind: RankUpA, Part: uint32(sub.Part)}
+	upB := &RankDelta{Kind: RankUpB, Part: uint32(sub.Part)}
+	for _, up := range []*RankDelta{upA, upB} {
+		up.Bound = make([][]float64, len(sub.SendTo))
+	}
+
+	for iter := uint32(0); ; iter++ {
+		// ---- superstep A: ship sinks+boundary, recv shares+ghosts ---
+		upA.Iter = iter
+		upA.Sink = gatherAt(upA.Sink, st.propCur, st.sinkALoc)
+		for q, sched := range sub.SendTo {
+			upA.Bound[q] = gatherAt(upA.Bound[q], st.propCur, sched)
+		}
+		if err := link.Send(upA); err != nil {
+			return err
+		}
+		downA, err := link.Recv()
+		if err != nil {
+			return err
+		}
+		if downA.Kind != RankDownA || downA.Iter != iter {
+			return fmt.Errorf("rank worker %d: expected DownA iter %d, got kind %d iter %d", sub.Part, iter, downA.Kind, downA.Iter)
+		}
+		if len(downA.Ghost) != len(sub.Ghosts) {
+			return fmt.Errorf("rank worker %d: DownA ghost count %d, want %d", sub.Part, len(downA.Ghost), len(sub.Ghosts))
+		}
+		copy(st.propCur[nLocal:], downA.Ghost)
+
+		// ---- phase A: gather property mass along forward edges ------
+		baseA, perSinkA := downA.Base, downA.PerSink
+		par.ForRange(nLocal, st.workers, func(lo, hi int) {
+			for l := lo; l < hi; l++ {
+				s, e := sub.RevOff[l], sub.RevOff[l+1]
+				acc := baseA
+				for i := s; i < e; i++ {
+					src := sub.RevCol[i]
+					acc += st.propCur[src] * st.invOut[src]
+				}
+				if perSinkA != 0 && st.invOut[l] == 0 && sub.OutDeg[l] == 0 {
+					acc -= st.propCur[l] * perSinkA
+				}
+				st.idNext[l] = st.sigma*st.idCur[l] + st.blend*acc
+			}
+		})
+		localDiff := par.MapReduceMaxFloat64(nLocal, st.workers, func(l int) float64 {
+			return math.Abs(st.idCur[l] - st.idNext[l])
+		})
+
+		// ---- superstep B ---------------------------------------------
+		upB.Iter = iter
+		upB.Diff = localDiff
+		upB.Sink = gatherAt(upB.Sink, st.idNext, st.sinkBLoc)
+		for q, sched := range sub.SendTo {
+			upB.Bound[q] = gatherAt(upB.Bound[q], st.idNext, sched)
+		}
+		if err := link.Send(upB); err != nil {
+			return err
+		}
+		downB, err := link.Recv()
+		if err != nil {
+			return err
+		}
+		if downB.Kind != RankDownB || downB.Iter != iter {
+			return fmt.Errorf("rank worker %d: expected DownB iter %d, got kind %d iter %d", sub.Part, iter, downB.Kind, downB.Iter)
+		}
+		if len(downB.Ghost) != len(sub.Ghosts) {
+			return fmt.Errorf("rank worker %d: DownB ghost count %d, want %d", sub.Part, len(downB.Ghost), len(sub.Ghosts))
+		}
+		copy(st.idNext[nLocal:], downB.Ghost)
+
+		// ---- phase B: gather ID mass along reversed edges -----------
+		baseB, perSinkB := downB.Base, downB.PerSink
+		par.ForRange(nLocal, st.workers, func(lo, hi int) {
+			for l := lo; l < hi; l++ {
+				s, e := sub.FwdOff[l], sub.FwdOff[l+1]
+				acc := baseB
+				for i := s; i < e; i++ {
+					dst := sub.FwdCol[i]
+					w := st.opt.UnpairedWeight
+					if sub.FwdPaired[i] == 1 {
+						w = 1
+					}
+					acc += st.idNext[dst] * w * st.invW[dst]
+				}
+				if perSinkB != 0 && st.invW[l] == 0 {
+					acc -= st.idNext[l] * perSinkB
+				}
+				st.propNext[l] = st.sigma*st.propCur[l] + st.blend*acc
+			}
+		})
+
+		st.idCur, st.idNext = st.idNext, st.idCur
+		st.propCur, st.propNext = st.propNext, st.propCur
+		if downB.Halt {
+			return done()
+		}
+	}
+}
+
+// SuperstepStats is one iteration's exchange record.
+type SuperstepStats struct {
+	Iter int `json:"iter"`
+	// MaxDelta is the folded convergence measure (same scale as
+	// Result.Diffs); SinkMassID/SinkMassProp the redistributed masses.
+	MaxDelta     float64 `json:"max_delta"`
+	SinkMassID   float64 `json:"sink_mass_id"`
+	SinkMassProp float64 `json:"sink_mass_prop"`
+	// UpBytes/DownBytes count the canonical encoded sizes of the four
+	// frames of this iteration (UpA+UpB and DownA+DownB, summed over
+	// partitions).
+	UpBytes   int64 `json:"up_bytes"`
+	DownBytes int64 `json:"down_bytes"`
+}
+
+// PartSummary describes one partition's share of the graph.
+type PartSummary struct {
+	Part     int   `json:"part"`
+	Locals   int   `json:"locals"`
+	Ghosts   int   `json:"ghosts"`
+	CutEdges int64 `json:"cut_edges"`
+}
+
+// ExchangeReport is the coordinator's account of a partitioned run.
+type ExchangeReport struct {
+	K          int              `json:"k"`
+	Supersteps []SuperstepStats `json:"supersteps"`
+	Partitions []PartSummary    `json:"partitions"`
+	// UpBytes/DownBytes are run totals, Init and Done frames included.
+	UpBytes   int64 `json:"up_bytes"`
+	DownBytes int64 `json:"down_bytes"`
+}
+
+// sinkRef addresses one sink vertex's value inside the Up frames: the
+// global vertex gid is the cursors[part]'th entry of partition part's
+// Sink array. Refs are sorted by gid, so walking them in order visits
+// sinks in global-ascending order — the canonical sum order.
+type sinkRef struct {
+	gid  uint32
+	part uint16
+}
+
+func buildSinkRefs(plan *graph.Plan, pick func(sub *graph.SubGraph, l int) bool) []sinkRef {
+	var refs []sinkRef
+	for p, sub := range plan.Parts {
+		for l := 0; l < sub.NLocal(); l++ {
+			if pick(sub, l) {
+				refs = append(refs, sinkRef{gid: sub.Local[l], part: uint16(p)})
+			}
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].gid < refs[j].gid })
+	return refs
+}
+
+// foldSinks reproduces sinkMass's canonical blocked sum from the raw
+// sink values the partitions shipped: terms land in their fixed
+// 4096-wide block in ascending-gid order, and the block partials fold
+// in ascending block order — the exact term sequence of the
+// single-process reduction.
+func foldSinks(refs []sinkRef, ups []*RankDelta, partial []float64, cursors []int) float64 {
+	for i := range partial {
+		partial[i] = 0
+	}
+	for i := range cursors {
+		cursors[i] = 0
+	}
+	for _, r := range refs {
+		partial[int(r.gid)/sinkBlock] += ups[r.part].Sink[cursors[r.part]]
+		cursors[r.part]++
+	}
+	var sum float64
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+func sendAll(links []Link, frames []*RankDelta) error {
+	errs := make([]error, len(links))
+	var wg sync.WaitGroup
+	for p := range links {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = links[p].Send(frames[p])
+		}(p)
+	}
+	wg.Wait()
+	return firstPartError(errs)
+}
+
+func recvAll(links []Link, kind uint8, iter uint32) ([]*RankDelta, error) {
+	out := make([]*RankDelta, len(links))
+	errs := make([]error, len(links))
+	var wg sync.WaitGroup
+	for p := range links {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			d, err := links[p].Recv()
+			if err == nil {
+				if d.Kind != kind || d.Iter != iter {
+					err = fmt.Errorf("expected frame kind %d iter %d, got kind %d iter %d", kind, iter, d.Kind, d.Iter)
+				} else if d.Part != uint32(p) {
+					err = fmt.Errorf("frame claims partition %d on link %d", d.Part, p)
+				}
+			}
+			out[p], errs[p] = d, err
+		}(p)
+	}
+	wg.Wait()
+	return out, firstPartError(errs)
+}
+
+func firstPartError(errs []error) error {
+	for p, err := range errs {
+		if err != nil {
+			return &PartError{Part: p, Err: err}
+		}
+	}
+	return nil
+}
+
+// Coordinate runs the coordinator side of a partitioned rank execution
+// over one established link per partition. It returns the same Result a
+// single-process Run over the unpartitioned graph would — bit for bit —
+// plus the exchange accounting.
+func Coordinate(plan *graph.Plan, links []Link, opt Options) (*Result, *ExchangeReport, error) {
+	if len(links) != plan.K {
+		return nil, nil, fmt.Errorf("core: %d links for %d partitions", len(links), plan.K)
+	}
+	n := plan.N
+	res := &Result{
+		IDRank:   make([]float64, n),
+		PropRank: make([]float64, n),
+	}
+	rep := &ExchangeReport{K: plan.K}
+	for _, sub := range plan.Parts {
+		rep.Partitions = append(rep.Partitions, PartSummary{
+			Part:     sub.Part,
+			Locals:   sub.NLocal(),
+			Ghosts:   len(sub.Ghosts),
+			CutEdges: sub.CutEdges,
+		})
+	}
+
+	// Initial ranks: exactly Run's seeding (uniform 1.0, or the warm
+	// seed rescaled by the same sequential rescaleMass).
+	id0 := make([]float64, n)
+	prop0 := make([]float64, n)
+	if len(opt.InitialID) == n && n > 0 {
+		copy(id0, opt.InitialID)
+		rescaleMass(id0)
+	} else {
+		for i := range id0 {
+			id0[i] = 1
+		}
+	}
+	if len(opt.InitialProp) == n && n > 0 {
+		copy(prop0, opt.InitialProp)
+		rescaleMass(prop0)
+	} else {
+		for i := range prop0 {
+			prop0[i] = 1
+		}
+	}
+
+	scatter := func(global []float64, sub *graph.SubGraph) []float64 {
+		out := make([]float64, sub.NLocal())
+		for l, g := range sub.Local {
+			out[l] = global[g]
+		}
+		return out
+	}
+
+	haltNow := n == 0 || opt.MaxIterations <= 0
+	inits := make([]*RankDelta, plan.K)
+	for p, sub := range plan.Parts {
+		inits[p] = &RankDelta{
+			Kind: RankInit,
+			Part: uint32(p),
+			Halt: haltNow,
+			ID:   scatter(id0, sub),
+			Prop: scatter(prop0, sub),
+		}
+		rep.DownBytes += int64(inits[p].WireSize())
+	}
+	if err := sendAll(links, inits); err != nil {
+		return nil, rep, err
+	}
+
+	refsA := buildSinkRefs(plan, phaseASinkCol)
+	refsB := buildSinkRefs(plan, func(sub *graph.SubGraph, l int) bool {
+		return phaseBSinkCol(sub, opt, l)
+	})
+	nb := (n + sinkBlock - 1) / sinkBlock
+	partial := make([]float64, nb)
+	cursors := make([]int, plan.K)
+	blend := 1 - opt.Smoothing
+
+	downs := make([]*RankDelta, plan.K)
+	for p, sub := range plan.Parts {
+		downs[p] = &RankDelta{Part: uint32(p), Ghost: make([]float64, len(sub.Ghosts))}
+	}
+	// routeGhosts fills each partition's ghost vector from the Bound
+	// bundles: partition q's ghosts ascend by global GID and so does
+	// every SendTo[·][q] schedule, so a per-owner cursor walk lines the
+	// two up exactly.
+	routeGhosts := func(ups []*RankDelta) {
+		for q, sub := range plan.Parts {
+			for i := range cursors {
+				cursors[i] = 0
+			}
+			out := downs[q].Ghost
+			for i, g := range sub.Ghosts {
+				o := plan.Owners[g]
+				out[i] = ups[o].Bound[q][cursors[o]]
+				cursors[o]++
+			}
+		}
+	}
+
+	if !haltNow {
+		for iter := uint32(0); ; iter++ {
+			var stepUp, stepDown int64
+
+			// ---- superstep A ----------------------------------------
+			ups, err := recvAll(links, RankUpA, iter)
+			if err != nil {
+				return nil, rep, err
+			}
+			if err := checkUps(plan, ups, refsA); err != nil {
+				return nil, rep, err
+			}
+			for _, u := range ups {
+				stepUp += int64(u.WireSize())
+			}
+			sinkA := foldSinks(refsA, ups, partial, cursors)
+			baseA, perSinkA := sinkShares(sinkA, n, opt.SinkPolicy)
+			routeGhosts(ups)
+			for _, d := range downs {
+				d.Kind, d.Iter, d.Base, d.PerSink, d.Halt = RankDownA, iter, baseA, perSinkA, false
+				stepDown += int64(d.WireSize())
+			}
+			if err := sendAll(links, downs); err != nil {
+				return nil, rep, err
+			}
+
+			// ---- superstep B ----------------------------------------
+			ups, err = recvAll(links, RankUpB, iter)
+			if err != nil {
+				return nil, rep, err
+			}
+			if err := checkUps(plan, ups, refsB); err != nil {
+				return nil, rep, err
+			}
+			for _, u := range ups {
+				stepUp += int64(u.WireSize())
+			}
+			sinkB := foldSinks(refsB, ups, partial, cursors)
+			baseB, perSinkB := sinkShares(sinkB, n, opt.SinkPolicy)
+
+			var diff float64
+			for _, u := range ups {
+				if u.Diff > diff {
+					diff = u.Diff
+				}
+			}
+			if blend > 0 {
+				diff /= blend
+			}
+			res.Diffs = append(res.Diffs, diff)
+			if opt.ConvergenceTrace && len(res.Trace) < opt.traceCap() {
+				res.Trace = append(res.Trace, IterStats{
+					MaxDelta:     diff,
+					SinkMassID:   sinkA,
+					SinkMassProp: sinkB,
+				})
+			}
+			res.Iterations = int(iter) + 1
+			converged := diff < opt.Epsilon
+			last := res.Iterations >= opt.MaxIterations
+
+			routeGhosts(ups)
+			for _, d := range downs {
+				d.Kind, d.Iter, d.Base, d.PerSink, d.Halt = RankDownB, iter, baseB, perSinkB, converged || last
+				stepDown += int64(d.WireSize())
+			}
+			if err := sendAll(links, downs); err != nil {
+				return nil, rep, err
+			}
+
+			rep.Supersteps = append(rep.Supersteps, SuperstepStats{
+				Iter:         int(iter),
+				MaxDelta:     diff,
+				SinkMassID:   sinkA,
+				SinkMassProp: sinkB,
+				UpBytes:      stepUp,
+				DownBytes:    stepDown,
+			})
+			rep.UpBytes += stepUp
+			rep.DownBytes += stepDown
+			if converged {
+				res.Converged = true
+			}
+			if converged || last {
+				break
+			}
+		}
+	}
+
+	// ---- gather final ranks -----------------------------------------
+	dones, err := recvAll(links, RankDone, 0)
+	if err != nil {
+		return nil, rep, err
+	}
+	for p, d := range dones {
+		sub := plan.Parts[p]
+		if len(d.ID) != sub.NLocal() || len(d.Prop) != sub.NLocal() {
+			return nil, rep, &PartError{Part: p, Err: fmt.Errorf("Done carries %d/%d ranks, want %d", len(d.ID), len(d.Prop), sub.NLocal())}
+		}
+		rep.UpBytes += int64(d.WireSize())
+		for l, g := range sub.Local {
+			res.IDRank[g] = d.ID[l]
+			res.PropRank[g] = d.Prop[l]
+		}
+	}
+	if n == 0 {
+		res.Converged = true
+	}
+	return res, rep, nil
+}
+
+// checkUps validates the shape of one round of Up frames before the
+// fold and routing index into them.
+func checkUps(plan *graph.Plan, ups []*RankDelta, refs []sinkRef) error {
+	want := make([]int, plan.K)
+	for _, r := range refs {
+		want[r.part]++
+	}
+	for p, u := range ups {
+		if len(u.Sink) != want[p] {
+			return &PartError{Part: p, Err: fmt.Errorf("up frame carries %d sink values, want %d", len(u.Sink), want[p])}
+		}
+		if len(u.Bound) != plan.K {
+			return &PartError{Part: p, Err: fmt.Errorf("up frame carries %d bound bundles, want %d", len(u.Bound), plan.K)}
+		}
+		for q, b := range u.Bound {
+			if len(b) != len(plan.Parts[p].SendTo[q]) {
+				return &PartError{Part: p, Err: fmt.Errorf("bound bundle for %d carries %d values, want %d", q, len(b), len(plan.Parts[p].SendTo[q]))}
+			}
+		}
+	}
+	return nil
+}
+
+// errLinkClosed reports an in-process link torn down by the peer.
+var errLinkClosed = fmt.Errorf("core: rank link closed")
+
+// LocalLink is one end of an in-process superstep link — the channel
+// counterpart of the TCP wire.RankConn. Closing either end releases
+// both: a blocked Send or Recv returns an error, so a crashed worker
+// surfaces at the coordinator as a named PartError instead of hanging
+// the superstep barrier.
+type LocalLink struct {
+	in   chan *RankDelta
+	out  chan *RankDelta
+	done chan struct{}
+	stop *sync.Once
+}
+
+// LinkPair returns the coordinator and worker ends of a fresh in-process
+// link. The channels are buffered one frame deep — enough for the
+// strictly alternating protocol — and share a teardown signal.
+func LinkPair() (coord, worker *LocalLink) {
+	toWorker := make(chan *RankDelta, 1)
+	toCoord := make(chan *RankDelta, 1)
+	done := make(chan struct{})
+	stop := &sync.Once{}
+	coord = &LocalLink{in: toCoord, out: toWorker, done: done, stop: stop}
+	worker = &LocalLink{in: toWorker, out: toCoord, done: done, stop: stop}
+	return coord, worker
+}
+
+// Send hands a frame to the peer, or fails once the pair is torn down.
+func (l *LocalLink) Send(d *RankDelta) error {
+	select {
+	case l.out <- d:
+		return nil
+	case <-l.done:
+		return errLinkClosed
+	}
+}
+
+// Recv drains a frame already in flight before honouring teardown, so a
+// peer that sends its final frame and immediately closes cannot race
+// its own goodbye.
+func (l *LocalLink) Recv() (*RankDelta, error) {
+	select {
+	case d := <-l.in:
+		return d, nil
+	default:
+	}
+	select {
+	case d := <-l.in:
+		return d, nil
+	case <-l.done:
+		return nil, errLinkClosed
+	}
+}
+
+// Close tears the pair down; idempotent, releases both ends.
+func (l *LocalLink) Close() error {
+	l.stop.Do(func() { close(l.done) })
+	return nil
+}
+
+// RunPartitioned executes a partitioned rank run entirely in-process:
+// one goroutine per partition worker, channel links, the calling
+// goroutine as coordinator. The per-partition sweep parallelism is
+// opt.Workers divided across partitions (minimum 1 each).
+func RunPartitioned(plan *graph.Plan, opt Options) (*Result, *ExchangeReport, error) {
+	wopt := opt
+	wopt.Workers = opt.workers() / plan.K
+	if wopt.Workers < 1 {
+		wopt.Workers = 1
+	}
+
+	links := make([]Link, plan.K)
+	workers := make([]*LocalLink, plan.K)
+	var wg sync.WaitGroup
+	for p := 0; p < plan.K; p++ {
+		coord, worker := LinkPair()
+		links[p], workers[p] = coord, worker
+		st := NewPartState(plan.Parts[p], wopt)
+		wg.Add(1)
+		go func(st *PartState, link *LocalLink) {
+			defer wg.Done()
+			// A worker error breaks the protocol; closing the pair turns
+			// the coordinator's next wait into a named PartError.
+			if err := RunPartition(st, link); err != nil {
+				link.Close()
+			}
+		}(st, worker)
+	}
+	res, rep, err := Coordinate(plan, links, opt)
+	for _, w := range workers {
+		w.Close()
+	}
+	wg.Wait()
+	return res, rep, err
+}

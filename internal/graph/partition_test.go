@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomBidirected(t *testing.T, n, m int, seed int64) *Bidirected {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{
+			Src: uint32(rng.Intn(n)),
+			Dst: uint32(rng.Intn(n)),
+		})
+	}
+	return NewBidirected(n, edges, 4)
+}
+
+func randomOwners(n, k int, seed int64) []uint16 {
+	rng := rand.New(rand.NewSource(seed))
+	owners := make([]uint16, n)
+	for i := range owners {
+		owners[i] = uint16(rng.Intn(k))
+	}
+	return owners
+}
+
+func TestPartitionPlanInvariants(t *testing.T) {
+	b := randomBidirected(t, 500, 2500, 1)
+	n := b.N()
+	for _, k := range []int{1, 2, 3, 8} {
+		owners := randomOwners(n, k, int64(k))
+		plan := PartitionPlan(b, owners, k, 4)
+
+		// Every vertex is a local of exactly its owner, locals ascend.
+		seen := make([]bool, n)
+		for part, sub := range plan.Parts {
+			if sub.Part != part {
+				t.Fatalf("k=%d: part index mismatch %d != %d", k, sub.Part, part)
+			}
+			prev := -1
+			for l, g := range sub.Local {
+				if int(g) <= prev {
+					t.Fatalf("k=%d part %d: locals not strictly ascending at %d", k, part, l)
+				}
+				prev = int(g)
+				if owners[g] != uint16(part) {
+					t.Fatalf("k=%d: vertex %d local to %d but owned by %d", k, g, part, owners[g])
+				}
+				if plan.LocalIdx[g] != uint32(l) {
+					t.Fatalf("k=%d: LocalIdx[%d]=%d want %d", k, g, plan.LocalIdx[g], l)
+				}
+				if seen[g] {
+					t.Fatalf("k=%d: vertex %d local twice", k, g)
+				}
+				seen[g] = true
+			}
+		}
+		for g, ok := range seen {
+			if !ok {
+				t.Fatalf("k=%d: vertex %d not assigned", k, g)
+			}
+		}
+
+		var cut int64
+		for part, sub := range plan.Parts {
+			nLocal := sub.NLocal()
+			// Ghosts ascend, are remote, and column metadata matches the
+			// global graph for locals and ghosts alike.
+			prev := -1
+			for _, g := range sub.Ghosts {
+				if int(g) <= prev {
+					t.Fatalf("k=%d part %d: ghosts not strictly ascending", k, part)
+				}
+				prev = int(g)
+				if owners[g] == uint16(part) {
+					t.Fatalf("k=%d part %d: owned vertex %d listed as ghost", k, part, g)
+				}
+			}
+			globalOf := func(col uint32) uint32 {
+				if int(col) < nLocal {
+					return sub.Local[col]
+				}
+				return sub.Ghosts[int(col)-nLocal]
+			}
+			for col := 0; col < sub.NCols(); col++ {
+				g := globalOf(uint32(col))
+				if sub.OutDeg[col] != int32(b.Fwd.Degree(g)) ||
+					sub.PairedIn[col] != b.PairedIn[g] ||
+					sub.UnpairedIn[col] != b.UnpairedIn[g] {
+					t.Fatalf("k=%d part %d: col %d metadata mismatch for vertex %d", k, part, col, g)
+				}
+			}
+			// Row translation preserves the global row order exactly.
+			for l, g := range sub.Local {
+				s, e := b.Rev.EdgeRange(g)
+				row := sub.RevCol[sub.RevOff[l]:sub.RevOff[l+1]]
+				if int64(len(row)) != e-s {
+					t.Fatalf("k=%d part %d: rev row %d length mismatch", k, part, l)
+				}
+				for i := range row {
+					if globalOf(row[i]) != b.Rev.Targets[s+int64(i)] {
+						t.Fatalf("k=%d part %d: rev row %d entry %d mismatch", k, part, l, i)
+					}
+					if int(row[i]) >= nLocal {
+						cut++
+					}
+				}
+				s, e = b.Fwd.EdgeRange(g)
+				frow := sub.FwdCol[sub.FwdOff[l]:sub.FwdOff[l+1]]
+				if int64(len(frow)) != e-s {
+					t.Fatalf("k=%d part %d: fwd row %d length mismatch", k, part, l)
+				}
+				for i := range frow {
+					if globalOf(frow[i]) != b.Fwd.Targets[s+int64(i)] {
+						t.Fatalf("k=%d part %d: fwd row %d entry %d mismatch", k, part, l, i)
+					}
+					if sub.FwdPaired[sub.FwdOff[l]+int64(i)] != b.FwdPaired[s+int64(i)] {
+						t.Fatalf("k=%d part %d: fwd row %d paired flag mismatch", k, part, l)
+					}
+					if int(frow[i]) >= nLocal {
+						cut++
+					}
+				}
+			}
+		}
+		if cut != plan.CutEdges() {
+			t.Fatalf("k=%d: CutEdges %d want %d", k, plan.CutEdges(), cut)
+		}
+
+		// Send schedules route every ghost exactly once, in ghost order.
+		for q, sub := range plan.Parts {
+			cursors := make([]int, k)
+			for _, g := range sub.Ghosts {
+				o := owners[g]
+				sched := plan.Parts[o].SendTo[q]
+				if cursors[o] >= len(sched) {
+					t.Fatalf("k=%d: schedule %d->%d exhausted", k, o, q)
+				}
+				local := sched[cursors[o]]
+				cursors[o]++
+				if plan.Parts[o].Local[local] != g {
+					t.Fatalf("k=%d: schedule %d->%d routes %d want %d", k, o, q,
+						plan.Parts[o].Local[local], g)
+				}
+			}
+			for o := 0; o < k; o++ {
+				if cursors[o] != len(plan.Parts[o].SendTo[q]) {
+					t.Fatalf("k=%d: schedule %d->%d has %d unused entries", k, o, q,
+						len(plan.Parts[o].SendTo[q])-cursors[o])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionPlanSinglePartition(t *testing.T) {
+	b := randomBidirected(t, 100, 400, 7)
+	plan := PartitionPlan(b, make([]uint16, b.N()), 1, 2)
+	sub := plan.Parts[0]
+	if len(sub.Ghosts) != 0 {
+		t.Fatalf("1-partition plan has %d ghosts", len(sub.Ghosts))
+	}
+	if sub.CutEdges != 0 {
+		t.Fatalf("1-partition plan has %d cut edges", sub.CutEdges)
+	}
+	if sub.NLocal() != b.N() {
+		t.Fatalf("1-partition plan owns %d of %d vertices", sub.NLocal(), b.N())
+	}
+}

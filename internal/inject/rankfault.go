@@ -1,0 +1,57 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"faultyrank/internal/core"
+)
+
+// The rank-stage counterpart of the network faults above: where NetFault
+// kills a scanner's chunk stream, RankFault kills one rank worker's
+// superstep link partway through the BSP exchange. The coordinator's
+// barrier then has a hole — exactly the failure a distributed checker
+// must degrade around rather than hang on.
+
+// ErrRankWorkerCrash marks a simulated rank-worker death mid-superstep.
+var ErrRankWorkerCrash = errors.New("inject: rank worker crashed")
+
+// RankFault is one injected rank-worker crash. The wrapped link passes
+// frames through until CrashAfterUps upstream frames have flowed, then
+// closes the underlying link — a TCP connection drops, an in-process
+// pair tears down — and reports the crash, so the coordinator's next
+// wait on that partition fails with a named core.PartError within its
+// deadline instead of stalling the superstep barrier.
+type RankFault struct {
+	// CrashAfterUps is how many upstream frames (the TCP Hello excluded)
+	// flow cleanly before the worker dies. 0 crashes on the first Up of
+	// the first superstep; 1 lets UpA through and dies mid-iteration.
+	CrashAfterUps int
+}
+
+// WrapLink interposes the fault on an established superstep link.
+func (f *RankFault) WrapLink(link core.Link) core.Link {
+	return &faultLink{link: link, fault: f}
+}
+
+type faultLink struct {
+	link  core.Link
+	fault *RankFault
+	sent  int
+}
+
+func (l *faultLink) Send(d *core.RankDelta) error {
+	if l.sent < l.fault.CrashAfterUps {
+		l.sent++
+		return l.link.Send(d)
+	}
+	// Process death: drop the link with no goodbye so the peer sees a
+	// broken connection, not a clean protocol end.
+	if c, ok := l.link.(io.Closer); ok {
+		_ = c.Close()
+	}
+	return fmt.Errorf("%w after %d frames", ErrRankWorkerCrash, l.sent)
+}
+
+func (l *faultLink) Recv() (*core.RankDelta, error) { return l.link.Recv() }

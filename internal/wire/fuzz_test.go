@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"faultyrank/internal/core"
 	"faultyrank/internal/scanner"
 	"faultyrank/internal/telemetry"
 )
@@ -100,6 +101,58 @@ func FuzzDecodeTelemetry(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatal("decode/encode/decode not stable")
+		}
+	})
+}
+
+// FuzzDecodeRankDelta drives the superstep-frame decoder with hostile
+// bytes under the family invariant: any payload either fails
+// DecodeRankDelta, or re-encodes byte-identically and decodes again to
+// an equal frame. Counts are bounded against the remaining payload
+// before any vector is allocated, so a lying header costs an error,
+// never an allocation. Float comparisons go through the encoded bytes
+// (NaN bit patterns round-trip but compare unequal as values).
+func FuzzDecodeRankDelta(f *testing.F) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 5; i++ {
+		f.Add(EncodeRankDelta(randomRankDelta(r)))
+	}
+	f.Add(EncodeRankDelta(&core.RankDelta{Kind: core.RankHello, Part: 3}))
+	f.Add(EncodeRankDelta(&core.RankDelta{
+		Kind: core.RankDownB, Iter: 9, Base: 0.25, PerSink: 0.5, Halt: true,
+		Ghost: []float64{1, 2, 3},
+	}))
+
+	// Lying sink count far past the payload.
+	lie := []byte{RankDeltaVersion, core.RankUpA}
+	lie = appendU32(lie, 0)
+	lie = appendU32(lie, 0)
+	lie = appendU64(lie, 0)
+	lie = appendU64(lie, 0)
+	lie = appendU64(lie, 0)
+	lie = append(lie, 0)
+	lie = appendU32(lie, 0xFFFFFFFF)
+	f.Add(lie)
+
+	// Truncated mid-vector.
+	full := EncodeRankDelta(&core.RankDelta{Kind: core.RankUpB, Sink: []float64{1, 2, 3}})
+	f.Add(full[:len(full)-5])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeRankDelta(b)
+		if err != nil {
+			return
+		}
+		enc := EncodeRankDelta(d)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("re-encoding diverges from accepted input")
+		}
+		d2, err := DecodeRankDelta(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeRankDelta(d2), enc) {
 			t.Fatal("decode/encode/decode not stable")
 		}
 	})

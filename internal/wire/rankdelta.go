@@ -1,0 +1,296 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"time"
+
+	"faultyrank/internal/core"
+)
+
+// RankDeltaVersion is the codec version carried in every MsgRankDelta
+// payload. A coordinator and its workers must agree exactly — the
+// superstep protocol has no room for mixed-version best effort.
+const RankDeltaVersion = 1
+
+// RankDelta encoding (little-endian), version 1:
+//
+//	u8 version | u8 kind | u32 part | u32 iter
+//	u64 base | u64 perSink | u64 diff   (IEEE-754 bit patterns)
+//	u8 halt (0 or 1)
+//	u32 sinkCount  | sinkCount  × u64
+//	u32 ghostCount | ghostCount × u64
+//	u32 idCount    | idCount    × u64
+//	u32 propCount  | propCount  × u64
+//	u16 boundCount | boundCount × { u32 count | count × u64 }
+//
+// The encoding is bijective: halt admits only 0/1, every count is
+// bounded against the remaining payload before its array is allocated
+// (a lying header on a hostile stream fails fast, it never allocates),
+// zero-length vectors decode to nil, and trailing bytes are rejected —
+// so a payload either fails DecodeRankDelta or re-encodes to identical
+// bytes (FuzzDecodeRankDelta leans on this). Float values cross as raw
+// bit patterns, which is part of the partitioned kernel's bitwise-
+// equivalence contract: a ghost value arrives as exactly the float the
+// owner computed.
+
+// EncodeRankDelta serializes one superstep frame. The result's length
+// is always (*core.RankDelta).WireSize().
+func EncodeRankDelta(d *core.RankDelta) []byte {
+	buf := make([]byte, 0, d.WireSize())
+	buf = append(buf, RankDeltaVersion, d.Kind)
+	buf = appendU32(buf, d.Part)
+	buf = appendU32(buf, d.Iter)
+	buf = appendU64(buf, math.Float64bits(d.Base))
+	buf = appendU64(buf, math.Float64bits(d.PerSink))
+	buf = appendU64(buf, math.Float64bits(d.Diff))
+	if d.Halt {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, vec := range [][]float64{d.Sink, d.Ghost, d.ID, d.Prop} {
+		buf = appendU32(buf, uint32(len(vec)))
+		for _, v := range vec {
+			buf = appendU64(buf, math.Float64bits(v))
+		}
+	}
+	buf = appendU16(buf, uint16(len(d.Bound)))
+	for _, b := range d.Bound {
+		buf = appendU32(buf, uint32(len(b)))
+		for _, v := range b {
+			buf = appendU64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// floats64 decodes a u32-counted float vector, bounding the count
+// against the remaining payload before allocating. Empty decodes nil
+// (canonical form).
+func (d *decoder) floats64(what string) []float64 {
+	n := int(d.u32())
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	if d.off+8*n > len(d.b) {
+		d.err = fmt.Errorf("wire: rank delta %s count %d exceeds payload", what, n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(le.Uint64(d.b[d.off:]))
+		d.off += 8
+	}
+	return out
+}
+
+// DecodeRankDelta parses one superstep frame.
+func DecodeRankDelta(b []byte) (*core.RankDelta, error) {
+	d := &decoder{b: b}
+	if v := d.u8(); d.err == nil && v != RankDeltaVersion {
+		return nil, fmt.Errorf("wire: rank delta version %d, want %d", v, RankDeltaVersion)
+	}
+	r := &core.RankDelta{}
+	r.Kind = d.u8()
+	if d.err == nil && (r.Kind < core.RankHello || r.Kind > core.RankDone) {
+		return nil, fmt.Errorf("wire: unknown rank delta kind %d", r.Kind)
+	}
+	r.Part = d.u32()
+	r.Iter = d.u32()
+	r.Base = math.Float64frombits(d.u64())
+	r.PerSink = math.Float64frombits(d.u64())
+	r.Diff = math.Float64frombits(d.u64())
+	switch h := d.u8(); h {
+	case 0:
+	case 1:
+		r.Halt = true
+	default:
+		if d.err == nil {
+			return nil, fmt.Errorf("wire: rank delta halt byte %d", h)
+		}
+	}
+	r.Sink = d.floats64("sink")
+	r.Ghost = d.floats64("ghost")
+	r.ID = d.floats64("id")
+	r.Prop = d.floats64("prop")
+	nBound := int(d.u16())
+	if nBound > 0 && d.err == nil {
+		// Each bundle needs at least its 4-byte count.
+		if d.off+4*nBound > len(d.b) {
+			return nil, fmt.Errorf("wire: rank delta bound count %d exceeds payload", nBound)
+		}
+		r.Bound = make([][]float64, nBound)
+		for q := range r.Bound {
+			r.Bound[q] = d.floats64("bound")
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes in rank delta", len(b)-d.off)
+	}
+	return r, nil
+}
+
+// RankConn is one end of a TCP superstep link (core.Link over framed
+// MsgRankDelta messages). Every send and receive carries the
+// established deadline discipline: per-operation timeout combined with
+// the context deadline, so a crashed peer surfaces as an I/O error
+// within opTimeout instead of hanging the superstep barrier.
+type RankConn struct {
+	conn      net.Conn
+	ctx       context.Context
+	opTimeout time.Duration
+	metrics   *Metrics
+}
+
+// NewRankConn wraps an established connection as a superstep link.
+func NewRankConn(ctx context.Context, conn net.Conn, opTimeout time.Duration) *RankConn {
+	return &RankConn{conn: conn, ctx: ctx, opTimeout: opTimeout}
+}
+
+// Observe attaches wire metrics: rank frames count into the run-wide
+// frame/byte counters like chunk frames do.
+func (c *RankConn) Observe(m *Metrics) { c.metrics = m }
+
+// Send frames and writes one superstep message.
+func (c *RankConn) Send(d *core.RankDelta) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	_ = c.conn.SetWriteDeadline(ioDeadline(c.ctx, c.opTimeout))
+	payload := EncodeRankDelta(d)
+	if err := WriteFrame(c.conn, MsgRankDelta, payload); err != nil {
+		return err
+	}
+	if c.metrics != nil {
+		c.metrics.FramesSent.Inc()
+		c.metrics.BytesSent.Add(int64(len(payload)))
+	}
+	return nil
+}
+
+// Recv reads one superstep message.
+func (c *RankConn) Recv() (*core.RankDelta, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	_ = c.conn.SetReadDeadline(ioDeadline(c.ctx, c.opTimeout))
+	typ, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := AsError(typ, payload); err != nil {
+		return nil, err
+	}
+	if typ != MsgRankDelta {
+		return nil, fmt.Errorf("wire: unexpected frame type %d on rank link", typ)
+	}
+	if c.metrics != nil {
+		c.metrics.FramesRecv.Inc()
+		c.metrics.BytesRecv.Add(int64(len(payload)))
+	}
+	return DecodeRankDelta(payload)
+}
+
+// Close releases the connection.
+func (c *RankConn) Close() error { return c.conn.Close() }
+
+// RankExchange is the coordinator-side endpoint of a TCP superstep
+// exchange: rank workers dial in, announce their partition with a Hello
+// frame, and the coordinator drives the BSP protocol over the resulting
+// links.
+type RankExchange struct {
+	ln        net.Listener
+	opTimeout time.Duration
+	metrics   *Metrics
+	conns     []*RankConn
+}
+
+// NewRankExchange listens on a fresh localhost port. opTimeout bounds
+// every subsequent per-frame read/write on accepted links.
+func NewRankExchange(opTimeout time.Duration) (*RankExchange, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return &RankExchange{ln: ln, opTimeout: opTimeout}, ln.Addr().String(), nil
+}
+
+// Observe attaches wire metrics to every link the exchange accepts.
+func (x *RankExchange) Observe(m *Metrics) { x.metrics = m }
+
+// AcceptWorkers accepts exactly k worker connections, reads each one's
+// Hello, and returns the links ordered by partition index. Duplicate or
+// out-of-range partitions fail the accept. ctx bounds the whole
+// handshake: its cancellation closes the listener and every accepted
+// connection, so a worker that never dials cannot hang the checker.
+func (x *RankExchange) AcceptWorkers(ctx context.Context, k int) ([]core.Link, error) {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			x.Close()
+		case <-done:
+		}
+	}()
+
+	links := make([]core.Link, k)
+	for accepted := 0; accepted < k; accepted++ {
+		conn, err := x.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+			}
+			return nil, fmt.Errorf("wire: rank exchange accept: %w", err)
+		}
+		rc := NewRankConn(ctx, conn, x.opTimeout)
+		rc.Observe(x.metrics)
+		x.conns = append(x.conns, rc)
+		hello, err := rc.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("wire: rank hello: %w", err)
+		}
+		if hello.Kind != core.RankHello {
+			return nil, fmt.Errorf("wire: expected rank hello, got kind %d", hello.Kind)
+		}
+		if hello.Part >= uint32(k) {
+			return nil, fmt.Errorf("wire: rank hello names partition %d of %d", hello.Part, k)
+		}
+		if links[hello.Part] != nil {
+			return nil, fmt.Errorf("wire: duplicate rank hello for partition %d", hello.Part)
+		}
+		links[hello.Part] = rc
+	}
+	return links, nil
+}
+
+// Close shuts the listener and every accepted link.
+func (x *RankExchange) Close() error {
+	err := x.ln.Close()
+	for _, c := range x.conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+// DialRankLink connects one rank worker to a coordinator's exchange
+// with bounded retry and announces its partition. The returned link is
+// ready for core.RunPartition.
+func DialRankLink(ctx context.Context, addr string, part int, policy RetryPolicy, opTimeout time.Duration) (*RankConn, error) {
+	conn, _, err := dialRetry(ctx, addr, policy)
+	if err != nil {
+		return nil, err
+	}
+	rc := NewRankConn(ctx, conn, opTimeout)
+	if err := rc.Send(&core.RankDelta{Kind: core.RankHello, Part: uint32(part)}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return rc, nil
+}

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"faultyrank/internal/core"
+	"faultyrank/internal/graph"
+)
+
+func randomRankDelta(r *rand.Rand) *core.RankDelta {
+	d := &core.RankDelta{
+		Kind:    uint8(1 + r.Intn(7)),
+		Part:    uint32(r.Intn(8)),
+		Iter:    uint32(r.Intn(100)),
+		Base:    r.NormFloat64(),
+		PerSink: r.Float64(),
+		Diff:    r.Float64(),
+		Halt:    r.Intn(2) == 1,
+	}
+	vec := func(n int) []float64 {
+		if n == 0 {
+			return nil
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r.NormFloat64()
+		}
+		return out
+	}
+	d.Sink = vec(r.Intn(5))
+	d.Ghost = vec(r.Intn(5))
+	d.ID = vec(r.Intn(5))
+	d.Prop = vec(r.Intn(5))
+	if k := r.Intn(4); k > 0 {
+		d.Bound = make([][]float64, k)
+		for q := range d.Bound {
+			d.Bound[q] = vec(r.Intn(4))
+		}
+	}
+	return d
+}
+
+// TestRankDeltaRoundTrip: encode/decode is the identity and the
+// encoded size always matches WireSize (the accounting used by the
+// in-process path to mirror TCP volumes).
+func TestRankDeltaRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		d := randomRankDelta(r)
+		enc := EncodeRankDelta(d)
+		if len(enc) != d.WireSize() {
+			t.Fatalf("encoded %d bytes, WireSize says %d (frame %+v)", len(enc), d.WireSize(), d)
+		}
+		got, err := DecodeRankDelta(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(d, got) {
+			t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", d, got)
+		}
+	}
+}
+
+// TestRankDeltaRejects: version, halt, kind, lying counts, trailing
+// bytes — every malformed shape must fail, never allocate per a lying
+// header, and never be silently normalised.
+func TestRankDeltaRejects(t *testing.T) {
+	valid := EncodeRankDelta(&core.RankDelta{Kind: core.RankUpA, Sink: []float64{1, 2}})
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    append([]byte{9}, valid[1:]...),
+		"bad kind":       append([]byte{RankDeltaVersion, 0}, valid[2:]...),
+		"bad halt":       mutate(valid, 34, 7),
+		"trailing bytes": append(append([]byte{}, valid...), 0),
+		"truncated":      valid[:len(valid)-3],
+	}
+	// Lying sink count far past the payload.
+	lie := append([]byte{}, valid[:35]...)
+	lie = appendU32(lie, 0xFFFFFF)
+	cases["lying count"] = lie
+
+	for name, b := range cases {
+		if d, err := DecodeRankDelta(b); err == nil {
+			t.Fatalf("%s: decoded %+v from malformed payload", name, d)
+		}
+	}
+}
+
+func mutate(b []byte, off int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[off] = v
+	return out
+}
+
+// TestRankExchangeTCPExact runs a complete partitioned rank execution
+// over real TCP links — workers dial in, announce partitions via
+// Hello, and the BSP protocol crosses the versioned codec — and
+// demands bit-identical ranks vs the single-process kernel.
+func TestRankExchangeTCPExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	var edges []graph.Edge
+	for i := 0; i < 700; i++ {
+		src, dst := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+		if rng.Intn(4) != 0 {
+			edges = append(edges, graph.Edge{Src: dst, Dst: src})
+		}
+	}
+	b := graph.NewBidirected(n, edges, 4)
+	opt := core.DefaultOptions()
+	want := core.Run(b, opt)
+
+	for _, k := range []int{1, 3} {
+		owners := make([]uint16, n)
+		for g := range owners {
+			owners[g] = uint16(rng.Intn(k))
+		}
+		plan := graph.PartitionPlan(b, owners, k, 4)
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		x, addr, err := NewRankExchange(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		for p := 0; p < k; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				link, err := DialRankLink(ctx, addr, p, DefaultRetryPolicy(), 5*time.Second)
+				if err != nil {
+					t.Errorf("worker %d dial: %v", p, err)
+					return
+				}
+				defer link.Close()
+				if err := core.RunPartition(core.NewPartState(plan.Parts[p], opt), link); err != nil {
+					t.Errorf("worker %d: %v", p, err)
+				}
+			}(p)
+		}
+
+		links, err := x.AcceptWorkers(ctx, k)
+		if err != nil {
+			t.Fatalf("k=%d accept: %v", k, err)
+		}
+		got, rep, err := core.Coordinate(plan, links, opt)
+		if err != nil {
+			t.Fatalf("k=%d coordinate: %v", k, err)
+		}
+		wg.Wait()
+		x.Close()
+		cancel()
+
+		for i := range got.IDRank {
+			if math.Float64bits(got.IDRank[i]) != math.Float64bits(want.IDRank[i]) ||
+				math.Float64bits(got.PropRank[i]) != math.Float64bits(want.PropRank[i]) {
+				t.Fatalf("k=%d: rank %d diverges from single-process kernel", k, i)
+			}
+		}
+		if got.Iterations != want.Iterations || got.Converged != want.Converged {
+			t.Fatalf("k=%d: iterations %d/%v want %d/%v", k, got.Iterations, got.Converged, want.Iterations, want.Converged)
+		}
+		if len(rep.Supersteps) != want.Iterations {
+			t.Fatalf("k=%d: %d supersteps for %d iterations", k, len(rep.Supersteps), want.Iterations)
+		}
+	}
+}
+
+// TestRankExchangeRejectsBadHello: duplicate and out-of-range
+// partition announcements fail the handshake.
+func TestRankExchangeRejectsBadHello(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for name, parts := range map[string][]int{
+		"duplicate":    {1, 1},
+		"out-of-range": {0, 7},
+	} {
+		x, addr, err := NewRankExchange(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range parts {
+			link, err := DialRankLink(ctx, addr, p, RetryPolicy{}, 2*time.Second)
+			if err != nil {
+				t.Fatalf("%s: dial: %v", name, err)
+			}
+			defer link.Close()
+		}
+		if _, err := x.AcceptWorkers(ctx, 2); err == nil {
+			t.Fatalf("%s: handshake accepted", name)
+		}
+		x.Close()
+	}
+}

@@ -43,6 +43,9 @@ const (
 	// span tree), sent between the final chunk and the ack — and
 	// best-effort mid-stream when the scanner's context is cancelled.
 	MsgTelemetry
+	// MsgRankDelta carries one superstep frame of the partitioned rank
+	// exchange (core.RankDelta, versioned codec in rankdelta.go).
+	MsgRankDelta
 )
 
 // MaxFrame bounds a single frame (a partial graph of a multi-million
