@@ -236,9 +236,30 @@ func TestCLIOnline(t *testing.T) {
 		t.Fatalf("watch output lacks round 3: %s", out)
 	}
 
-	// Flag guards: -online is check-only, -watch needs -online.
+	// Flag guards: -online is check-only, -watch needs -online, and
+	// -state is an online-mode flag.
 	run(t, 1, bin, "faultyrank", "-dir", cluster, "-online", "-repair")
 	run(t, 1, bin, "faultyrank", "-dir", cluster, "-watch", "1s")
+	run(t, 1, bin, "faultyrank", "-dir", cluster, "-state", filepath.Join(work, "state"))
+
+	// Durable state: the first -state run starts fresh and leaves a
+	// snapshot behind; the second resumes from it instead of rescanning.
+	stateDir := filepath.Join(work, "state")
+	out = run(t, 0, bin, "faultyrank", "-dir", cluster, "-online", "-state", stateDir,
+		"-watch", "10ms", "-watch-rounds", "2")
+	if !strings.Contains(out, "starting fresh") {
+		t.Fatalf("first -state run output lacks fresh-start notice: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "tracker.snap")); err != nil {
+		t.Fatalf("watch with -state left no snapshot: %v", err)
+	}
+	out = run(t, 0, bin, "faultyrank", "-dir", cluster, "-online", "-state", stateDir)
+	if !strings.Contains(out, "resumed tracker state") {
+		t.Fatalf("second -state run did not resume: %s", out)
+	}
+	if !strings.Contains(out, "no findings") {
+		t.Fatalf("resumed check on clean cluster: %s", out)
+	}
 
 	// Inject, then a one-shot online check finds it: exit 1.
 	run(t, 0, bin, "frinject", "-dir", cluster, "-scenario", "dangling/object-id-corrupt")

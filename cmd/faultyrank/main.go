@@ -12,6 +12,7 @@
 //	faultyrank -dir cluster/ -tcp -cluster-manifest cm.json # per-server telemetry + skew
 //	faultyrank -dir cluster/ -online                # incremental check from the change feed
 //	faultyrank -dir cluster/ -online -watch 2s      # loop update→check, print per-round deltas
+//	faultyrank -dir cluster/ -online -state st/     # durable tracker state: resume + save snapshots
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -56,6 +58,7 @@ func main() {
 		useOnline = flag.Bool("online", false, "incremental online check: track the change feed instead of a full offline scan")
 		watch     = flag.Duration("watch", 0, "with -online: loop update→check at this interval, printing per-round deltas")
 		watchN    = flag.Int("watch-rounds", 0, "with -online -watch: stop after this many rounds (0 = until interrupted)")
+		stateDir  = flag.String("state", "", "with -online: durable tracker state directory — resume from its snapshot when present, save after every check")
 	)
 	flag.Parse()
 
@@ -64,6 +67,9 @@ func main() {
 	}
 	if (*watch != 0 || *watchN != 0) && !*useOnline {
 		log.Fatal("-watch/-watch-rounds require -online")
+	}
+	if *stateDir != "" && !*useOnline {
+		log.Fatal("-state requires -online")
 	}
 
 	if *profRates > 0 {
@@ -103,7 +109,7 @@ func main() {
 	}
 
 	if *useOnline {
-		runOnline(images, opt, *watch, *watchN, *verbose, *manifest, *clusterMf)
+		runOnline(images, opt, *stateDir, *watch, *watchN, *verbose, *manifest, *clusterMf)
 		return
 	}
 
@@ -162,11 +168,42 @@ func main() {
 // runOnline is the -online mode: an incremental Tracker over the loaded
 // images. Without -watch it runs one update→check and reports like an
 // offline run; with -watch it loops, printing one delta line per round.
-// Exits 1 when the (last) check surfaced findings.
-func runOnline(images []*ldiskfs.Image, opt checker.Options, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string) {
-	tr, err := online.NewTracker(images, opt)
+// With -state it resumes from the directory's snapshot when one exists
+// (falling back to a fresh tracker on a missing file or a snapshot from
+// an incompatible build) and saves after every check. Exits 1 when the
+// (last) check surfaced findings.
+func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string) {
+	var tr *online.Tracker
+	var err error
+	switch {
+	case stateDir == "":
+		tr, err = online.NewTracker(images, opt)
+	default:
+		tr, err = online.LoadState(stateDir, images, opt)
+		switch {
+		case err == nil:
+			log.Printf("resumed tracker state from %s", stateDir)
+		case errors.Is(err, fs.ErrNotExist):
+			log.Printf("no snapshot in %s, starting fresh", stateDir)
+			tr, err = online.NewTracker(images, opt)
+		case errors.Is(err, online.ErrTrackerSnapshotVersion):
+			// A snapshot from a different build is expected across
+			// upgrades; a malformed or mismatched one is not, and falls
+			// through to the fatal below.
+			log.Printf("snapshot in %s is from an incompatible build, starting fresh", stateDir)
+			tr, err = online.NewTracker(images, opt)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	saveState := func() {
+		if stateDir == "" {
+			return
+		}
+		if err := tr.SaveState(stateDir); err != nil {
+			log.Fatal(err)
+		}
 	}
 	writeManifests := func(res *online.CheckResult) {
 		if manifest != "" {
@@ -187,6 +224,7 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, interval time.Durat
 		if err != nil {
 			log.Fatal(err)
 		}
+		saveState()
 		if err := res.WriteReport(os.Stdout, verbose); err != nil {
 			log.Fatal(err)
 		}
@@ -205,6 +243,7 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, interval time.Durat
 		Interval: interval,
 		Rounds:   rounds,
 		OnRound: func(round int, res *online.CheckResult) {
+			saveState()
 			start := "warm"
 			if !res.Warm {
 				start = "cold"

@@ -41,6 +41,14 @@ type DeltaBuilder struct {
 	// Persistent interner: FID -> IID, append-only.
 	iidOf fidShards
 	fids  []lustre.FID // IID -> FID
+
+	// dirty accumulates the IIDs whose cached contribution changed since
+	// the last ResetDirty — the seed set for frontier-based incremental
+	// ranking. It is cumulative on purpose: the online tracker resets it
+	// only when it saves warm-start ranks (a converged check), so the
+	// seeds always mean "changed since the ranks we would warm-start
+	// from", even across failed or unconverged checks in between.
+	dirty map[uint32]struct{}
 }
 
 // deltaServer caches one server's per-inode contributions plus a lazily
@@ -61,6 +69,24 @@ type inoContrib struct {
 	objs   []contribObj
 	edges  []contribEdge
 	issues []scanner.Issue
+	stats  scanner.Stats
+}
+
+// markDirty records every IID a contribution touches. Both the old and
+// the new contribution of a changed inode are marked: a replaced or
+// removed edge changes the equations at both of its old endpoints just
+// as an added one does at its new ones.
+func (b *DeltaBuilder) markDirty(c *inoContrib) {
+	if c == nil {
+		return
+	}
+	for _, o := range c.objs {
+		b.dirty[o.iid] = struct{}{}
+	}
+	for _, e := range c.edges {
+		b.dirty[e.src] = struct{}{}
+		b.dirty[e.dst] = struct{}{}
+	}
 }
 
 type contribObj struct {
@@ -82,12 +108,22 @@ type Materialized struct {
 	// NumIIDs is the interner size at materialisation time; IIDs >= it
 	// belong to later deltas.
 	NumIIDs int
+	// DirtySeeds are the GIDs (ascending) of live vertices whose cached
+	// contribution changed since the builder's last ResetDirty — the
+	// frontier seeds for core.RunIncremental. Dirty IIDs no longer live
+	// in this materialisation are omitted: a vertex that is gone has no
+	// equation to reseed, and its old neighbours are themselves dirty.
+	DirtySeeds []uint32
 }
 
 // NewDeltaBuilder fixes the canonical server order (MDTs first, then
 // OSTs by index — the same convention as NewBuilder).
 func NewDeltaBuilder(labels []string) *DeltaBuilder {
-	b := &DeltaBuilder{labels: labels, iidOf: newFIDShards()}
+	b := &DeltaBuilder{
+		labels: labels,
+		iidOf:  newFIDShards(),
+		dirty:  make(map[uint32]struct{}),
+	}
 	for _, l := range labels {
 		b.servers = append(b.servers, &deltaServer{
 			label:   l,
@@ -116,7 +152,7 @@ func (b *DeltaBuilder) Apply(server int, ino ldiskfs.Ino, p *scanner.Partial) er
 		return fmt.Errorf("agg: delta apply for unknown server index %d", server)
 	}
 	s := b.servers[server]
-	c := &inoContrib{issues: p.Issues}
+	c := &inoContrib{issues: p.Issues, stats: p.Stats}
 	for _, o := range p.Objects {
 		c.objs = append(c.objs, contribObj{iid: b.intern(o.FID), typ: o.Type})
 	}
@@ -125,12 +161,15 @@ func (b *DeltaBuilder) Apply(server int, ino ldiskfs.Ino, p *scanner.Partial) er
 			src: b.intern(e.Src), dst: b.intern(e.Dst), kind: e.Kind,
 		})
 	}
-	if _, tracked := s.contrib[ino]; !tracked {
+	if old, tracked := s.contrib[ino]; tracked {
+		b.markDirty(old)
+	} else {
 		if _, wasRemoved := s.removed[ino]; wasRemoved {
 			delete(s.removed, ino)
 		}
 		s.added = append(s.added, ino)
 	}
+	b.markDirty(c)
 	s.contrib[ino] = c
 	return nil
 }
@@ -142,11 +181,20 @@ func (b *DeltaBuilder) Remove(server int, ino ldiskfs.Ino) {
 		return
 	}
 	s := b.servers[server]
-	if _, tracked := s.contrib[ino]; !tracked {
+	c, tracked := s.contrib[ino]
+	if !tracked {
 		return
 	}
+	b.markDirty(c)
 	delete(s.contrib, ino)
 	s.removed[ino] = struct{}{}
+}
+
+// ResetDirty clears the accumulated dirty-IID set. The online tracker
+// calls it exactly when it saves warm-start ranks, so the set always
+// describes the delta relative to the saved ranks.
+func (b *DeltaBuilder) ResetDirty() {
+	clear(b.dirty)
 }
 
 // fold merges the buffered membership changes into the sorted order.
@@ -277,5 +325,71 @@ func (b *DeltaBuilder) Materialize() *Materialized {
 		}
 		return gidOf[iid], true
 	}
-	return &Materialized{U: u, IIDOfGID: iidOfGID, NumIIDs: nIID}
+
+	var seeds []uint32
+	for iid := range b.dirty {
+		if int(iid) < len(live) && live[iid] {
+			seeds = append(seeds, gidOf[iid])
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return &Materialized{U: u, IIDOfGID: iidOfGID, NumIIDs: nIID, DirtySeeds: seeds}
+}
+
+// Labels returns the canonical server order the builder was created
+// with.
+func (b *DeltaBuilder) Labels() []string {
+	return append([]string(nil), b.labels...)
+}
+
+// Tracked reports whether the builder holds a cached contribution for
+// the given server/inode — the membership test the online tracker uses
+// to distinguish a refresh from a first sighting.
+func (b *DeltaBuilder) Tracked(server int, ino ldiskfs.Ino) bool {
+	if server < 0 || server >= len(b.servers) {
+		return false
+	}
+	_, ok := b.servers[server].contrib[ino]
+	return ok
+}
+
+// TrackedCount returns how many inodes the builder tracks for a server.
+func (b *DeltaBuilder) TrackedCount(server int) int {
+	if server < 0 || server >= len(b.servers) {
+		return 0
+	}
+	return len(b.servers[server].contrib)
+}
+
+// ServerPartial reconstructs one server's merged partial graph from the
+// cached contributions, in deterministic ascending-inode order —
+// content-identical to concatenating fresh scanner.ScanInode results
+// over the server's allocated inodes. The builder's cache is the single
+// source of truth for the maintained snapshot; this is its projection
+// back into scanner space (tests, Partials, downstream consumers).
+func (b *DeltaBuilder) ServerPartial(server int) *scanner.Partial {
+	if server < 0 || server >= len(b.servers) {
+		return &scanner.Partial{}
+	}
+	s := b.servers[server]
+	s.fold()
+	out := &scanner.Partial{ServerLabel: s.label}
+	for _, ino := range s.sorted {
+		c := s.contrib[ino]
+		for _, o := range c.objs {
+			out.Objects = append(out.Objects, scanner.Object{
+				FID: b.fids[o.iid], Ino: ino, Type: o.typ,
+			})
+		}
+		for _, e := range c.edges {
+			out.Edges = append(out.Edges, scanner.FIDEdge{
+				Src: b.fids[e.src], Dst: b.fids[e.dst], Kind: e.kind,
+			})
+		}
+		out.Issues = append(out.Issues, c.issues...)
+		out.Stats.InodesScanned += c.stats.InodesScanned
+		out.Stats.DirentsRead += c.stats.DirentsRead
+		out.Stats.EdgesEmitted += c.stats.EdgesEmitted
+	}
+	return out
 }

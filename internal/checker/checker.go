@@ -84,6 +84,20 @@ type Options struct {
 	// coordinator) and records the fallback in the rank manifest.
 	RankFaults map[int]*inject.RankFault
 
+	// RankIncremental runs the frontier-based incremental kernel
+	// (core.RunIncremental) instead of full sweeps, seeded from
+	// RankFrontier — the online tracker's warm path, where the work
+	// should scale with the delta, not the graph. It applies only to the
+	// single-process kernel (RankWorkers <= 1); the partitioned BSP
+	// execution always sweeps its whole shard. Without warm-start
+	// vectors in Core the incremental kernel degenerates to a plain
+	// cold Run, so setting this on a cold check is harmless.
+	RankIncremental bool
+	// RankFrontier is the dirty-vertex seed set (current-GID space) for
+	// RankIncremental: every vertex whose contribution to the unified
+	// graph changed since the warm-start ranks were saved.
+	RankFrontier []uint32
+
 	// Metrics is the registry the run's instruments resolve from. Nil
 	// means a private per-run registry — Result.Metrics, Result.Scan and
 	// the report counters are populated either way. Pass a shared

@@ -56,7 +56,11 @@ type RankManifest struct {
 func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 	k := opt.RankWorkers
 	if k <= 1 {
-		res.Rank = core.Run(res.Graph, opt.Core)
+		if opt.RankIncremental {
+			res.Rank = core.RunIncremental(res.Graph, opt.Core, opt.RankFrontier)
+		} else {
+			res.Rank = core.Run(res.Graph, opt.Core)
+		}
 		return nil
 	}
 

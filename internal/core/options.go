@@ -113,6 +113,46 @@ type Options struct {
 	// DefaultTraceCap. Iterations beyond the cap still run and still
 	// append to Diffs — only the detailed trace stops growing.
 	TraceCap int
+
+	// FrontierSlack scales RunIncremental's propagation bound: a vertex
+	// whose rank moved by more than Epsilon·FrontierSlack (on the
+	// unsmoothed Epsilon scale) re-activates its dependents. Smaller is
+	// more conservative (larger frontiers, closer tracking of the cold
+	// sweep); <=0 uses DefaultFrontierSlack. The verification sweep that
+	// gates convergence makes the final criterion exact regardless.
+	FrontierSlack float64
+
+	// FrontierSaturation is the fraction of vertices beyond which
+	// RunIncremental stops maintaining frontiers and iterates full
+	// sweeps for the rest of the run — past that point the bookkeeping
+	// costs more than it skips. <=0 uses DefaultFrontierSaturation;
+	// >=1 never saturates.
+	FrontierSaturation float64
+}
+
+// DefaultFrontierSlack is the propagation-bound fraction of Epsilon used
+// when Options.FrontierSlack is unset. 1/8 keeps the per-vertex drift a
+// frontier iteration may silently accumulate well under the convergence
+// bound, so the verification sweep rarely has to re-open the frontier.
+const DefaultFrontierSlack = 0.125
+
+// DefaultFrontierSaturation is the active fraction of N at which
+// RunIncremental falls back to full sweeps when Options.FrontierSaturation
+// is unset.
+const DefaultFrontierSaturation = 0.25
+
+func (o Options) frontierSlack() float64 {
+	if o.FrontierSlack <= 0 {
+		return DefaultFrontierSlack
+	}
+	return o.FrontierSlack
+}
+
+func (o Options) frontierSaturation() float64 {
+	if o.FrontierSaturation <= 0 {
+		return DefaultFrontierSaturation
+	}
+	return o.FrontierSaturation
 }
 
 // DefaultTraceCap bounds Result.Trace when Options.TraceCap is unset.

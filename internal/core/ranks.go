@@ -25,6 +25,9 @@ type Result struct {
 	// entries (DefaultTraceCap when unset). Values are worker-count
 	// insensitive up to float summation order, like the ranks themselves.
 	Trace []IterStats
+	// Frontier records what the incremental kernel touched; nil for full
+	// Run sweeps (including RunIncremental calls that delegated to Run).
+	Frontier *FrontierStats
 }
 
 // IterStats is one iteration's convergence record.
@@ -109,30 +112,7 @@ func Run(b *graph.Bidirected, opt Options) *Result {
 		}
 	}
 
-	// invOut[v] = 1/outdeg_G(v), 0 for sinks: phase A divisor.
-	// invW[v]   = 1/W(v) with W(v) = paired_in(v) + w·unpaired_in(v),
-	//             0 when v has no in-edges (a reversed-graph sink).
-	invOut := make([]float64, n)
-	invW := make([]float64, n)
-	par.ForRange(n, workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if d := b.Fwd.Degree(uint32(v)); d > 0 {
-				invOut[v] = 1 / float64(d)
-			}
-			if opt.LeakyDistribution {
-				// Ablation: divide by the raw in-degree; unpaired
-				// edges leak (1 - UnpairedWeight) of their share.
-				if d := b.PairedIn[v] + b.UnpairedIn[v]; d > 0 {
-					invW[v] = 1 / float64(d)
-				}
-			} else {
-				w := float64(b.PairedIn[v]) + opt.UnpairedWeight*float64(b.UnpairedIn[v])
-				if w > 0 {
-					invW[v] = 1 / w
-				}
-			}
-		}
-	})
+	invOut, invW := rankDivisors(b, opt, workers)
 
 	newID := make([]float64, n)
 	newProp := make([]float64, n)
@@ -213,6 +193,38 @@ func Run(b *graph.Bidirected, opt Options) *Result {
 	return res
 }
 
+// rankDivisors computes the two per-vertex inverse divisors the phase
+// gathers multiply by:
+//
+//	invOut[v] = 1/outdeg_G(v), 0 for sinks: phase A divisor.
+//	invW[v]   = 1/W(v) with W(v) = paired_in(v) + w·unpaired_in(v),
+//	            0 when v has no in-edges (a reversed-graph sink).
+func rankDivisors(b *graph.Bidirected, opt Options, workers int) (invOut, invW []float64) {
+	n := b.N()
+	invOut = make([]float64, n)
+	invW = make([]float64, n)
+	par.ForRange(n, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if d := b.Fwd.Degree(uint32(v)); d > 0 {
+				invOut[v] = 1 / float64(d)
+			}
+			if opt.LeakyDistribution {
+				// Ablation: divide by the raw in-degree; unpaired
+				// edges leak (1 - UnpairedWeight) of their share.
+				if d := b.PairedIn[v] + b.UnpairedIn[v]; d > 0 {
+					invW[v] = 1 / float64(d)
+				}
+			} else {
+				w := float64(b.PairedIn[v]) + opt.UnpairedWeight*float64(b.UnpairedIn[v])
+				if w > 0 {
+					invW[v] = 1 / w
+				}
+			}
+		}
+	})
+	return invOut, invW
+}
+
 // rescaleMass scales xs so it sums to len(xs), the mass-N scale of the
 // uniform start. A non-positive sum (degenerate seed) falls back to
 // uniform 1.0.
@@ -256,15 +268,7 @@ func sinkMass(rank, invDiv []float64, workers int) float64 {
 	partial := make([]float64, nb)
 	par.ForRange(nb, workers, func(lo, hi int) {
 		for blk := lo; blk < hi; blk++ {
-			s := blk * sinkBlock
-			e := min(s+sinkBlock, n)
-			var acc float64
-			for i := s; i < e; i++ {
-				if invDiv[i] == 0 {
-					acc += rank[i]
-				}
-			}
-			partial[blk] = acc
+			partial[blk] = sinkBlockSum(rank, invDiv, blk)
 		}
 	})
 	var sum float64
@@ -272,6 +276,23 @@ func sinkMass(rank, invDiv []float64, workers int) float64 {
 		sum += p
 	}
 	return sum
+}
+
+// sinkBlockSum is one block's partial of the canonical sink-mass sum:
+// sequential, ascending vertex order within the block. The incremental
+// kernel caches these per block and recomputes only blocks containing
+// touched vertices — a whole-block sequential recompute is bit-identical
+// to the cold kernel's partial, so the canonical fold is preserved.
+func sinkBlockSum(rank, invDiv []float64, blk int) float64 {
+	s := blk * sinkBlock
+	e := min(s+sinkBlock, len(rank))
+	var acc float64
+	for i := s; i < e; i++ {
+		if invDiv[i] == 0 {
+			acc += rank[i]
+		}
+	}
+	return acc
 }
 
 // sinkShares converts total sink mass into the per-vertex additive base

@@ -436,4 +436,22 @@ func (im *Image) DirtyInodes() []Ino {
 }
 
 // ClearDirty resets the change feed (after a consumer caught up).
+//
+// Only safe when the image is quiesced: any inode dirtied between the
+// consumer's DirtyInodes() call and this reset is silently dropped from
+// the feed. A consumer running concurrently with mutators must use
+// ConsumeDirty with the exact set it processed.
 func (im *Image) ClearDirty() { im.dirty = nil }
+
+// ConsumeDirty removes exactly the given inodes from the change feed,
+// leaving anything dirtied since the caller's DirtyInodes() snapshot in
+// place for the next round. This is the lost-update-safe acknowledgement
+// path for online consumers.
+func (im *Image) ConsumeDirty(inos []Ino) {
+	if len(im.dirty) == 0 {
+		return
+	}
+	for _, ino := range inos {
+		delete(im.dirty, ino)
+	}
+}

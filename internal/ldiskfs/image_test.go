@@ -306,6 +306,36 @@ func TestDirtyInodesSorted(t *testing.T) {
 	}
 }
 
+// TestConsumeDirtyKeepsLateArrivals: ConsumeDirty acknowledges exactly
+// the snapshot a consumer processed; inodes dirtied after that snapshot
+// was taken stay in the feed. (ClearDirty would drop them — the lost
+// update the online tracker used to ship with.)
+func TestConsumeDirtyKeepsLateArrivals(t *testing.T) {
+	im := MustNew(CompactGeometry())
+	im.MarkDirty(3)
+	im.MarkDirty(7)
+	snapshot := im.DirtyInodes()
+
+	// A mutator dirties a new inode between the consumer's snapshot and
+	// its commit.
+	im.MarkDirty(11)
+
+	im.ConsumeDirty(snapshot)
+	got := im.DirtyInodes()
+	want := []Ino{11}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("after consume: feed %v, want %v", got, want)
+	}
+
+	// Consuming from an empty feed (and consuming inodes never dirtied)
+	// is a no-op, not a panic.
+	im.ConsumeDirty([]Ino{11, 99})
+	im.ConsumeDirty([]Ino{42})
+	if len(im.DirtyInodes()) != 0 {
+		t.Fatalf("feed not empty: %v", im.DirtyInodes())
+	}
+}
+
 // BenchmarkDirtyInodes guards the feed drain against the quadratic
 // insertion sort it used to ship with: an aging workload can easily
 // accumulate 64k dirty inodes between online checks.

@@ -31,7 +31,6 @@ package online
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -92,11 +91,12 @@ func warmIterCap(lastIters, maxIters int) int {
 	return c
 }
 
-// serverState is one server's per-inode scan store plus its telemetry.
+// serverState is one server's image handle plus its telemetry. The scan
+// results themselves live in the delta builder's contribution cache —
+// the single copy of the maintained snapshot (it used to be duplicated
+// here as a per-inode partial map).
 type serverState struct {
 	img *ldiskfs.Image
-	// byIno holds the last scan result of each live inode.
-	byIno map[ldiskfs.Ino]*scanner.Partial
 
 	// Per-server instruments: the online analogue of the per-server
 	// registries the offline TCP path ships home as wire trailers.
@@ -111,7 +111,6 @@ func newServerState(img *ldiskfs.Image) *serverState {
 	reg := telemetry.NewRegistry()
 	return &serverState{
 		img:       img,
-		byIno:     make(map[ldiskfs.Ino]*scanner.Partial),
 		reg:       reg,
 		refreshed: reg.Counter("scanner_inodes_scanned_total"),
 		dropped:   reg.Counter("online_inodes_dropped_total"),
@@ -147,18 +146,20 @@ func (t *Tracker) fullScan() error {
 	}
 	t.delta = agg.NewDeltaBuilder(labels)
 	for si, st := range t.servers {
-		st.byIno = make(map[ldiskfs.Ino]*scanner.Partial)
 		err := st.img.AllocatedInodes(func(ino ldiskfs.Ino, _ ldiskfs.FileType) error {
 			p, err := t.scan(st.img, ino)
 			if err != nil {
 				return err
 			}
-			st.byIno[ino] = p
 			return t.delta.Apply(si, ino, p)
 		})
 		if err != nil {
 			return err
 		}
+		// A full scan covers every allocated inode, so it may wipe the
+		// whole feed — unlike Update, which must only acknowledge the
+		// inodes it actually consumed. (Full scans run quiesced: initial
+		// construction and the explicit Rescan escape hatch.)
 		st.img.ClearDirty()
 	}
 	// The graph may change arbitrarily across a full rescan; stale
@@ -219,7 +220,7 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 		// Stage: parse the whole feed before touching any state.
 		batch := make([]staged, 0, len(dirty))
 		for _, ino := range dirty {
-			_, tracked := st.byIno[ino]
+			tracked := t.delta.Tracked(si, ino)
 			if !st.img.InodeAllocated(ino) {
 				batch = append(batch, staged{ino: ino, tracked: tracked})
 				continue
@@ -243,13 +244,11 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 					// count.
 					continue
 				}
-				delete(st.byIno, s.ino)
 				t.delta.Remove(si, s.ino)
 				count++
 				dropped++
 				continue
 			}
-			st.byIno[s.ino] = s.p
 			if err := t.delta.Apply(si, s.ino, s.p); err != nil {
 				sp.End()
 				commit()
@@ -257,7 +256,11 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 			}
 			count++
 		}
-		st.img.ClearDirty()
+		// Acknowledge exactly the snapshot this round consumed. An inode
+		// dirtied by a mutator between the DirtyInodes() call above and
+		// this commit stays in the feed for the next round — ClearDirty
+		// here would silently drop it (the classic lost update).
+		st.img.ConsumeDirty(dirty)
 		sp.End()
 		if count > 0 {
 			node := sp.Node()
@@ -289,23 +292,8 @@ func (t *Tracker) Rescan() error {
 // scan of the current images.
 func (t *Tracker) Partials() []*scanner.Partial {
 	out := make([]*scanner.Partial, 0, len(t.servers))
-	for _, st := range t.servers {
-		merged := &scanner.Partial{ServerLabel: st.img.Label()}
-		inos := make([]ldiskfs.Ino, 0, len(st.byIno))
-		for ino := range st.byIno {
-			inos = append(inos, ino)
-		}
-		sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
-		for _, ino := range inos {
-			p := st.byIno[ino]
-			merged.Objects = append(merged.Objects, p.Objects...)
-			merged.Edges = append(merged.Edges, p.Edges...)
-			merged.Issues = append(merged.Issues, p.Issues...)
-			merged.Stats.InodesScanned += p.Stats.InodesScanned
-			merged.Stats.DirentsRead += p.Stats.DirentsRead
-			merged.Stats.EdgesEmitted += p.Stats.EdgesEmitted
-		}
-		out = append(out, merged)
+	for si := range t.servers {
+		out = append(out, t.delta.ServerPartial(si))
 	}
 	return out
 }
@@ -358,6 +346,12 @@ func (t *Tracker) Check() (*CheckResult, error) {
 		wopt.Core.InitialID = t.warmVector(t.prevID, mat)
 		wopt.Core.InitialProp = t.warmVector(t.prevProp, mat)
 		wopt.Core.MaxIterations = warmIterCap(t.lastIters, opt.Core.MaxIterations)
+		// The frontier seeds are the vertices whose cached contribution
+		// changed since the ranks we are warm-starting from, so the warm
+		// attempt runs the O(delta) incremental kernel instead of full
+		// sweeps over the whole graph.
+		wopt.RankIncremental = true
+		wopt.RankFrontier = mat.DirtySeeds
 		if err := checker.AnalyzeUnified(res, t.images, mat.U, wopt); err != nil {
 			return nil, err
 		}
@@ -374,8 +368,14 @@ func (t *Tracker) Check() (*CheckResult, error) {
 	}
 	res.TScan = update // stage-1 role in the online pipeline
 	res.Cluster = t.clusterManifest()
-	t.saveWarmState(res, mat)
 	if res.Rank.Converged {
+		// Only a converged fixed point is worth warm-starting from;
+		// persisting a truncated trajectory used to poison every later
+		// check's seed. The dirty set resets with the save — seeds always
+		// mean "changed since the ranks we warm-start from", so they keep
+		// accumulating across unconverged checks.
+		t.saveWarmState(res, mat)
+		t.delta.ResetDirty()
 		t.lastIters = res.Rank.Iterations
 	}
 	t.checks++
@@ -460,9 +460,12 @@ type WatchOptions struct {
 }
 
 // Watch loops Update→Check at an interval: the `faultyrank -online
-// -watch` mode. It returns on ctx cancellation (with ctx's error), when
-// the configured number of rounds completes, or on the first check
-// error.
+// -watch` mode. The first round runs immediately — a watcher that sits
+// on the ticker for a full interval before looking at anything leaves
+// the window between start and first check unwatched for no reason —
+// and subsequent rounds follow the ticker. It returns on ctx
+// cancellation (with ctx's error), when the configured number of rounds
+// completes, or on the first check error.
 func (t *Tracker) Watch(ctx context.Context, opt WatchOptions) error {
 	interval := opt.Interval
 	if interval <= 0 {
@@ -471,10 +474,19 @@ func (t *Tracker) Watch(ctx context.Context, opt WatchOptions) error {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for round := 1; opt.Rounds <= 0 || round <= opt.Rounds; round++ {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-ticker.C:
+		if round == 1 {
+			// Still honour a cancellation that predates the loop.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-ticker.C:
+			}
 		}
 		res, err := t.checkQuiesced(opt.Quiesce)
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"faultyrank/internal/checker"
+	"faultyrank/internal/core"
 	"faultyrank/internal/inject"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/lustre"
@@ -187,9 +188,9 @@ func TestUntrackedDeleteAndNoOpAccounting(t *testing.T) {
 	// were tracked before the round (computed before Update consumes
 	// the feeds).
 	expected, freedUntracked := 0, 0
-	for _, st := range tr.servers {
+	for si, st := range tr.servers {
 		for _, ino := range st.img.DirtyInodes() {
-			_, tracked := st.byIno[ino]
+			tracked := tr.delta.Tracked(si, ino)
 			if st.img.InodeAllocated(ino) || tracked {
 				expected++
 			} else {
@@ -719,6 +720,125 @@ func TestWatchLoopWithLiveMutator(t *testing.T) {
 		t.Fatalf("rounds observed: %v", rounds)
 	}
 	assertSnapshotMatchesFullScan(t, tr, c)
+}
+
+// TestUpdateLostDirtyRegression: an inode dirtied by a concurrent
+// mutator *during* an update round — after the round snapshotted the
+// dirty feeds but before it committed — must survive into the next
+// round's feed. The tracker used to ClearDirty on commit, wiping the
+// whole map and silently losing exactly those mid-round changes; commit
+// now acknowledges only the snapshot it consumed (Image.ConsumeDirty).
+// The mutator runs on its own goroutine with a channel handshake, so
+// the -race run also proves the interleaving is synchronised.
+func TestUpdateLostDirtyRegression(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	if _, err := c.Create("/w/seen", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	scanStarted := make(chan struct{})
+	mutated := make(chan struct{})
+	var once sync.Once
+	tr.scan = func(img *ldiskfs.Image, ino ldiskfs.Ino) (*scanner.Partial, error) {
+		// Park the round mid-flight — between its DirtyInodes snapshot
+		// and its commit — while the mutator runs.
+		once.Do(func() {
+			close(scanStarted)
+			<-mutated
+		})
+		return scanner.ScanInode(img, ino)
+	}
+	go func() {
+		defer close(mutated)
+		<-scanStarted
+		if _, err := c.Create("/w/late", 64<<10); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := tr.Update(); err != nil {
+		t.Fatal(err)
+	}
+	tr.scan = scanner.ScanInode
+
+	dirty := 0
+	for _, st := range tr.servers {
+		dirty += len(st.img.DirtyInodes())
+	}
+	if dirty == 0 {
+		t.Fatal("mid-round mutation vanished from the change feeds (lost update)")
+	}
+	if n, err := tr.Update(); err != nil || n == 0 {
+		t.Fatalf("follow-up round refreshed %d (%v)", n, err)
+	}
+	assertSnapshotMatchesFullScan(t, tr, c)
+}
+
+// TestUnconvergedCheckDoesNotSaveWarmState: a check whose ranking hits
+// the iteration cap without converging must not become the next check's
+// warm seed — persisting the truncated trajectory used to poison every
+// later warm start.
+func TestUnconvergedCheckDoesNotSaveWarmState(t *testing.T) {
+	c := newCluster(t)
+	opt := checker.DefaultOptions()
+	opt.Core.MaxIterations = 1
+	tr, err := NewTracker(checker.ClusterImages(c), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rank.Converged {
+		t.Fatal("test vector: one iteration converged; the cap is not binding")
+	}
+	if tr.haveWarm {
+		t.Fatal("unconverged check saved warm-start state")
+	}
+	if tr.lastIters != 0 {
+		t.Fatalf("unconverged check set lastIters = %d", tr.lastIters)
+	}
+
+	// Lift the cap: the next check still starts cold (there is no warm
+	// state to use), converges, and only then persists its fixed point.
+	tr.opt.Core = core.DefaultOptions()
+	res2, err := tr.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Warm {
+		t.Fatal("check after an unconverged round claimed a warm start")
+	}
+	if !res2.Rank.Converged || !tr.haveWarm || tr.lastIters != res2.Rank.Iterations {
+		t.Fatalf("converged check did not persist warm state: converged=%v haveWarm=%v lastIters=%d",
+			res2.Rank.Converged, tr.haveWarm, tr.lastIters)
+	}
+}
+
+// TestWatchFirstRoundImmediate: round 1 runs as soon as Watch is
+// entered; the watcher must not sit out a full interval (here: an hour)
+// before its first look at the images.
+func TestWatchFirstRoundImmediate(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	if _, err := c.Create("/w/pre-existing-change", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var first *CheckResult
+	err := tr.Watch(ctx, WatchOptions{
+		Interval: time.Hour,
+		Rounds:   1,
+		OnRound:  func(round int, res *CheckResult) { first = res },
+	})
+	if err != nil {
+		t.Fatalf("first watch round did not run immediately: %v", err)
+	}
+	if first == nil || first.InodesRefreshed == 0 {
+		t.Fatalf("immediate round missed the pending change: %+v", first)
+	}
 }
 
 func TestWatchContextCancel(t *testing.T) {

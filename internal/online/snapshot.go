@@ -1,0 +1,312 @@
+package online
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"faultyrank/internal/agg"
+	"faultyrank/internal/checker"
+	"faultyrank/internal/core"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/scanner"
+)
+
+// This file is the tracker's durable form: a versioned binary snapshot
+// of everything a killed-and-restarted watcher needs to resume from the
+// change feed with identical findings — the delta builder (interner,
+// cached contributions, accumulated dirty set, via its own codec), the
+// last converged warm-start ranks, and the lifetime counters. It
+// follows the same codec discipline as the delta and telemetry blobs:
+// versioned ("FRSN"), canonical (a blob either fails to decode or
+// re-encodes byte-identically — the fuzz target's invariant), and
+// bounded (untrusted counts are checked against the remaining payload
+// before any allocation).
+//
+// Deliberately NOT persisted: the per-server telemetry registries and
+// spans. Those are process-lifetime observability — a restarted watcher
+// reports the work *it* did, not the work a dead process once did.
+
+// TrackerCodecVersion identifies the binary layout of tracker
+// snapshots. Bump on any incompatible change.
+const TrackerCodecVersion = 1
+
+var trackerMagic = [4]byte{'F', 'R', 'S', 'N'}
+
+// ErrTrackerSnapshot is wrapped by every decode failure caused by a
+// malformed blob (truncation, corruption, non-canonical form).
+var ErrTrackerSnapshot = errors.New("malformed tracker snapshot")
+
+// ErrTrackerSnapshotVersion is wrapped when the magic or version does
+// not match this build; the caller falls back to a cold NewTracker.
+var ErrTrackerSnapshotVersion = errors.New("unsupported tracker snapshot version")
+
+// ErrTrackerSnapshotLabels is wrapped when a structurally valid
+// snapshot does not describe the images it is being restored against —
+// restoring mdt0's state onto ost1 must fail loudly, not corrupt both.
+var ErrTrackerSnapshotLabels = errors.New("tracker snapshot does not match images")
+
+func errTracker(format string, args ...any) error {
+	return fmt.Errorf("online: %s: %w", fmt.Sprintf(format, args...), ErrTrackerSnapshot)
+}
+
+// trackerSnapshot is the decoded durable state, independent of any
+// image set — what the codec (and its fuzz target) round-trips.
+type trackerSnapshot struct {
+	delta                                        *agg.DeltaBuilder
+	haveWarm                                     bool
+	lastIters                                    int
+	checks, updates, inodesRescan, warmFallbacks int64
+	prevID, prevProp                             []float64
+}
+
+func encodeTrackerSnapshot(s *trackerSnapshot) []byte {
+	buf := append([]byte(nil), trackerMagic[:]...)
+	buf = append(buf, TrackerCodecVersion)
+
+	deltaBlob := s.delta.EncodeBinary()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(deltaBlob)))
+	buf = append(buf, deltaBlob...)
+
+	if s.haveWarm {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.lastIters))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.checks))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.updates))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.inodesRescan))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.warmFallbacks))
+
+	if s.haveWarm {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.prevID)))
+		for _, v := range s.prevID {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+		for _, v := range s.prevProp {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// sdec is the bounded decoder for tracker blobs.
+type sdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *sdec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.err = errTracker("truncated at offset %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *sdec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *sdec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *sdec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *sdec) remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
+func decodeTrackerSnapshot(blob []byte) (*trackerSnapshot, error) {
+	d := &sdec{b: blob}
+	if !d.need(5) {
+		return nil, d.err
+	}
+	if [4]byte(blob[:4]) != trackerMagic {
+		return nil, fmt.Errorf("online: bad tracker snapshot magic %q: %w", blob[:4], ErrTrackerSnapshotVersion)
+	}
+	if v := blob[4]; v != TrackerCodecVersion {
+		return nil, fmt.Errorf("online: tracker snapshot version %d (have %d): %w", v, TrackerCodecVersion, ErrTrackerSnapshotVersion)
+	}
+	d.off = 5
+
+	deltaLen := int(d.u32())
+	if !d.need(deltaLen) {
+		return nil, d.err
+	}
+	delta, err := agg.DecodeDeltaBuilder(blob[d.off : d.off+deltaLen])
+	if err != nil {
+		// The nested delta codec has its own named errors; wrap them
+		// under ours so callers can treat the whole blob uniformly. A
+		// version mismatch inside an FRSN v1 envelope is corruption, not
+		// a mixed-version deployment.
+		return nil, errTracker("delta section: %v", err)
+	}
+	d.off += deltaLen
+
+	s := &trackerSnapshot{delta: delta}
+	switch d.u8() {
+	case 0:
+	case 1:
+		s.haveWarm = true
+	default:
+		if d.err == nil {
+			return nil, errTracker("warm flag is neither 0 nor 1")
+		}
+	}
+	s.lastIters = int(d.u64())
+	s.checks = int64(d.u64())
+	s.updates = int64(d.u64())
+	s.inodesRescan = int64(d.u64())
+	s.warmFallbacks = int64(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	if s.haveWarm {
+		n := d.u32()
+		if d.err == nil && uint64(n)*16 > uint64(d.remaining()) {
+			return nil, errTracker("implausible warm vector length %d", n)
+		}
+		s.prevID = make([]float64, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			s.prevID = append(s.prevID, math.Float64frombits(d.u64()))
+		}
+		s.prevProp = make([]float64, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			s.prevProp = append(s.prevProp, math.Float64frombits(d.u64()))
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(blob) {
+		return nil, errTracker("%d trailing bytes", len(blob)-d.off)
+	}
+	return s, nil
+}
+
+// EncodeSnapshot serialises the tracker's durable state. The blob is
+// deterministic for a given state: saving twice without an intervening
+// update produces identical bytes.
+func (t *Tracker) EncodeSnapshot() []byte {
+	return encodeTrackerSnapshot(&trackerSnapshot{
+		delta:         t.delta,
+		haveWarm:      t.haveWarm,
+		lastIters:     t.lastIters,
+		checks:        t.checks,
+		updates:       t.updates,
+		inodesRescan:  t.inodesRescan,
+		warmFallbacks: t.warmFallbacks,
+		prevID:        t.prevID,
+		prevProp:      t.prevProp,
+	})
+}
+
+// RestoreTracker rebuilds a tracker from an EncodeSnapshot blob without
+// any rescan: the maintained snapshot, warm-start ranks and dirty-seed
+// accumulator come from the blob, and the next Update resumes from
+// whatever the images' change feeds accumulated while the previous
+// process was down. The images must be the same cluster the snapshot
+// was taken from, in the same canonical order (checked by label).
+func RestoreTracker(blob []byte, images []*ldiskfs.Image, opt checker.Options) (*Tracker, error) {
+	s, err := decodeTrackerSnapshot(blob)
+	if err != nil {
+		return nil, err
+	}
+	labels := s.delta.Labels()
+	if len(labels) != len(images) {
+		return nil, fmt.Errorf("online: snapshot has %d servers, images %d: %w",
+			len(labels), len(images), ErrTrackerSnapshotLabels)
+	}
+	for i, img := range images {
+		if img.Label() != labels[i] {
+			return nil, fmt.Errorf("online: snapshot server %d is %q, image is %q: %w",
+				i, labels[i], img.Label(), ErrTrackerSnapshotLabels)
+		}
+	}
+	if s.haveWarm && len(s.prevID) != len(s.prevProp) {
+		return nil, errTracker("warm vectors disagree in length (%d vs %d)",
+			len(s.prevID), len(s.prevProp))
+	}
+	if opt.Core.MaxIterations == 0 {
+		opt.Core = core.DefaultOptions()
+	}
+	t := &Tracker{
+		images:        images,
+		opt:           opt,
+		delta:         s.delta,
+		prevID:        s.prevID,
+		prevProp:      s.prevProp,
+		haveWarm:      s.haveWarm,
+		scan:          scanner.ScanInode,
+		lastIters:     s.lastIters,
+		updates:       s.updates,
+		inodesRescan:  s.inodesRescan,
+		checks:        s.checks,
+		warmFallbacks: s.warmFallbacks,
+	}
+	for _, img := range images {
+		t.servers = append(t.servers, newServerState(img))
+	}
+	return t, nil
+}
+
+// stateFileName is the snapshot's name inside a -state directory.
+const stateFileName = "tracker.snap"
+
+// SaveState writes the snapshot into dir atomically (temp file +
+// rename), so a crash mid-save leaves the previous snapshot intact.
+func (t *Tracker) SaveState(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("online: save state: %w", err)
+	}
+	tmp := filepath.Join(dir, stateFileName+".tmp")
+	if err := os.WriteFile(tmp, t.EncodeSnapshot(), 0o644); err != nil {
+		return fmt.Errorf("online: save state: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, stateFileName)); err != nil {
+		return fmt.Errorf("online: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a tracker from dir. A missing snapshot reports
+// fs.ErrNotExist (via os.ReadFile) — the caller's cue to start cold
+// with NewTracker instead.
+func LoadState(dir string, images []*ldiskfs.Image, opt checker.Options) (*Tracker, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, stateFileName))
+	if err != nil {
+		return nil, err
+	}
+	return RestoreTracker(blob, images, opt)
+}
