@@ -35,7 +35,24 @@ import (
 	"faultyrank/internal/telemetry"
 )
 
+// main delegates to realMain so deferred cleanup — most importantly the
+// graceful -metrics-addr shutdown, which drains an in-flight scrape
+// instead of resetting it — runs on every exit path. Failure paths
+// return an exit code instead of calling os.Exit/log.Fatal mid-stack
+// (either would skip the defers).
 func main() {
+	os.Exit(realMain())
+}
+
+// fail logs an error and returns the tool's failure exit code — 1,
+// matching the log.Fatal paths this replaced (findings-present also
+// exits 1; scripts distinguish the two by the report on stdout).
+func fail(err error) int {
+	log.Print(err)
+	return 1
+}
+
+func realMain() int {
 	log.SetFlags(0)
 	log.SetPrefix("faultyrank: ")
 	var (
@@ -63,13 +80,13 @@ func main() {
 	flag.Parse()
 
 	if *useOnline && *doRepair {
-		log.Fatal("-online is check-only: apply repairs with an offline -repair run")
+		return fail(errors.New("-online is check-only: apply repairs with an offline -repair run"))
 	}
 	if (*watch != 0 || *watchN != 0) && !*useOnline {
-		log.Fatal("-watch/-watch-rounds require -online")
+		return fail(errors.New("-watch/-watch-rounds require -online"))
 	}
 	if *stateDir != "" && !*useOnline {
-		log.Fatal("-state requires -online")
+		return fail(errors.New("-state requires -online"))
 	}
 
 	if *profRates > 0 {
@@ -79,7 +96,7 @@ func main() {
 
 	images, err := imgdir.Load(*dir)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	opt := checker.DefaultOptions()
 	opt.UseTCP = *useTCP
@@ -97,9 +114,13 @@ func main() {
 		opt.Metrics = reg
 		bound, stop, err := telemetry.Serve(*metrics, reg)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		defer stop()
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("metrics shutdown: %v", err)
+			}
+		}()
 		log.Printf("serving /metrics and /debug/pprof on %s", bound)
 	}
 	if *manifest != "" {
@@ -109,34 +130,33 @@ func main() {
 	}
 
 	if *useOnline {
-		runOnline(images, opt, *stateDir, *watch, *watchN, *verbose, *manifest, *clusterMf)
-		return
+		return runOnline(images, opt, *stateDir, *watch, *watchN, *verbose, *manifest, *clusterMf)
 	}
 
 	res, err := checker.Run(images, opt)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if err := res.WriteReport(os.Stdout, *verbose); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if *manifest != "" {
 		if err := telemetry.WriteJSON(*manifest, res.Manifest(opt)); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		log.Printf("run manifest written to %s", *manifest)
 	}
 	if *clusterMf != "" {
 		if err := telemetry.WriteJSON(*clusterMf, res.Cluster); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		log.Printf("cluster manifest written to %s", *clusterMf)
 	}
 	if len(res.Findings) == 0 {
-		return
+		return 0
 	}
 	if !*doRepair {
-		os.Exit(1) // findings present, nothing repaired
+		return 1 // findings present, nothing repaired
 	}
 	eng := repair.NewEngine(images, res)
 	sum := eng.Apply(res.Findings)
@@ -148,7 +168,7 @@ func main() {
 	}
 	verify, err := checker.Run(images, opt)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if len(verify.Findings) == 0 && verify.Stats.UnpairedEdges == 0 {
 		fmt.Println("verification: file system is consistent after repair")
@@ -160,9 +180,10 @@ func main() {
 		}
 	}
 	if err := imgdir.Save(*dir, images); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("repaired images written back to %s\n", *dir)
+	return 0
 }
 
 // runOnline is the -online mode: an incremental Tracker over the loaded
@@ -170,9 +191,9 @@ func main() {
 // offline run; with -watch it loops, printing one delta line per round.
 // With -state it resumes from the directory's snapshot when one exists
 // (falling back to a fresh tracker on a missing file or a snapshot from
-// an incompatible build) and saves after every check. Exits 1 when the
-// (last) check surfaced findings.
-func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string) {
+// an incompatible build) and saves after every check. Returns exit code
+// 1 when the (last) check surfaced findings.
+func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string) int {
 	var tr *online.Tracker
 	var err error
 	switch {
@@ -189,61 +210,69 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, in
 		case errors.Is(err, online.ErrTrackerSnapshotVersion):
 			// A snapshot from a different build is expected across
 			// upgrades; a malformed or mismatched one is not, and falls
-			// through to the fatal below.
+			// through to the fail below.
 			log.Printf("snapshot in %s is from an incompatible build, starting fresh", stateDir)
 			tr, err = online.NewTracker(images, opt)
 		}
 	}
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	saveState := func() {
+	saveState := func() error {
 		if stateDir == "" {
-			return
+			return nil
 		}
-		if err := tr.SaveState(stateDir); err != nil {
-			log.Fatal(err)
-		}
+		return tr.SaveState(stateDir)
 	}
-	writeManifests := func(res *online.CheckResult) {
+	writeManifests := func(res *online.CheckResult) error {
 		if manifest != "" {
 			if err := telemetry.WriteJSON(manifest, res.Manifest(opt)); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			log.Printf("run manifest written to %s", manifest)
 		}
 		if clusterMf != "" {
 			if err := telemetry.WriteJSON(clusterMf, res.Cluster); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			log.Printf("cluster manifest written to %s", clusterMf)
 		}
+		return nil
 	}
 	if interval == 0 && rounds == 0 {
 		res, err := tr.Check()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		saveState()
+		if err := saveState(); err != nil {
+			return fail(err)
+		}
 		if err := res.WriteReport(os.Stdout, verbose); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		writeManifests(res)
+		if err := writeManifests(res); err != nil {
+			return fail(err)
+		}
 		if len(res.Findings) > 0 {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var last *online.CheckResult
+	var roundErr error
 	prevFindings := 0
 	err = tr.Watch(ctx, online.WatchOptions{
 		Interval: interval,
 		Rounds:   rounds,
 		OnRound: func(round int, res *online.CheckResult) {
-			saveState()
+			if err := saveState(); err != nil {
+				roundErr = err
+				stop() // end the watch; the error surfaces below
+				return
+			}
 			start := "warm"
 			if !res.Warm {
 				start = "cold"
@@ -264,13 +293,19 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, in
 			last = res
 		},
 	})
+	if roundErr != nil {
+		return fail(roundErr)
+	}
 	if err != nil && !errors.Is(err, context.Canceled) {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if last != nil {
-		writeManifests(last)
+		if err := writeManifests(last); err != nil {
+			return fail(err)
+		}
 		if len(last.Findings) > 0 {
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

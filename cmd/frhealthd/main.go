@@ -1,0 +1,89 @@
+// Command frhealthd is the fleet-health daemon: one process tracks
+// many cluster mounts through their change feeds (one online tracker
+// per cluster on a shared bounded worker pool), grades every finding
+// critical/warning/info through a versioned rules engine with
+// suggested operator actions, and serves JSON reports plus Prometheus
+// metrics over HTTP.
+//
+//	frhealthd -config fleet.json                 # config names the clusters
+//	frhealthd -config fleet.json -listen :9120   # override the HTTP address
+//	frhealthd -config fleet.json -rounds 8       # bounded run (smoke tests)
+//
+//	curl -s localhost:9120/api/v1/clusters
+//	curl -s localhost:9120/api/v1/clusters/alpha/report
+//	curl -s localhost:9120/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"faultyrank/internal/health"
+	"faultyrank/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("frhealthd: ")
+	var (
+		config = flag.String("config", "", "daemon config file (JSON, schema "+health.ConfigSchema+")")
+		listen = flag.String("listen", "", "HTTP address for the report API and /metrics (overrides the config's listen; default :9120)")
+		rounds = flag.Int("rounds", 0, "stop after this many watch rounds per cluster (0 = run until SIGINT/SIGTERM)")
+	)
+	flag.Parse()
+	if *config == "" {
+		log.Fatal("-config is required")
+	}
+	if err := run(*config, *listen, *rounds); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(configPath, listenFlag string, rounds int) error {
+	cfg, err := health.LoadConfig(configPath)
+	if err != nil {
+		return err
+	}
+	d, err := health.NewDaemonFromConfig(cfg)
+	if err != nil {
+		return err
+	}
+	if rounds > 0 {
+		d.BoundRounds(rounds)
+	}
+
+	addr := listenFlag
+	if addr == "" {
+		addr = cfg.Listen
+	}
+	if addr == "" {
+		addr = ":9120"
+	}
+	bound, stop, err := telemetry.ServeHandler(addr, d.Handler())
+	if err != nil {
+		return err
+	}
+	log.Printf("serving report API and /metrics on %s (%d clusters)", bound, len(cfg.Clusters))
+	// The HTTP server outlives the watchers: when the run context ends
+	// (signal or bounded rounds), in-flight report requests drain before
+	// the process exits.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), telemetry.ServeStopTimeout)
+		defer cancel()
+		if err := stop(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := d.Run(ctx); err != nil {
+		return err
+	}
+	log.Printf("all watchers stopped")
+	return nil
+}

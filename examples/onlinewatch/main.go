@@ -108,7 +108,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	updates, rescanned := tracker.Stats()
+	st := tracker.Stats()
 	fmt.Printf("tracker lifetime: %d updates, %d inodes re-parsed (vs %d for one offline scan)\n",
-		updates, rescanned, cluster.TotalInodes())
+		st.UpdateRounds, st.InodesRescanned, cluster.TotalInodes())
 }

@@ -228,6 +228,13 @@ type Finding struct {
 	Score   float64
 	Detail  string
 	Repairs []RepairAction
+	// Blast is the finding's blast radius: how many metadata relations
+	// (incoming plus outgoing edges) touch the faulty object. A dangling
+	// dirent on a hot directory carries a large Blast; an isolated
+	// orphan object carries zero. Severity rules (internal/health) use
+	// it to separate contained faults from ones whose repair delay
+	// spreads.
+	Blast int
 }
 
 // Result is the outcome of one checker run.

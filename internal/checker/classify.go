@@ -287,6 +287,14 @@ func classify(res *Result, images map[string]*ldiskfs.Image, opt Options) []Find
 		findings = classifySplitPlanes(res, findings, opt)
 	}
 
+	// Blast radius: every finding that names a graph vertex carries the
+	// relation count of that vertex, the severity rules' size input.
+	for i := range findings {
+		if g, ok := u.GID(findings[i].FID); ok {
+			findings[i].Blast = b.InDegree(g) + b.OutDegree(g)
+		}
+	}
+
 	sortFindings(findings)
 	return findings
 }

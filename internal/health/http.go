@@ -1,0 +1,59 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"faultyrank/internal/telemetry"
+)
+
+// Handler serves the daemon's report API:
+//
+//	GET /healthz                          liveness + fleet status
+//	GET /api/v1/clusters                  one summary row per cluster
+//	GET /api/v1/clusters/{name}/report    a cluster's full report
+//	GET /metrics                          Prometheus exposition, every
+//	                                      series labeled cluster="..."
+//
+// The handler is safe to serve while Run's watchers write: report
+// state is read under each member's lock.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		clusters := d.Clusters()
+		worst := "ok"
+		rank := map[string]int{"ok": 0, "pending": 1, "info": 2, "warning": 3, "critical": 4}
+		for _, c := range clusters {
+			if rank[c.Status] > rank[worst] {
+				worst = c.Status
+			}
+		}
+		writeJSON(w, map[string]any{
+			"status":   worst,
+			"clusters": len(clusters),
+		})
+	})
+	mux.HandleFunc("GET /api/v1/clusters", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.Clusters())
+	})
+	mux.HandleFunc("GET /api/v1/clusters/{name}/report", func(w http.ResponseWriter, r *http.Request) {
+		rep, ok := d.Report(r.PathValue("name"))
+		if !ok {
+			http.Error(w, `{"error":"unknown cluster"}`, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		_ = telemetry.WritePrometheusLabeled(w, "cluster", d.MetricsSnapshots())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,138 @@
+package health
+
+import (
+	"faultyrank/internal/checker"
+	"faultyrank/internal/online"
+)
+
+// ReportSchema identifies the report JSON layout served by the API.
+const ReportSchema = "frhealthd/report/v1"
+
+// GradedFinding is one checker finding with its severity grade — the
+// unit the report API serves. The geometry fields (kind, fid, score,
+// blast) come from the checker; the grade (severity, rule, action)
+// from the rules engine.
+type GradedFinding struct {
+	Kind   string  `json:"kind"`
+	FID    string  `json:"fid"`
+	Detail string  `json:"detail"`
+	Score  float64 `json:"score,omitempty"`
+	Blast  int     `json:"blast,omitempty"`
+
+	Severity Severity `json:"severity"`
+	// Rule names the grading clause that matched.
+	Rule string `json:"rule"`
+	// Action is the suggested operator action.
+	Action string `json:"action"`
+	// Repairs are the checker's recommended repair actions, rendered.
+	Repairs []string `json:"repairs,omitempty"`
+}
+
+// gradeFindings classifies a check's findings under a rule set.
+func gradeFindings(rs *RuleSet, findings []checker.Finding) []GradedFinding {
+	out := make([]GradedFinding, 0, len(findings))
+	for _, f := range findings {
+		g := rs.Grade(f)
+		gf := GradedFinding{
+			Kind:     f.Kind.String(),
+			FID:      f.FID.String(),
+			Detail:   f.Detail,
+			Score:    f.Score,
+			Blast:    f.Blast,
+			Severity: g.Severity,
+			Rule:     g.Rule,
+			Action:   g.Action,
+		}
+		for _, r := range f.Repairs {
+			gf.Repairs = append(gf.Repairs, r.String())
+		}
+		out = append(out, gf)
+	}
+	return out
+}
+
+// SeverityCounts tallies findings by grade.
+type SeverityCounts struct {
+	Critical int `json:"critical"`
+	Warning  int `json:"warning"`
+	Info     int `json:"info"`
+}
+
+func countSeverities(findings []GradedFinding) SeverityCounts {
+	var c SeverityCounts
+	for _, f := range findings {
+		switch f.Severity {
+		case SevCritical:
+			c.Critical++
+		case SevWarning:
+			c.Warning++
+		default:
+			c.Info++
+		}
+	}
+	return c
+}
+
+// Total is the tally across all grades.
+func (c SeverityCounts) Total() int { return c.Critical + c.Warning + c.Info }
+
+// status maps a tally onto the cluster status string: the worst grade
+// present, or "ok".
+func (c SeverityCounts) status() string {
+	switch {
+	case c.Critical > 0:
+		return "critical"
+	case c.Warning > 0:
+		return "warning"
+	case c.Info > 0:
+		return "info"
+	default:
+		return "ok"
+	}
+}
+
+// RoundSummary is one watch round's entry in a cluster's history ring.
+// A failed round carries its error and no tally.
+type RoundSummary struct {
+	Round     int            `json:"round"`
+	Refreshed int            `json:"refreshed"`
+	Findings  SeverityCounts `json:"findings"`
+	// Warm reports whether the round's ranking warm-started; Iterations
+	// is its converged iteration count.
+	Warm       bool   `json:"warm"`
+	Iterations int    `json:"iterations"`
+	Err        string `json:"error,omitempty"`
+}
+
+// ClusterSummary is one cluster's row in the fleet listing.
+type ClusterSummary struct {
+	Name string `json:"name"`
+	// Status is "pending" before the first completed round, otherwise
+	// the worst severity among current findings or "ok".
+	Status   string         `json:"status"`
+	Rounds   int            `json:"rounds"`
+	Failures int            `json:"failures"`
+	Findings SeverityCounts `json:"findings"`
+}
+
+// Report is one cluster's full health report.
+type Report struct {
+	Schema  string `json:"schema"`
+	Cluster string `json:"cluster"`
+	// RulesVersion is the grading policy revision that produced the
+	// severities below.
+	RulesVersion int    `json:"rules_version"`
+	Status       string `json:"status"`
+	// Rounds counts completed watch rounds; Failures counts failed ones.
+	Rounds   int `json:"rounds"`
+	Failures int `json:"failures"`
+	// LastError is the most recent failed round's error ("" after a
+	// clean round — a recovery clears it).
+	LastError string `json:"last_error,omitempty"`
+
+	Counts   SeverityCounts      `json:"counts"`
+	Findings []GradedFinding     `json:"findings"`
+	Stats    online.TrackerStats `json:"tracker"`
+	// History is the round-history ring, oldest first.
+	History []RoundSummary `json:"history"`
+}

@@ -1,0 +1,270 @@
+// Package health is the fleet-health serving layer on top of the
+// online checker: one daemon hosts many clusters' trackers
+// concurrently (one online.Tracker per configured cluster, a shared
+// bounded worker pool, per-cluster durable state directories), grades
+// every finding Critical/Warning/Info through a versioned rules
+// engine that also suggests an operator action per finding class, and
+// serves the results over HTTP — JSON reports per cluster, a fleet
+// health summary, and sustained Prometheus exposition with per-cluster
+// labels. It is ROADMAP item 4: watch mode turned into a long-running
+// service, packaged the way production health checkers (sichek's GPFS
+// component) classify events by criticality with suggested actions.
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"faultyrank/internal/checker"
+)
+
+// Severity grades a finding's operational urgency.
+type Severity uint8
+
+const (
+	// SevInfo: worth recording, no action required (an orphan object
+	// participating in no relation, an ambiguity awaiting user input).
+	SevInfo Severity = iota
+	// SevWarning: repair at the next maintenance window.
+	SevWarning
+	// SevCritical: repair now — data loss is ongoing or imminent, or
+	// the fault's blast radius grows while it waits.
+	SevCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", uint8(s))
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name — the form
+// the rules file and the report API both use.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses a lowercase severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity maps a severity name to its value.
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "info":
+		return SevInfo, nil
+	case "warning":
+		return SevWarning, nil
+	case "critical":
+		return SevCritical, nil
+	default:
+		return 0, fmt.Errorf("health: unknown severity %q (info|warning|critical)", name)
+	}
+}
+
+// RulesSchema identifies the rules-file JSON layout; a file with any
+// other schema string is rejected, so layout changes cannot be
+// misread as policy changes.
+const RulesSchema = "frhealthd/rules/v1"
+
+// Rule is one grading clause: the first rule whose conditions all
+// match a finding decides its severity and suggested action. The
+// conditions compose (kind AND score AND blast), and every omitted
+// condition matches everything — a rule with only a severity and an
+// action is a catch-all.
+type Rule struct {
+	// Name identifies the rule in reports, so an operator can tell
+	// which clause graded a finding.
+	Name string `json:"name"`
+	// Kind matches the finding kind by its report name ("faulty-id",
+	// "duplicate-identity", …); empty or "*" matches every kind.
+	Kind string `json:"kind,omitempty"`
+	// MaxScore matches rank-scored findings whose score is at or below
+	// this value — lower rank means stronger fault evidence, so a small
+	// MaxScore selects the deepest faults. Findings without a rank
+	// score (score 0) never match a MaxScore rule.
+	MaxScore *float64 `json:"max_score,omitempty"`
+	// MinBlast matches findings whose blast radius (metadata relations
+	// touching the faulty object) is at least this value — the "hot
+	// directory" selector; 0 matches any.
+	MinBlast int `json:"min_blast,omitempty"`
+
+	Severity Severity `json:"severity"`
+	// Action is the suggested operator action for findings this rule
+	// grades.
+	Action string `json:"action"`
+}
+
+// matches reports whether every condition of the rule holds for f.
+func (r Rule) matches(f checker.Finding) bool {
+	if r.Kind != "" && r.Kind != "*" && r.Kind != f.Kind.String() {
+		return false
+	}
+	if r.MaxScore != nil && (f.Score <= 0 || f.Score > *r.MaxScore) {
+		return false
+	}
+	if r.MinBlast > 0 && f.Blast < r.MinBlast {
+		return false
+	}
+	return true
+}
+
+// Fallback grades findings no rule matches.
+type Fallback struct {
+	Severity Severity `json:"severity"`
+	Action   string   `json:"action"`
+}
+
+// RuleSet is a versioned grading policy: an ordered rule list plus the
+// fallback. Version is the operator's revision of the file and is
+// surfaced in every report, so a dashboard can always tell which
+// policy graded what it is looking at.
+type RuleSet struct {
+	Schema  string   `json:"schema"`
+	Version int      `json:"version"`
+	Rules   []Rule   `json:"rules"`
+	Default Fallback `json:"default"`
+}
+
+// Grading is one finding's classification under a rule set.
+type Grading struct {
+	Severity Severity `json:"severity"`
+	// Rule names the clause that matched ("default" for the fallback).
+	Rule string `json:"rule"`
+	// Action is the suggested operator action.
+	Action string `json:"action"`
+}
+
+// Grade classifies one finding: the first matching rule wins, the
+// fallback grades the rest.
+func (rs *RuleSet) Grade(f checker.Finding) Grading {
+	for _, r := range rs.Rules {
+		if r.matches(f) {
+			return Grading{Severity: r.Severity, Rule: r.Name, Action: r.Action}
+		}
+	}
+	return Grading{Severity: rs.Default.Severity, Rule: "default", Action: rs.Default.Action}
+}
+
+// Validate checks the structural invariants a loaded rules file must
+// hold: the schema string, a positive version, and named, well-formed
+// rules with unique names.
+func (rs *RuleSet) Validate() error {
+	if rs.Schema != RulesSchema {
+		return fmt.Errorf("health: rules schema %q (want %q)", rs.Schema, RulesSchema)
+	}
+	if rs.Version < 1 {
+		return fmt.Errorf("health: rules version %d (want >= 1)", rs.Version)
+	}
+	seen := make(map[string]bool, len(rs.Rules))
+	for i, r := range rs.Rules {
+		if r.Name == "" {
+			return fmt.Errorf("health: rule %d has no name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("health: duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.MaxScore != nil && *r.MaxScore <= 0 {
+			return fmt.Errorf("health: rule %q: max_score %g (want > 0)", r.Name, *r.MaxScore)
+		}
+		if r.MinBlast < 0 {
+			return fmt.Errorf("health: rule %q: min_blast %d (want >= 0)", r.Name, r.MinBlast)
+		}
+	}
+	return nil
+}
+
+// LoadRules reads and validates a rules file.
+func LoadRules(path string) (*RuleSet, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("health: rules: %w", err)
+	}
+	var rs RuleSet
+	if err := json.Unmarshal(blob, &rs); err != nil {
+		return nil, fmt.Errorf("health: rules %s: %w", path, err)
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &rs, nil
+}
+
+func f64(v float64) *float64 { return &v }
+
+// DefaultRules is the built-in policy, used when no rules file is
+// configured. Ordering is the policy: the structural catastrophes come
+// first, then the blast-radius and rank-depth escalations (so a
+// dangling dirent on a hot directory grades critical even though its
+// kind alone would not), then the per-kind grades.
+func DefaultRules() *RuleSet {
+	return &RuleSet{
+		Schema:  RulesSchema,
+		Version: 1,
+		Rules: []Rule{
+			{
+				Name: "duplicate-identity", Kind: "duplicate-identity", Severity: SevCritical,
+				Action: "multiple inodes claim one FID; run `faultyrank -dir <dir> -repair` to quarantine the impostors, then audit the surviving claim",
+			},
+			{
+				Name: "parse-damage", Kind: "parse-damage", Severity: SevCritical,
+				Action: "metadata failed to decode; check the device and schedule an offline `faultyrank` scrub — the graph may be missing relations",
+			},
+			{
+				Name: "detached-namespace", Kind: "detached-namespace", Severity: SevCritical,
+				Action: "a coherent subtree is unreachable from the root; reattach it under lost+found before its files are overwritten",
+			},
+			{
+				Name: "hot-object", MinBlast: 8, Severity: SevCritical,
+				Action: "the faulty object participates in many relations (hot directory or wide-striped file); repair first — every delayed round widens the blast radius",
+			},
+			{
+				Name: "deep-rank-fault", MaxScore: f64(0.1), Severity: SevCritical,
+				Action: "rank evidence is unanimous (score near zero); apply the recommended repair now",
+			},
+			{
+				Name: "faulty-id", Kind: "faulty-id", Severity: SevWarning,
+				Action: "the object's identity lost peer support; `-repair` restores it from the peers that still name the old FID",
+			},
+			{
+				Name: "faulty-property", Kind: "faulty-property", Severity: SevWarning,
+				Action: "the object's pointing metadata is wrong; `-repair` rebuilds it from the counterpart relations",
+			},
+			{
+				Name: "stale-object", Kind: "stale-object", Severity: SevWarning,
+				Action: "the object's owner no longer exists (lost file); adopt the object into lost+found",
+			},
+			{
+				Name: "orphan-object", Kind: "orphan-object", Severity: SevInfo,
+				Action: "the object participates in no relation; quarantine it during the next maintenance window",
+			},
+			{
+				Name: "ambiguous", Kind: "ambiguous", Severity: SevInfo,
+				Action: "the ranks cannot attribute a root cause; a human must pick the repair",
+			},
+		},
+		Default: Fallback{
+			Severity: SevWarning,
+			Action:   "unclassified finding; run an offline `faultyrank -dir <dir> -v` check and extend the rules file",
+		},
+	}
+}

@@ -1,0 +1,201 @@
+package health
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"faultyrank/internal/checker"
+)
+
+func TestDefaultRulesValidate(t *testing.T) {
+	if err := DefaultRules().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range DefaultRules().Rules {
+		if r.Action == "" {
+			t.Fatalf("rule %q suggests no action", r.Name)
+		}
+	}
+	if DefaultRules().Default.Action == "" {
+		t.Fatal("fallback suggests no action")
+	}
+}
+
+// TestGradeOrdering: the escalation clauses fire in their declared
+// order — a kind-specific catastrophe beats the blast rule, blast
+// beats rank depth, rank depth beats the per-kind grade, and each
+// condition gates correctly.
+func TestGradeOrdering(t *testing.T) {
+	rs := DefaultRules()
+	cases := []struct {
+		name string
+		f    checker.Finding
+		rule string
+		sev  Severity
+	}{
+		{"kind rule beats blast", checker.Finding{Kind: checker.DuplicateIdentity, Blast: 50}, "duplicate-identity", SevCritical},
+		{"hot object escalates a warning kind", checker.Finding{Kind: checker.FaultyProperty, Blast: 9}, "hot-object", SevCritical},
+		{"cool object keeps its kind grade", checker.Finding{Kind: checker.FaultyProperty, Blast: 2}, "faulty-property", SevWarning},
+		{"deep rank escalates", checker.Finding{Kind: checker.FaultyID, Score: 0.05}, "deep-rank-fault", SevCritical},
+		{"shallow rank does not", checker.Finding{Kind: checker.FaultyID, Score: 0.3}, "faulty-id", SevWarning},
+		{"unscored finding never matches max_score", checker.Finding{Kind: checker.StaleObject}, "stale-object", SevWarning},
+		{"orphan is informational", checker.Finding{Kind: checker.OrphanObject}, "orphan-object", SevInfo},
+		{"unknown kind falls through", checker.Finding{Kind: checker.FindingKind(99)}, "default", SevWarning},
+	}
+	for _, tc := range cases {
+		g := rs.Grade(tc.f)
+		if g.Rule != tc.rule || g.Severity != tc.sev {
+			t.Errorf("%s: graded %s/%v (want %s/%v)", tc.name, g.Rule, g.Severity, tc.rule, tc.sev)
+		}
+		if g.Action == "" {
+			t.Errorf("%s: no suggested action", tc.name)
+		}
+	}
+}
+
+func writeRules(t *testing.T, rs *RuleSet) string {
+	t.Helper()
+	blob, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadRulesRoundTrip: a marshalled rule set loads back and grades
+// identically — severity names, score thresholds and all.
+func TestLoadRulesRoundTrip(t *testing.T) {
+	custom := &RuleSet{
+		Schema:  RulesSchema,
+		Version: 7,
+		Rules: []Rule{
+			{Name: "everything-is-fine", Kind: "*", Severity: SevInfo, Action: "relax"},
+		},
+		Default: Fallback{Severity: SevCritical, Action: "panic"},
+	}
+	got, err := LoadRules(writeRules(t, custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 7 {
+		t.Fatalf("version %d", got.Version)
+	}
+	g := got.Grade(checker.Finding{Kind: checker.DuplicateIdentity})
+	if g.Severity != SevInfo || g.Rule != "everything-is-fine" {
+		t.Fatalf("graded %+v", g)
+	}
+}
+
+func TestLoadRulesRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		rs   *RuleSet
+	}{
+		{"wrong schema", &RuleSet{Schema: "nope", Version: 1}},
+		{"zero version", &RuleSet{Schema: RulesSchema}},
+		{"unnamed rule", &RuleSet{Schema: RulesSchema, Version: 1, Rules: []Rule{{Severity: SevInfo}}}},
+		{"duplicate names", &RuleSet{Schema: RulesSchema, Version: 1, Rules: []Rule{
+			{Name: "x", Severity: SevInfo}, {Name: "x", Severity: SevInfo}}}},
+		{"non-positive max_score", &RuleSet{Schema: RulesSchema, Version: 1, Rules: []Rule{
+			{Name: "x", MaxScore: f64(-1)}}}},
+		{"negative min_blast", &RuleSet{Schema: RulesSchema, Version: 1, Rules: []Rule{
+			{Name: "x", MinBlast: -2}}}},
+	}
+	for _, tc := range bad {
+		if _, err := LoadRules(writeRules(t, tc.rs)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := LoadRules(filepath.Join(t.TempDir(), "missing.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRules(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A bad severity name must fail at parse, not silently grade as info.
+	path = filepath.Join(t.TempDir(), "sev.json")
+	blob := `{"schema":"` + RulesSchema + `","version":1,"rules":[{"name":"x","severity":"fatal","action":"a"}],"default":{"severity":"info","action":"b"}}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRules(path); err == nil || !strings.Contains(err.Error(), "unknown severity") {
+		t.Fatalf("bad severity: %v", err)
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarning, SevCritical} {
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Severity
+		if err := json.Unmarshal(blob, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Fatalf("%v round-tripped to %v", s, got)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Fatal("unknown severity accepted")
+	}
+	if _, err := ParseSeverity("Critical"); err == nil {
+		t.Fatal("severity names are lowercase")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := &Config{Schema: ConfigSchema, Clusters: []ClusterConfig{{Name: "a", Dir: "x"}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Config{
+		{Schema: "nope", Clusters: []ClusterConfig{{Name: "a", Dir: "x"}}},
+		{Schema: ConfigSchema},
+		{Schema: ConfigSchema, Workers: -1, Clusters: []ClusterConfig{{Name: "a", Dir: "x"}}},
+		{Schema: ConfigSchema, Clusters: []ClusterConfig{{Name: "a/b", Dir: "x"}}},
+		{Schema: ConfigSchema, Clusters: []ClusterConfig{{Name: "", Dir: "x"}}},
+		{Schema: ConfigSchema, Clusters: []ClusterConfig{{Name: "a", Dir: " "}}},
+		{Schema: ConfigSchema, Clusters: []ClusterConfig{{Name: "a", Dir: "x"}, {Name: "a", Dir: "y"}}},
+		{Schema: ConfigSchema, Clusters: []ClusterConfig{{Name: "a", Dir: "x", RescanEvery: -1}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var cfg Config
+	if err := json.Unmarshal([]byte(`{"schema":"`+ConfigSchema+`","interval":"150ms","clusters":[{"name":"a","dir":"x"}]}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Interval.Milliseconds() != 150 {
+		t.Fatalf("interval %v", cfg.Interval)
+	}
+	blob, err := json.Marshal(cfg.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != `"150ms"` {
+		t.Fatalf("marshalled %s", blob)
+	}
+	if err := json.Unmarshal([]byte(`{"interval":"soon"}`), &cfg); err == nil {
+		t.Fatal("bad duration accepted")
+	}
+}

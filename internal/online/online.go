@@ -37,6 +37,7 @@ import (
 	"faultyrank/internal/agg"
 	"faultyrank/internal/checker"
 	"faultyrank/internal/core"
+	"faultyrank/internal/inject"
 	"faultyrank/internal/ldiskfs"
 	"faultyrank/internal/scanner"
 	"faultyrank/internal/telemetry"
@@ -69,11 +70,14 @@ type Tracker struct {
 	// Lifetime stats. updates counts only rounds that refreshed at
 	// least one inode — idle watch rounds are not "updates" — and
 	// inodesRescan counts exactly the inodes whose refresh was
-	// committed, even when a later server's feed fails mid-round.
+	// committed, even when a later server's feed fails mid-round;
+	// inodesDropped is the committed subset that were deallocations.
 	updates       int64
 	inodesRescan  int64
+	inodesDropped int64
 	checks        int64
 	warmFallbacks int64
+	rescans       int64
 }
 
 // warmIterCap bounds a warm ranking attempt: twice the last converged
@@ -203,12 +207,13 @@ func (t *Tracker) Update() (int, error) {
 }
 
 func (t *Tracker) update() (int, []RoundRefresh, error) {
-	refreshed := 0
+	refreshed, droppedTotal := 0, 0
 	var perServer []RoundRefresh
 	commit := func() {
 		if refreshed > 0 {
 			t.updates++
 			t.inodesRescan += int64(refreshed)
+			t.inodesDropped += int64(droppedTotal)
 		}
 	}
 	for si, st := range t.servers {
@@ -272,6 +277,7 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 				Server: st.img.Label(), Refreshed: count, Dropped: dropped,
 			})
 			refreshed += count
+			droppedTotal += dropped
 		}
 	}
 	commit()
@@ -284,7 +290,11 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 // with it — the next check starts cold, as trust in the old snapshot is
 // exactly what a rescan revokes.
 func (t *Tracker) Rescan() error {
-	return t.fullScan()
+	if err := t.fullScan(); err != nil {
+		return err
+	}
+	t.rescans++
+	return nil
 }
 
 // Partials materialises the maintained per-server partial graphs in
@@ -437,11 +447,60 @@ func (t *Tracker) clusterManifest() *checker.ClusterManifest {
 	return checker.BuildClusterManifest(labels, ships)
 }
 
-// Stats reports the tracker's lifetime work: rounds that refreshed at
-// least one inode, and the total inodes re-parsed (or dropped) by
-// committed rounds.
-func (t *Tracker) Stats() (updates, inodesRescanned int64) {
-	return t.updates, t.inodesRescan
+// TrackerStats is the tracker's exported lifetime accounting — what a
+// serving layer reports without reverse-engineering counters out of
+// manifests. All fields count committed work only: a round whose feed
+// consumption failed mid-server contributes exactly the servers it
+// committed.
+type TrackerStats struct {
+	// Checks counts completed Check calls (the round sequence number of
+	// the most recent CheckResult).
+	Checks int64 `json:"checks"`
+	// UpdateRounds counts update rounds that refreshed at least one
+	// inode; idle rounds over an empty feed are not updates.
+	UpdateRounds int64 `json:"update_rounds"`
+	// InodesRescanned is the total inodes re-parsed or dropped by
+	// committed rounds; InodesDropped is the subset that were
+	// deallocations.
+	InodesRescanned int64 `json:"inodes_rescanned"`
+	InodesDropped   int64 `json:"inodes_dropped"`
+	// WarmFallbacks counts warm ranking attempts abandoned for a cold
+	// redo after exhausting their iteration budget unconverged.
+	WarmFallbacks int64 `json:"warm_fallbacks"`
+	// Rescans counts completed full re-sweeps (Tracker.Rescan) — the
+	// periodic scrub cycles for silent corruption.
+	Rescans int64 `json:"rescans"`
+	// LastConvergedIters is the most recent converged check's iteration
+	// count (0 until a check converges).
+	LastConvergedIters int `json:"last_converged_iters"`
+}
+
+// Stats reports the tracker's lifetime work.
+func (t *Tracker) Stats() TrackerStats {
+	return TrackerStats{
+		Checks:             t.checks,
+		UpdateRounds:       t.updates,
+		InodesRescanned:    t.inodesRescan,
+		InodesDropped:      t.inodesDropped,
+		WarmFallbacks:      t.warmFallbacks,
+		Rescans:            t.rescans,
+		LastConvergedIters: t.lastIters,
+	}
+}
+
+// InjectScanFault wraps the tracker's inode re-parse seam with f: every
+// scan attempt f elects to fail returns inject.ErrScanInjected instead
+// of a partial, exercising the all-or-nothing feed consumption exactly
+// as a real mid-sweep read error would. The test and soak hook; wraps
+// compose, and the faulted seam survives across rounds.
+func (t *Tracker) InjectScanFault(f *inject.ScanFault) {
+	base := t.scan
+	t.scan = func(img *ldiskfs.Image, ino ldiskfs.Ino) (*scanner.Partial, error) {
+		if f.Tick() {
+			return nil, fmt.Errorf("%s ino %d: %w", img.Label(), ino, inject.ErrScanInjected)
+		}
+		return base(img, ino)
+	}
 }
 
 // WatchOptions configures Tracker.Watch.
@@ -457,6 +516,19 @@ type WatchOptions struct {
 	Quiesce sync.Locker
 	// OnRound observes each completed round.
 	OnRound func(round int, res *CheckResult)
+	// Gate, when non-nil, is acquired before each round's check and
+	// released right after it — the seam a multi-tracker daemon uses to
+	// bound how many trackers run rounds concurrently on one shared
+	// worker pool. Gate must return the release function, or an error
+	// to stop the watch (a cancelled gate context reports ctx.Err()).
+	Gate func(ctx context.Context) (release func(), err error)
+	// OnError, when non-nil, observes a failed round instead of ending
+	// the watch. Returning nil resumes watching at the next tick — a
+	// mid-feed scan error leaves the failing server's feed intact, so
+	// the next round retries exactly the lost work; returning a non-nil
+	// error stops the watch with that error. Nil OnError keeps the
+	// original behaviour: the first failed round ends the watch.
+	OnError func(round int, err error) error
 }
 
 // Watch loops Update→Check at an interval: the `faultyrank -online
@@ -488,15 +560,43 @@ func (t *Tracker) Watch(ctx context.Context, opt WatchOptions) error {
 			case <-ticker.C:
 			}
 		}
-		res, err := t.checkQuiesced(opt.Quiesce)
+		res, err := t.gatedCheck(ctx, opt)
 		if err != nil {
-			return err
+			if ctx.Err() != nil {
+				// The watch is being shut down; a round that died with it
+				// (cancelled gate wait, aborted check) is not a retryable
+				// round error.
+				return ctx.Err()
+			}
+			if opt.OnError == nil {
+				return err
+			}
+			if stop := opt.OnError(round, err); stop != nil {
+				return stop
+			}
+			continue
 		}
 		if opt.OnRound != nil {
 			opt.OnRound(round, res)
 		}
 	}
 	return nil
+}
+
+// gatedCheck runs one round under the watch's gate (when configured):
+// acquire a pool slot, check quiesced, release. A gate wait that dies
+// with the watch context ends the watch (the ctx check in the loop);
+// other gate errors flow through OnError like any round error.
+func (t *Tracker) gatedCheck(ctx context.Context, opt WatchOptions) (*CheckResult, error) {
+	if opt.Gate == nil {
+		return t.checkQuiesced(opt.Quiesce)
+	}
+	release, err := opt.Gate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return t.checkQuiesced(opt.Quiesce)
 }
 
 func (t *Tracker) checkQuiesced(lock sync.Locker) (*CheckResult, error) {

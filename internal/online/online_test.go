@@ -159,9 +159,9 @@ func TestUpdateCountsRefreshedInodes(t *testing.T) {
 	}
 	// Only the non-empty round is an update; the idle round before it
 	// refreshed nothing and must not count.
-	updates, rescanned := tr.Stats()
-	if updates != 1 || rescanned != int64(n) {
-		t.Errorf("stats: %d %d, want 1 %d", updates, rescanned, n)
+	st := tr.Stats()
+	if st.UpdateRounds != 1 || st.InodesRescanned != int64(n) {
+		t.Errorf("stats: %d %d, want 1 %d", st.UpdateRounds, st.InodesRescanned, n)
 	}
 }
 
@@ -175,8 +175,8 @@ func TestUntrackedDeleteAndNoOpAccounting(t *testing.T) {
 	if n, err := tr.Update(); err != nil || n != 0 {
 		t.Fatalf("idle update: %d, %v", n, err)
 	}
-	if u, _ := tr.Stats(); u != 0 {
-		t.Fatalf("idle round counted as an update: %d", u)
+	if st := tr.Stats(); st.UpdateRounds != 0 {
+		t.Fatalf("idle round counted as an update: %d", st.UpdateRounds)
 	}
 	if _, err := c.Create("/w/ephemeral", 64<<10); err != nil {
 		t.Fatal(err)
@@ -208,8 +208,8 @@ func TestUntrackedDeleteAndNoOpAccounting(t *testing.T) {
 	if n != expected {
 		t.Fatalf("refreshed %d, want %d (untracked deletes must not count)", n, expected)
 	}
-	if u, resc := tr.Stats(); u != 1 || resc != int64(expected) {
-		t.Fatalf("stats: %d %d, want 1 %d", u, resc, expected)
+	if st := tr.Stats(); st.UpdateRounds != 1 || st.InodesRescanned != int64(expected) {
+		t.Fatalf("stats: %d %d, want 1 %d", st.UpdateRounds, st.InodesRescanned, expected)
 	}
 	assertSnapshotMatchesFullScan(t, tr, c)
 }
@@ -266,8 +266,8 @@ func TestUpdateScanErrorAllOrNothing(t *testing.T) {
 	if got := len(failImg.DirtyInodes()); got != ostDirty {
 		t.Fatalf("failing server's feed consumed: %d dirty, want %d", got, ostDirty)
 	}
-	if u, resc := tr.Stats(); u != 1 || resc != int64(n) {
-		t.Fatalf("stats after failed round: %d %d, want 1 %d", u, resc, n)
+	if st := tr.Stats(); st.UpdateRounds != 1 || st.InodesRescanned != int64(n) {
+		t.Fatalf("stats after failed round: %d %d, want 1 %d", st.UpdateRounds, st.InodesRescanned, n)
 	}
 	// Heal the seam: the retry consumes the same feed and converges to
 	// the full-scan snapshot.
@@ -848,5 +848,215 @@ func TestWatchContextCancel(t *testing.T) {
 	cancel()
 	if err := tr.Watch(ctx, WatchOptions{Interval: time.Hour}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// trackingLock records Lock/Unlock pairing — the quiesce contract: the
+// watch takes the lock exactly once per round and never leaks a hold.
+type trackingLock struct {
+	mu     sync.Mutex
+	locks  int
+	held   bool
+	leaked bool
+}
+
+func (l *trackingLock) Lock() {
+	l.mu.Lock()
+	if l.held {
+		l.leaked = true
+	}
+	l.held = true
+	l.locks++
+}
+
+func (l *trackingLock) Unlock() {
+	if !l.held {
+		l.leaked = true
+	}
+	l.held = false
+	l.mu.Unlock()
+}
+
+// TestWatchQuiesceOncePerRound: each round holds the quiesce lock for
+// exactly one balanced Lock/Unlock, and the lock is free again while
+// OnRound observers run.
+func TestWatchQuiesceOncePerRound(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	lock := &trackingLock{}
+	err := tr.Watch(context.Background(), WatchOptions{
+		Interval: time.Millisecond,
+		Rounds:   3,
+		Quiesce:  lock,
+		OnRound: func(round int, res *CheckResult) {
+			if lock.held {
+				t.Errorf("round %d: quiesce still held in OnRound", round)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lock.locks != 3 || lock.held || lock.leaked {
+		t.Fatalf("quiesce lock: %d holds, held=%v leaked=%v", lock.locks, lock.held, lock.leaked)
+	}
+}
+
+// TestWatchGateBracketsEveryRound: the pool gate is acquired before and
+// released after each round — including failed rounds — and never held
+// across the inter-round sleep.
+func TestWatchGateBracketsEveryRound(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	tr.InjectScanFault(&inject.ScanFault{FailEvery: 1, MaxFailures: 1})
+	if _, err := c.Create("/w/gated", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	var acquires, releases int
+	var failed []int
+	err := tr.Watch(context.Background(), WatchOptions{
+		Interval: time.Millisecond,
+		Rounds:   3,
+		Gate: func(ctx context.Context) (func(), error) {
+			acquires++
+			return func() { releases++ }, nil
+		},
+		OnError: func(round int, err error) error {
+			failed = append(failed, round)
+			if !errors.Is(err, inject.ErrScanInjected) {
+				t.Errorf("round %d: unexpected error %v", round, err)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acquires != 3 || releases != 3 {
+		t.Fatalf("gate acquired %d, released %d (want 3/3)", acquires, releases)
+	}
+	if len(failed) != 1 || failed[0] != 1 {
+		t.Fatalf("failed rounds %v (want [1])", failed)
+	}
+}
+
+// TestWatchOnErrorRecovery: a failed round leaves the feed intact,
+// OnError elects to continue, and the very next round commits the
+// retried work.
+func TestWatchOnErrorRecovery(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	tr.InjectScanFault(&inject.ScanFault{FailEvery: 1, MaxFailures: 1})
+	if _, err := c.Create("/w/retry-me", 2*64<<10); err != nil {
+		t.Fatal(err)
+	}
+	var rounds []int
+	var recovered *CheckResult
+	err := tr.Watch(context.Background(), WatchOptions{
+		Interval: time.Millisecond,
+		Rounds:   2,
+		OnError:  func(round int, err error) error { return nil },
+		OnRound: func(round int, res *CheckResult) {
+			rounds = append(rounds, round)
+			recovered = res
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 1 || rounds[0] != 2 {
+		t.Fatalf("completed rounds %v (want [2]: round 1 failed)", rounds)
+	}
+	if recovered.InodesRefreshed == 0 {
+		t.Fatal("retried round committed nothing — the failed round lost the feed")
+	}
+	if st := tr.Stats(); st.Checks != 1 || st.InodesRescanned == 0 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	assertSnapshotMatchesFullScan(t, tr, c)
+}
+
+// TestWatchOnErrorStops: a non-nil return from OnError ends the watch
+// with exactly that error.
+func TestWatchOnErrorStops(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	tr.InjectScanFault(&inject.ScanFault{FailEvery: 1, MaxFailures: 1})
+	if _, err := c.Create("/w/fatal", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("escalated")
+	err := tr.Watch(context.Background(), WatchOptions{
+		Interval: time.Millisecond,
+		OnError:  func(round int, err error) error { return sentinel },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want the sentinel, got %v", err)
+	}
+}
+
+// TestWatchNilOnErrorFailsFast: without an OnError hook the first
+// failed round ends the watch with the round's error — the original
+// contract a daemon opts out of.
+func TestWatchNilOnErrorFailsFast(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	tr.InjectScanFault(&inject.ScanFault{FailEvery: 1, MaxFailures: 1})
+	if _, err := c.Create("/w/fatal", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.Watch(context.Background(), WatchOptions{Interval: time.Millisecond, Rounds: 3})
+	if !errors.Is(err, inject.ErrScanInjected) {
+		t.Fatalf("want the round error, got %v", err)
+	}
+}
+
+// TestWatchCancelDuringGateWait: a shutdown that lands while a round
+// waits for a pool slot reports the cancellation, not a round error —
+// and OnError is never invoked for it.
+func TestWatchCancelDuringGateWait(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	err := tr.Watch(ctx, WatchOptions{
+		Interval: time.Millisecond,
+		Gate: func(ctx context.Context) (func(), error) {
+			cancel() // shutdown arrives while queued for the pool
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+		OnError: func(round int, err error) error {
+			t.Errorf("OnError invoked for shutdown: %v", err)
+			return err
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestWatchCancelMidRun: cancellation delivered between rounds (from an
+// OnRound observer — mid-watch, not pre-loop) stops an unbounded watch
+// with ctx's error.
+func TestWatchCancelMidRun(t *testing.T) {
+	c := newCluster(t)
+	tr := newTracker(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rounds int
+	err := tr.Watch(ctx, WatchOptions{
+		Interval: time.Millisecond,
+		OnRound: func(round int, res *CheckResult) {
+			rounds = round
+			if round == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rounds != 2 {
+		t.Fatalf("watch ran %d rounds after mid-run cancel", rounds)
 	}
 }

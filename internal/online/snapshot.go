@@ -32,7 +32,8 @@ import (
 
 // TrackerCodecVersion identifies the binary layout of tracker
 // snapshots. Bump on any incompatible change.
-const TrackerCodecVersion = 1
+// v2 added the inodesDropped and rescans lifetime counters.
+const TrackerCodecVersion = 2
 
 var trackerMagic = [4]byte{'F', 'R', 'S', 'N'}
 
@@ -56,11 +57,15 @@ func errTracker(format string, args ...any) error {
 // trackerSnapshot is the decoded durable state, independent of any
 // image set — what the codec (and its fuzz target) round-trips.
 type trackerSnapshot struct {
-	delta                                        *agg.DeltaBuilder
-	haveWarm                                     bool
-	lastIters                                    int
-	checks, updates, inodesRescan, warmFallbacks int64
-	prevID, prevProp                             []float64
+	delta            *agg.DeltaBuilder
+	haveWarm         bool
+	lastIters        int
+	checks, updates  int64
+	inodesRescan     int64
+	inodesDropped    int64
+	warmFallbacks    int64
+	rescans          int64
+	prevID, prevProp []float64
 }
 
 func encodeTrackerSnapshot(s *trackerSnapshot) []byte {
@@ -80,7 +85,9 @@ func encodeTrackerSnapshot(s *trackerSnapshot) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.checks))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.updates))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.inodesRescan))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.inodesDropped))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.warmFallbacks))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.rescans))
 
 	if s.haveWarm {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.prevID)))
@@ -187,7 +194,9 @@ func decodeTrackerSnapshot(blob []byte) (*trackerSnapshot, error) {
 	s.checks = int64(d.u64())
 	s.updates = int64(d.u64())
 	s.inodesRescan = int64(d.u64())
+	s.inodesDropped = int64(d.u64())
 	s.warmFallbacks = int64(d.u64())
+	s.rescans = int64(d.u64())
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -226,7 +235,9 @@ func (t *Tracker) EncodeSnapshot() []byte {
 		checks:        t.checks,
 		updates:       t.updates,
 		inodesRescan:  t.inodesRescan,
+		inodesDropped: t.inodesDropped,
 		warmFallbacks: t.warmFallbacks,
+		rescans:       t.rescans,
 		prevID:        t.prevID,
 		prevProp:      t.prevProp,
 	})
@@ -272,8 +283,10 @@ func RestoreTracker(blob []byte, images []*ldiskfs.Image, opt checker.Options) (
 		lastIters:     s.lastIters,
 		updates:       s.updates,
 		inodesRescan:  s.inodesRescan,
+		inodesDropped: s.inodesDropped,
 		checks:        s.checks,
 		warmFallbacks: s.warmFallbacks,
+		rescans:       s.rescans,
 	}
 	for _, img := range images {
 		t.servers = append(t.servers, newServerState(img))

@@ -1,9 +1,12 @@
 package telemetry
 
 import (
+	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // PromContentType is the versioned Content-Type the /metrics endpoint
@@ -29,16 +32,50 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
-// Serve starts the metrics endpoint on addr (":9090", "127.0.0.1:0",
-// …) and returns the bound address plus a stop function. The server
-// runs until stop is called; a CLI typically defers stop and lets the
-// endpoint live exactly as long as the run it observes.
-func Serve(addr string, r *Registry) (boundAddr string, stop func() error, err error) {
+// ServeHandler starts an HTTP server for h on addr (":9090",
+// "127.0.0.1:0", …) and returns the bound address plus a graceful stop:
+// calling stop drains in-flight requests via http.Server.Shutdown until
+// its context expires, then force-closes whatever remains. It is the
+// shared server lifecycle of the -metrics-addr endpoint and the
+// fleet-health daemon — a scrape in progress when the process receives
+// its shutdown signal completes instead of seeing a reset connection.
+func ServeHandler(addr string, h http.Handler) (boundAddr string, stop func(context.Context) error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	return ln.Addr().String(), func(ctx context.Context) error {
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain window expired (or ctx was already cancelled): cut
+			// the stragglers so stop never leaks the listener.
+			_ = srv.Close()
+			if !errors.Is(err, http.ErrServerClosed) {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// ServeStopTimeout bounds how long Serve's stop function waits for
+// in-flight scrapes before force-closing.
+const ServeStopTimeout = 5 * time.Second
+
+// Serve starts the metrics endpoint on addr and returns the bound
+// address plus a stop function. The server runs until stop is called; a
+// CLI typically defers stop and lets the endpoint live exactly as long
+// as the run it observes. Stop shuts down gracefully (bounded by
+// ServeStopTimeout), so a scrape racing process exit completes.
+func Serve(addr string, r *Registry) (boundAddr string, stop func() error, err error) {
+	bound, stopCtx, err := ServeHandler(addr, Handler(r))
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), ServeStopTimeout)
+		defer cancel()
+		return stopCtx(ctx)
+	}, nil
 }

@@ -15,43 +15,102 @@ import (
 // and instrument names are sanitized to the Prometheus charset; the
 // snapshot's sorted order makes the output deterministic.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	return writeSnapshot(w, s, "", make(map[string]bool))
+}
+
+// LabeledSnapshot pairs one registry snapshot with the label value it
+// is exposed under — one entry per cluster in a multi-cluster gather.
+type LabeledSnapshot struct {
+	Label    string
+	Snapshot Snapshot
+}
+
+// WritePrometheusLabeled renders many snapshots into one exposition,
+// tagging every series of each snapshot with key="label" — the
+// fleet-health daemon's sustained per-cluster exposition. Each metric's
+// TYPE line is emitted once (before its first series) even when the
+// metric recurs across snapshots, as the exposition format requires;
+// series order follows the given snapshot order, so a sorted input
+// renders deterministically.
+func WritePrometheusLabeled(w io.Writer, key string, snaps []LabeledSnapshot) error {
+	typeSeen := make(map[string]bool)
+	for _, ls := range snaps {
+		extra := ""
+		if key != "" && ls.Label != "" {
+			extra = fmt.Sprintf("%s=%q", promName(key), ls.Label)
+		}
+		if err := writeSnapshot(w, ls.Snapshot, extra, typeSeen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSnapshot renders one snapshot, prefixing every series' label set
+// with extra (a pre-rendered `key="value"` pair, empty for none) and
+// emitting each metric's TYPE line only on first sight across the whole
+// exposition (typeSeen is shared by multi-snapshot writers).
+func writeSnapshot(w io.Writer, s Snapshot, extra string, typeSeen map[string]bool) error {
+	typeLine := func(name, kind string) string {
+		if typeSeen[name] {
+			return ""
+		}
+		typeSeen[name] = true
+		return fmt.Sprintf("# TYPE %s %s\n", name, kind)
+	}
+	series := func(name string, pairs ...string) string {
+		var kept []string
+		if extra != "" {
+			kept = append(kept, extra)
+		}
+		for _, p := range pairs {
+			if p != "" {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return name
+		}
+		return name + "{" + strings.Join(kept, ",") + "}"
+	}
 	for _, c := range s.Counters {
 		name := promName(c.Name)
 		if !strings.HasSuffix(name, "_total") {
 			name += "_total"
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", typeLine(name, "counter"), series(name), c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		name := promName(g.Name)
-		series := name
+		pair := ""
 		if g.Label != "" {
-			series = fmt.Sprintf("%s{server=%q}", name, g.Label)
+			pair = fmt.Sprintf("server=%q", g.Label)
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, series, g.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", typeLine(name, "gauge"), series(name, pair), g.Value); err != nil {
 			return err
 		}
 	}
 	for _, h := range s.Histograms {
 		name := promName(h.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if _, err := io.WriteString(w, typeLine(name, "histogram")); err != nil {
 			return err
 		}
 		var cum int64
 		for i, ub := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				series(name+"_bucket", fmt.Sprintf("le=%q", formatBound(ub))), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.Counts[len(h.Bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(name+"_bucket", `le="+Inf"`), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-			name, formatBound(h.Sum), name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			series(name+"_sum"), formatBound(h.Sum), series(name+"_count"), h.Count); err != nil {
 			return err
 		}
 	}
