@@ -408,6 +408,36 @@ func BenchmarkIngestionTelemetry(b *testing.B) {
 	})
 }
 
+// BenchmarkIngestionJournal extends the telemetry overhead guard to the
+// flight recorder: the registry-instrumented ingest with a journal
+// attached (sampled scanner chunk events, aggregator merge milestones)
+// against the registry-only arm. The journaled arm must stay within the
+// same ≤2% budget documented in DESIGN.md §7 — the hot-path chunk event
+// carries no attributes and is sampled, so the common case costs one
+// atomic add and a branch.
+func BenchmarkIngestionJournal(b *testing.B) {
+	c := table6Cluster(b, 8000)
+	images := checker.ClusterImages(c)
+	b.Run("registry", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.MeasureIngestObserved(images, 0, 0, reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("journaled", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		j := telemetry.NewJournal(0)
+		j.SetServer("bench")
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.MeasureIngestJournaled(images, 0, 0, reg, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- substrate micro-benchmarks ---------------------------------------------
 
 func BenchmarkScannerMDT(b *testing.B) {

@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -76,6 +77,7 @@ func realMain() int {
 		watch     = flag.Duration("watch", 0, "with -online: loop update→check at this interval, printing per-round deltas")
 		watchN    = flag.Int("watch-rounds", 0, "with -online -watch: stop after this many rounds (0 = until interrupted)")
 		stateDir  = flag.String("state", "", "with -online: durable tracker state directory — resume from its snapshot when present, save after every check")
+		journalD  = flag.String("journal", "", "write the run's flight-recorder journal (journal.frjr) into this directory; render it with frtrace")
 	)
 	flag.Parse()
 
@@ -109,6 +111,30 @@ func realMain() int {
 	opt.Core.Threshold = *threshold
 	opt.Core.UnpairedWeight = *weight
 
+	// The flight recorder: every run journals into jr via opt.Journal;
+	// dump writes the collected sections (coordinator lane plus whatever
+	// per-server sections the run shipped home) next to nothing else —
+	// the file frtrace renders into a timeline.
+	var jr *telemetry.Journal
+	dump := func([]telemetry.JournalSnapshot) {}
+	if *journalD != "" {
+		jr = telemetry.NewJournal(0)
+		jr.SetServer("coordinator")
+		opt.Journal = jr
+		path := filepath.Join(*journalD, "journal.frjr")
+		dump = func(sections []telemetry.JournalSnapshot) {
+			if err := os.MkdirAll(*journalD, 0o755); err != nil {
+				log.Printf("journal: %v", err)
+				return
+			}
+			if err := telemetry.WriteJournalFile(path, sections); err != nil {
+				log.Printf("journal: %v", err)
+				return
+			}
+			log.Printf("journal written to %s (render with frtrace)", path)
+		}
+	}
+
 	if *metrics != "" {
 		reg := telemetry.NewRegistry()
 		opt.Metrics = reg
@@ -130,12 +156,23 @@ func realMain() int {
 	}
 
 	if *useOnline {
-		return runOnline(images, opt, *stateDir, *watch, *watchN, *verbose, *manifest, *clusterMf)
+		return runOnline(images, opt, *stateDir, *watch, *watchN, *verbose, *manifest, *clusterMf, jr, dump)
 	}
 
 	res, err := checker.Run(images, opt)
 	if err != nil {
+		// The run died before producing a result; the coordinator-lane
+		// journal still records how far it got and what failed.
+		if jr != nil {
+			dump([]telemetry.JournalSnapshot{jr.Snapshot()})
+		}
 		return fail(err)
+	}
+	if jr != nil {
+		if res.Coverage.Degraded() {
+			log.Printf("degraded completion (missing: %v) — the journal records the failure sequence", res.Coverage.Missing)
+		}
+		dump(res.Journal)
 	}
 	if err := res.WriteReport(os.Stdout, *verbose); err != nil {
 		return fail(err)
@@ -193,7 +230,7 @@ func realMain() int {
 // (falling back to a fresh tracker on a missing file or a snapshot from
 // an incompatible build) and saves after every check. Returns exit code
 // 1 when the (last) check surfaced findings.
-func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string) int {
+func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, interval time.Duration, rounds int, verbose bool, manifest, clusterMf string, jr *telemetry.Journal, dump func([]telemetry.JournalSnapshot)) int {
 	var tr *online.Tracker
 	var err error
 	switch {
@@ -242,7 +279,13 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, in
 	if interval == 0 && rounds == 0 {
 		res, err := tr.Check()
 		if err != nil {
+			if jr != nil {
+				dump([]telemetry.JournalSnapshot{jr.Snapshot()})
+			}
 			return fail(err)
+		}
+		if jr != nil {
+			dump(res.Journal)
 		}
 		if err := saveState(); err != nil {
 			return fail(err)
@@ -277,9 +320,14 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, in
 			if !res.Warm {
 				start = "cold"
 			}
-			fmt.Printf("round %d: refreshed %d inode(s), findings %d (%+d), %d iteration(s) %s-start, update %.4fs graph %.4fs rank %.4fs\n",
+			frontier := ""
+			if fs := res.Rank.Frontier; fs != nil {
+				frontier = fmt.Sprintf(", frontier %d seed(s) %d touched %d full-sweep(s)",
+					fs.Seeds, fs.Touched, fs.FullSweeps)
+			}
+			fmt.Printf("round %d: refreshed %d inode(s), findings %d (%+d), %d iteration(s) %s-start%s, update %.4fs graph %.4fs rank %.4fs\n",
 				round, res.InodesRefreshed, len(res.Findings), len(res.Findings)-prevFindings,
-				res.Rank.Iterations, start,
+				res.Rank.Iterations, start, frontier,
 				res.TUpdate.Seconds(), res.TGraph.Seconds(), res.TRank.Seconds())
 			for _, rr := range res.PerServer {
 				fmt.Printf("  %s: %d refreshed, %d dropped\n", rr.Server, rr.Refreshed, rr.Dropped)
@@ -297,7 +345,15 @@ func runOnline(images []*ldiskfs.Image, opt checker.Options, stateDir string, in
 		return fail(roundErr)
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
+		// A failed round ended the watch: dump what the flight recorder
+		// saw up to and including the failure.
+		if jr != nil {
+			dump([]telemetry.JournalSnapshot{jr.Snapshot()})
+		}
 		return fail(err)
+	}
+	if jr != nil && last != nil {
+		dump(last.Journal)
 	}
 	if last != nil {
 		if err := writeManifests(last); err != nil {

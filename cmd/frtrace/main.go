@@ -1,0 +1,64 @@
+// Command frtrace renders FaultyRank flight-recorder journals (FRJR
+// files, written by `faultyrank -journal`, a degraded checker run, or
+// frhealthd's failed-round dump) as a wall-clock timeline: one lane per
+// server, events merged by absolute time across every file given, hot
+// rows (retries, stalls, stream errors, degraded transitions) marked,
+// and the culpable server named from the accumulated evidence.
+//
+//	frtrace run/journal.frjr               # human-readable timeline
+//	frtrace -json run/journal.frjr         # frtrace/timeline/v1 JSON
+//	frtrace coord.frjr ost1.frjr ost2.frjr # merge several dumps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"faultyrank/internal/telemetry"
+	"faultyrank/internal/trace"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	log.SetFlags(0)
+	log.SetPrefix("frtrace: ")
+	jsonOut := flag.Bool("json", false, "emit the timeline as JSON (schema frtrace/timeline/v1)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: frtrace [-json] journal.frjr [journal2.frjr ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	var sections []telemetry.JournalSnapshot
+	for _, path := range flag.Args() {
+		ss, err := telemetry.ReadJournalFile(path)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		sections = append(sections, ss...)
+	}
+
+	tl := trace.Build(sections)
+	var err error
+	if *jsonOut {
+		err = tl.WriteJSON(os.Stdout)
+	} else {
+		err = tl.WriteText(os.Stdout)
+	}
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}

@@ -104,6 +104,7 @@ func MergeWorkersObserved(parts []*scanner.Partial, workers int, m *Metrics) *Un
 	n := len(u.FIDs)
 	if m != nil {
 		m.InternedFIDs.Set(int64(n))
+		m.Journal.Record("agg", "interned", "fids", fmt.Sprintf("%d", n))
 	}
 	u.Present = make([]bool, n)
 	u.Types = make([]ldiskfs.FileType, n) // zero value is TypeFree
@@ -171,6 +172,12 @@ func MergeWorkersObserved(parts []*scanner.Partial, workers int, m *Metrics) *Un
 				u.Edges[off+k] = graph.Edge{Src: src, Dst: dst, Kind: e.Kind}
 			}
 		})
+	}
+	if m != nil {
+		m.Journal.Record("agg", "merge-done",
+			"servers", fmt.Sprintf("%d", len(parts)),
+			"vertices", fmt.Sprintf("%d", n),
+			"edges", fmt.Sprintf("%d", nEdge))
 	}
 	return u
 }

@@ -28,6 +28,10 @@ type Metrics struct {
 	// InternedFIDs is the interner's final size — the unified graph's
 	// vertex count, phantoms included.
 	InternedFIDs *telemetry.Gauge
+
+	// Journal, when set, receives merge-milestone events (not resolved
+	// from a registry; the run-journal owner assigns it). Nil-tolerant.
+	Journal *telemetry.Journal
 }
 
 // NewMetrics resolves the aggregator instruments from reg (nil reg →

@@ -92,6 +92,20 @@ func MeasureIngest(images []*ldiskfs.Image, workers, chunkSize int) (IngestRow, 
 // instrumented arm of the telemetry overhead benchmark (reg == nil is
 // the uninstrumented arm — nil instruments, one branch per event).
 func MeasureIngestObserved(images []*ldiskfs.Image, workers, chunkSize int, reg *telemetry.Registry) (IngestRow, error) {
+	return MeasureIngestJournaled(images, workers, chunkSize, reg, nil)
+}
+
+// ingestJournalEvery mirrors the checker's chunk-event sampling stride
+// so the benchmark measures the deployed configuration.
+const ingestJournalEvery = 64
+
+// MeasureIngestJournaled is the flight-recorder arm of the overhead
+// benchmark: the instrumented ingest with a journal attached to the
+// scanner's sampled chunk events and the aggregator's merge milestones.
+// A nil j leaves the run journal-free (exactly MeasureIngestObserved);
+// a non-nil j needs reg, since the journal rides on the registry-backed
+// instruments.
+func MeasureIngestJournaled(images []*ldiskfs.Image, workers, chunkSize int, reg *telemetry.Registry, j *telemetry.Journal) (IngestRow, error) {
 	row := IngestRow{Workers: workers}
 	labels := make([]string, len(images))
 	for i, img := range images {
@@ -101,7 +115,10 @@ func MeasureIngestObserved(images []*ldiskfs.Image, workers, chunkSize int, reg 
 	var ins *scanner.Instr
 	if reg != nil {
 		ins = scanner.NewInstr(reg)
-		builder.Observe(agg.NewMetrics(reg))
+		ins.AttachJournal(j, ingestJournalEvery)
+		m := agg.NewMetrics(reg)
+		m.Journal = j
+		builder.Observe(m)
 	}
 
 	t0 := time.Now()

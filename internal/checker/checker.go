@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -106,6 +107,15 @@ type Options struct {
 	// per-run views (NetStats, ScanStats) are computed as counter
 	// deltas, so sharing stays correct.
 	Metrics *telemetry.Registry
+
+	// Journal is the coordinator-lane flight recorder the run's typed
+	// events land in (dial retries, stream errors, degraded transitions,
+	// merge milestones, rank progress). Nil means a private per-run
+	// journal — Result.Journal is populated either way. Pass a shared
+	// journal to accumulate events across repeated runs (the online
+	// tracker does); its events then carry every round, and per-run
+	// Result.Journal snapshots grow with it until the ring wraps.
+	Journal *telemetry.Journal
 }
 
 // Coverage reports which servers' partial graphs made it into the
@@ -259,6 +269,12 @@ type Result struct {
 	// totals, and the straggler analysis. Nil for Analyze-only results
 	// (no scan stage ran).
 	Cluster *ClusterManifest
+	// Journal is the run's flight record: the coordinator's event
+	// section first, then one section per server whose journal arrived
+	// (as a wire trailer on the TCP path, directly in process). Encode
+	// with telemetry.EncodeJournal / WriteJournalFile and render with
+	// cmd/frtrace.
+	Journal []telemetry.JournalSnapshot
 
 	// RankExec describes the partitioned rank execution — partition
 	// shapes, per-superstep exchange stats, degraded fallback — and is
@@ -324,8 +340,14 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 		opt.Retry = wire.DefaultRetryPolicy()
 	}
 	res := &Result{Coverage: Coverage{Total: len(images)}}
-	obs := newRunObs(opt.Metrics)
+	obs := newRunObs(opt.Metrics, opt.Journal)
 	ctx, root := telemetry.StartSpan(ctx, "run")
+	transport := "in-process"
+	if opt.UseTCP {
+		transport = "tcp"
+	}
+	obs.journal.Record("checker", "run",
+		"servers", fmt.Sprintf("%d", len(images)), "transport", transport)
 
 	labels := make([]string, len(images))
 	for i, img := range images {
@@ -359,6 +381,10 @@ func RunContext(ctx context.Context, images []*ldiskfs.Image, opt Options) (*Res
 		var missing []string
 		res.Unified, missing, err = builder.FinishCompleted(opt.Workers)
 		res.Coverage.Missing = missing
+		if len(missing) > 0 {
+			obs.journal.Record("checker", "degraded",
+				"missing", strings.Join(missing, ","))
+		}
 	} else {
 		res.Unified, err = builder.Finish(opt.Workers)
 	}
@@ -387,7 +413,7 @@ func Analyze(res *Result, images []*ldiskfs.Image, parts []*scanner.Partial, opt
 	if opt.Core.MaxIterations == 0 {
 		opt.Core = core.DefaultOptions()
 	}
-	obs := newRunObs(opt.Metrics)
+	obs := newRunObs(opt.Metrics, opt.Journal)
 	ctx, root := telemetry.StartSpan(context.Background(), "analyze")
 	// ---- Stage 2: aggregate + CSR build (T_graph) --------------------
 	t1 := time.Now()
@@ -415,7 +441,7 @@ func AnalyzeUnified(res *Result, images []*ldiskfs.Image, u *agg.Unified, opt Op
 	if opt.Core.MaxIterations == 0 {
 		opt.Core = core.DefaultOptions()
 	}
-	obs := newRunObs(opt.Metrics)
+	obs := newRunObs(opt.Metrics, opt.Journal)
 	ctx, root := telemetry.StartSpan(context.Background(), "analyze")
 	t1 := time.Now()
 	aggCtx, aggSpan := telemetry.StartSpan(ctx, "aggregate")
@@ -494,6 +520,10 @@ func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.
 			label := img.Label()
 			srvReg := telemetry.NewRegistry()
 			srvIns := scanner.NewInstr(srvReg)
+			srvJournal := telemetry.NewJournal(0)
+			srvJournal.SetServer(label)
+			srvIns.AttachJournal(srvJournal, chunkEventEvery)
+			srvJournal.Record("scanner", "scan-start")
 			_, sp := telemetry.StartSpan(ctx, "scan:"+label)
 			defer sp.End()
 			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan, srvIns)
@@ -501,7 +531,12 @@ func streamInProcess(ctx context.Context, images []*ldiskfs.Image, sink scanner.
 				sp.End()
 				node := sp.Node()
 				ships[i] = &wire.Telemetry{Server: label, Snapshot: srvReg.Snapshot().Labeled(label), Span: &node}
+				srvJournal.Record("scanner", "scan-done")
+			} else {
+				obs.journal.Record("checker", "scan-failed",
+					"server", label, "err", errs[i].Error())
 			}
+			obs.addJournal(srvJournal.Snapshot())
 		}(i, img)
 	}
 	wg.Wait()
@@ -543,6 +578,7 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 		defer cancel()
 	}
 	errs := make([]error, len(images))
+	srvJournals := make([]*telemetry.Journal, len(images))
 	var wg sync.WaitGroup
 	for i, img := range images {
 		wg.Add(1)
@@ -552,19 +588,35 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 			srvReg := telemetry.NewRegistry()
 			srvIns := scanner.NewInstr(srvReg)
 			srvWire := wire.NewMetrics(srvReg)
+			srvJournal := telemetry.NewJournal(0)
+			srvJournal.SetServer(label)
+			srvJournals[i] = srvJournal
+			srvIns.AttachJournal(srvJournal, chunkEventEvery)
 			_, sp := telemetry.StartSpan(ctx, "scan:"+label)
 			defer sp.End()
 			fault := opt.NetFaults[label]
 			if fault != nil && fault.PreConnect() {
 				errs[i] = fmt.Errorf("%w before connect (%s)", inject.ErrScannerCrash, label)
+				obs.journal.Record("checker", "scan-failed",
+					"server", label, "err", errs[i].Error())
 				return
 			}
 			cs, err := wire.DialChunkStreamObserved(ctx, addr, opt.Retry, opt.OpTimeout, obs.wireM, srvWire)
 			if err != nil {
 				errs[i] = err
+				obs.journal.Record("checker", "scan-failed",
+					"server", label, "err", err.Error())
 				return
 			}
 			defer cs.Close()
+			if n := cs.DialRetries(); n > 0 {
+				obs.journal.Record("wire", "dial-retry",
+					"server", label, "retries", fmt.Sprintf("%d", n))
+			}
+			// The per-server journal rides home as a trailer frame right
+			// behind the telemetry snapshot (wire.MsgJournal).
+			cs.SetJournal(srvJournal)
+			srvJournal.Record("scanner", "scan-start")
 			// The trailer source runs right after the final chunk frame is
 			// written — the server's instruments are final at that moment.
 			cs.SetTelemetrySource(func() *wire.Telemetry {
@@ -578,10 +630,15 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 			}
 			errs[i] = scanner.ScanImageToSinkInstr(ctx, img, opt.Workers, opt.ChunkSize, sink, obs.scan, srvIns)
 			if errs[i] != nil {
-				// Best-effort partial telemetry for the failure path; the
-				// connection is usually gone, and that is fine — the server
-				// then shows up as a missing-telemetry entry.
+				obs.journal.Record("checker", "scan-failed",
+					"server", label, "err", errs[i].Error())
+				// Best-effort partial telemetry and journal for the failure
+				// path; the connection is usually gone, and that is fine —
+				// the server then shows up as a missing-telemetry entry.
 				_ = cs.SendTelemetry(nil)
+				_ = cs.SendJournal()
+			} else {
+				srvJournal.Record("scanner", "scan-done")
 			}
 		}(i, img)
 	}
@@ -601,6 +658,20 @@ func streamOverTCP(ctx context.Context, images []*ldiskfs.Image, builder *agg.Bu
 	}()
 	colRes, collectErr := col.CollectChunksContext(ctx, len(images), opt.AllowDegraded, builder.Emit)
 	wg.Wait()
+	// Per-server flight-recorder sections: prefer the wire-shipped
+	// trailer (what actually crossed the network), and fall back to the
+	// sender-side journal for servers whose trailer never arrived — a
+	// crashed stream's event trail is the evidence frtrace renders.
+	collected := make(map[string]bool, len(colRes.Journals))
+	for _, js := range colRes.Journals {
+		obs.addJournal(js)
+		collected[js.Server] = true
+	}
+	for i, j := range srvJournals {
+		if j != nil && !collected[images[i].Label()] {
+			obs.addJournal(j.Snapshot())
+		}
+	}
 	// NetStats is a per-run view over the registry-backed wire counters;
 	// the error descriptions still come from the collector, which is the
 	// only place that knows why a stream died.

@@ -1,11 +1,20 @@
 package checker
 
 import (
+	"sort"
+	"sync"
+
 	"faultyrank/internal/agg"
 	"faultyrank/internal/scanner"
 	"faultyrank/internal/telemetry"
 	"faultyrank/internal/wire"
 )
+
+// chunkEventEvery is the scanner chunk-lifecycle sampling stride: one
+// journal event per this many released chunks keeps the flight recorder
+// legible (and the hot path within the ingest overhead budget) while
+// still timestamping the stream's progress.
+const chunkEventEvery = 64
 
 // ScanStats aggregates the scanner-side telemetry counters of one run —
 // what the sweep actually touched, as opposed to what survived into the
@@ -39,11 +48,23 @@ type runObs struct {
 	rankSupersteps *telemetry.Counter
 	rankBytes      *telemetry.Counter
 	rankParts      *telemetry.Gauge
+
+	// journal is the run's coordinator-lane flight recorder (the caller's
+	// Options.Journal, or a private one — always non-nil so event sites
+	// need no guards). srvJournals collects the per-server sections that
+	// arrive as wire trailers or from in-process scanners.
+	journal     *telemetry.Journal
+	jmu         sync.Mutex
+	srvJournals []telemetry.JournalSnapshot
 }
 
-func newRunObs(reg *telemetry.Registry) *runObs {
+func newRunObs(reg *telemetry.Registry, j *telemetry.Journal) *runObs {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
+	}
+	if j == nil {
+		j = telemetry.NewJournal(0)
+		j.SetServer("coordinator")
 	}
 	o := &runObs{
 		reg:   reg,
@@ -55,7 +76,12 @@ func newRunObs(reg *telemetry.Registry) *runObs {
 		rankSupersteps: reg.Counter("rank_supersteps_total"),
 		rankBytes:      reg.Counter("rank_exchange_bytes_total"),
 		rankParts:      reg.Gauge("rank_partitions"),
+
+		journal: j,
 	}
+	o.wireM.Journal = j
+	o.aggM.Journal = j
+	o.scan.AttachJournal(j, chunkEventEvery)
 	for _, c := range []*telemetry.Counter{
 		o.scan.InodesScanned, o.scan.DirentsRead, o.scan.EdgesEmitted,
 		o.scan.ParseIssues, o.scan.ChunksReleased,
@@ -69,6 +95,32 @@ func newRunObs(reg *telemetry.Registry) *runObs {
 
 // delta returns how much c grew since this run started.
 func (o *runObs) delta(c *telemetry.Counter) int64 { return c.Value() - o.base[c] }
+
+// addJournal files one server's flight-recorder section (thread-safe;
+// scanners finish concurrently). Unlabeled or empty sections are
+// dropped — an empty lane renders as noise.
+func (o *runObs) addJournal(s telemetry.JournalSnapshot) {
+	if s.Server == "" || len(s.Events) == 0 {
+		return
+	}
+	o.jmu.Lock()
+	o.srvJournals = append(o.srvJournals, s)
+	o.jmu.Unlock()
+}
+
+// journals returns the run's complete flight record: the coordinator
+// section first, then the per-server sections in canonical label order.
+func (o *runObs) journals() []telemetry.JournalSnapshot {
+	o.jmu.Lock()
+	defer o.jmu.Unlock()
+	out := make([]telemetry.JournalSnapshot, 0, 1+len(o.srvJournals))
+	out = append(out, o.journal.Snapshot())
+	out = append(out, o.srvJournals...)
+	sort.SliceStable(out[1:], func(i, j int) bool {
+		return out[1+i].Server < out[1+j].Server
+	})
+	return out
+}
 
 // scanStats snapshots the scanner counters as per-run deltas.
 func (o *runObs) scanStats() ScanStats {
@@ -98,4 +150,5 @@ func (o *runObs) finish(res *Result, root *telemetry.Span) {
 	res.Phases = &node
 	res.Scan = o.scanStats()
 	res.Metrics = o.reg.Snapshot()
+	res.Journal = o.journals()
 }

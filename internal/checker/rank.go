@@ -56,14 +56,25 @@ type RankManifest struct {
 func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 	k := opt.RankWorkers
 	if k <= 1 {
+		opt.Core.OnIteration = journalIterations(obs, "iteration", opt.Core.OnIteration)
 		if opt.RankIncremental {
 			res.Rank = core.RunIncremental(res.Graph, opt.Core, opt.RankFrontier)
 		} else {
 			res.Rank = core.Run(res.Graph, opt.Core)
 		}
+		if fs := res.Rank.Frontier; fs != nil {
+			obs.journal.Record("rank", "frontier",
+				"seeds", fmt.Sprintf("%d", fs.Seeds),
+				"touched", fmt.Sprintf("%d", fs.Touched),
+				"full_sweeps", fmt.Sprintf("%d", fs.FullSweeps))
+			if fs.Saturated {
+				obs.journal.Record("rank", "frontier-saturated")
+			}
+		}
 		return nil
 	}
 
+	opt.Core.OnIteration = journalIterations(obs, "superstep", opt.Core.OnIteration)
 	_, partSpan := telemetry.StartSpan(ctx, "partition")
 	owners := res.Unified.PartitionOwners(k)
 	plan := graph.PartitionPlan(res.Graph, owners, k, opt.Workers)
@@ -94,6 +105,12 @@ func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 		man.DownBytes = rep.DownBytes
 		man.Parts = rep.Partitions
 		man.Steps = rep.Supersteps
+		for _, p := range rep.Partitions {
+			obs.journal.Record("rank", "partition",
+				"id", fmt.Sprintf("%d", p.Part),
+				"locals", fmt.Sprintf("%d", p.Locals),
+				"ghosts", fmt.Sprintf("%d", p.Ghosts))
+		}
 	}
 	if err != nil {
 		if !opt.AllowDegraded {
@@ -103,6 +120,7 @@ func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 		// worker costs no data — the coordinator holds the whole unified
 		// graph — so the run falls back to the single-process kernel and
 		// the manifest names what died.
+		obs.journal.Record("rank", "rank-degraded", "err", err.Error())
 		man.Fallback = fmt.Sprintf("%v; re-ranked on the single-process kernel", err)
 		rank = core.Run(res.Graph, opt.Core)
 	}
@@ -115,6 +133,20 @@ func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 		res.Cluster.Rank = man
 	}
 	return nil
+}
+
+// journalIterations chains a rank-progress journal event (kind
+// "iteration" for the single-process kernel, "superstep" for the
+// coordinated exchange) onto any caller-provided OnIteration hook.
+func journalIterations(obs *runObs, kind string, prev func(int, float64)) func(int, float64) {
+	return func(iter int, maxDelta float64) {
+		obs.journal.Record("rank", kind,
+			"iter", fmt.Sprintf("%d", iter),
+			"max_delta", fmt.Sprintf("%.4g", maxDelta))
+		if prev != nil {
+			prev(iter, maxDelta)
+		}
+	}
 }
 
 // partOptions divides the run's worker budget across partitions

@@ -347,6 +347,9 @@ func RunIncremental(b *graph.Bidirected, opt Options, dirty []uint32) *Result {
 			})
 		}
 		res.Iterations = iter + 1
+		if opt.OnIteration != nil {
+			opt.OnIteration(res.Iterations, diff)
+		}
 		if diff < opt.Epsilon {
 			if fullA && fullB {
 				// This iteration WAS a cold iteration over the whole

@@ -128,6 +128,14 @@ type Options struct {
 	// costs more than it skips. <=0 uses DefaultFrontierSaturation;
 	// >=1 never saturates.
 	FrontierSaturation float64
+
+	// OnIteration, when set, is called once per completed iteration (or
+	// coordinated superstep) with the 1-based iteration number and the
+	// convergence diff on the unsmoothed Epsilon scale. It is the
+	// observability hook the checker's flight recorder uses to journal
+	// rank progress without coupling the kernel to the telemetry
+	// package. It runs on the iterating goroutine — keep it cheap.
+	OnIteration func(iter int, maxDelta float64)
 }
 
 // DefaultFrontierSlack is the propagation-bound fraction of Epsilon used

@@ -185,6 +185,9 @@ func Run(b *graph.Bidirected, opt Options) *Result {
 		res.IDRank, newID = newID, res.IDRank
 		res.PropRank, newProp = newProp, res.PropRank
 		res.Iterations = iter + 1
+		if opt.OnIteration != nil {
+			opt.OnIteration(res.Iterations, diff)
+		}
 		if diff < opt.Epsilon {
 			res.Converged = true
 			break

@@ -655,6 +655,9 @@ func Coordinate(plan *graph.Plan, links []Link, opt Options) (*Result, *Exchange
 			})
 			rep.UpBytes += stepUp
 			rep.DownBytes += stepDown
+			if opt.OnIteration != nil {
+				opt.OnIteration(res.Iterations, diff)
+			}
 			if converged {
 				res.Converged = true
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -36,6 +37,31 @@ type DaemonOptions struct {
 	// Logf, when non-nil, receives one line per completed or failed
 	// round (the daemon's operational log).
 	Logf func(format string, args ...any)
+	// StaleAfter is how long a cluster may go without settling a round
+	// before its status reads "stale" instead of whatever its last
+	// findings said (<= 0 = ten intervals, floor defaultStaleAfter). A
+	// wedged tracker stops completing rounds but keeps its old counts;
+	// without an age check it would look healthy forever.
+	StaleAfter time.Duration
+}
+
+// defaultStaleAfter floors the staleness window so short watch
+// intervals do not flap a busy cluster to "stale" between rounds.
+const defaultStaleAfter = 30 * time.Second
+
+// staleAfter resolves the effective staleness window.
+func (d *Daemon) staleAfter() time.Duration {
+	if d.opt.StaleAfter > 0 {
+		return d.opt.StaleAfter
+	}
+	iv := d.opt.Interval
+	if iv <= 0 {
+		iv = time.Second
+	}
+	if w := 10 * iv; w > defaultStaleAfter {
+		return w
+	}
+	return defaultStaleAfter
 }
 
 // Daemon hosts one online.Tracker per cluster, runs their watch loops
@@ -75,14 +101,22 @@ type member struct {
 	mRescan   *telemetry.Gauge   // health_tracker_inodes_rescanned
 	mScrubs   *telemetry.Gauge   // health_tracker_rescans
 
-	mu        sync.RWMutex
-	completed int
-	failures  int
-	lastErr   string
-	findings  []GradedFinding
-	counts    SeverityCounts
-	history   []RoundSummary
-	lastRes   *online.CheckResult
+	// journal is the cluster's flight recorder: the tracker's checker
+	// and online events land here (Options.Journal), joined by the
+	// daemon's round outcomes and grading decisions. Served on the
+	// journal API endpoint and dumped to the state dir when a round
+	// fails.
+	journal *telemetry.Journal
+
+	mu          sync.RWMutex
+	completed   int
+	failures    int
+	lastErr     string
+	findings    []GradedFinding
+	counts      SeverityCounts
+	history     []RoundSummary
+	lastRes     *online.CheckResult
+	lastSettled time.Time
 }
 
 // ClusterSpec describes one cluster to track.
@@ -186,6 +220,9 @@ func (d *Daemon) AddCluster(spec ClusterSpec) error {
 	}
 	reg := telemetry.NewRegistry()
 	opt.Metrics = reg
+	jr := telemetry.NewJournal(0)
+	jr.SetServer(spec.Name)
+	opt.Journal = jr
 
 	tr, err := d.openTracker(spec, opt)
 	if err != nil {
@@ -208,6 +245,7 @@ func (d *Daemon) AddCluster(spec ClusterSpec) error {
 		mChecks:     reg.Gauge("health_tracker_checks"),
 		mRescan:     reg.Gauge("health_tracker_inodes_rescanned"),
 		mScrubs:     reg.Gauge("health_tracker_rescans"),
+		journal:     jr,
 	}
 	d.members[spec.Name] = m
 	d.order = append(d.order, spec.Name)
@@ -346,12 +384,28 @@ func (d *Daemon) completeRound(m *member, round int, res *online.CheckResult) {
 	m.mRescan.Set(st.InodesRescanned)
 	m.mScrubs.Set(st.Rescans)
 
+	m.journal.Record("health", "round-settled",
+		"round", fmt.Sprintf("%d", round),
+		"refreshed", fmt.Sprintf("%d", res.InodesRefreshed),
+		"critical", fmt.Sprintf("%d", counts.Critical),
+		"warning", fmt.Sprintf("%d", counts.Warning),
+		"info", fmt.Sprintf("%d", counts.Info))
+	for _, g := range graded {
+		if g.Severity == SevInfo {
+			continue
+		}
+		m.journal.Record("health", "grading",
+			"fid", g.FID, "kind", g.Kind,
+			"rule", g.Rule, "severity", g.Severity.String())
+	}
+
 	m.mu.Lock()
 	m.completed++
 	m.lastErr = ""
 	m.findings = graded
 	m.counts = counts
 	m.lastRes = res
+	m.lastSettled = time.Now()
 	m.pushHistory(RoundSummary{
 		Round:      round,
 		Refreshed:  res.InodesRefreshed,
@@ -386,6 +440,7 @@ func (d *Daemon) rescanQuiesced(m *member) error {
 		m.quiesce.Lock()
 		defer m.quiesce.Unlock()
 	}
+	m.journal.Record("health", "scrub")
 	return m.tracker.Rescan()
 }
 
@@ -394,12 +449,44 @@ func (d *Daemon) rescanQuiesced(m *member) error {
 // the error until a round completes cleanly.
 func (d *Daemon) failRound(m *member, round int, err error) {
 	m.mFailures.Inc()
+	m.journal.Record("health", "round-failed",
+		"round", fmt.Sprintf("%d", round), "err", err.Error())
 	m.mu.Lock()
 	m.failures++
 	m.lastErr = err.Error()
 	m.pushHistory(RoundSummary{Round: round, Err: err.Error()}, d.opt.History)
 	m.mu.Unlock()
 	d.logf("cluster %s round %d failed: %v", m.name, round, err)
+	// Dump the flight record next to the tracker snapshot: the failed
+	// round's event trail is exactly what frtrace renders when someone
+	// asks why the cluster is unhealthy.
+	if m.stateDir != "" {
+		path := filepath.Join(m.stateDir, journalDumpName)
+		if werr := telemetry.WriteJournalFile(path, m.journalSections()); werr != nil {
+			d.logf("cluster %s: journal dump: %v", m.name, werr)
+		} else {
+			d.logf("cluster %s: journal dumped to %s", m.name, path)
+		}
+	}
+}
+
+// journalDumpName is the flight-record file a failed round leaves in
+// the cluster's state directory (FRJR format; render with frtrace).
+const journalDumpName = "journal.frjr"
+
+// journalSections snapshots the member's flight record.
+func (m *member) journalSections() []telemetry.JournalSnapshot {
+	return []telemetry.JournalSnapshot{m.journal.Snapshot()}
+}
+
+// Journal returns a cluster's flight-record sections; false for an
+// unknown name.
+func (d *Daemon) Journal(name string) ([]telemetry.JournalSnapshot, bool) {
+	m := d.members[name]
+	if m == nil {
+		return nil, false
+	}
+	return m.journalSections(), true
 }
 
 // pushHistory appends to the ring; callers hold m.mu.
@@ -413,13 +500,14 @@ func (m *member) pushHistory(rs RoundSummary, limit int) {
 // Clusters lists every cluster's summary row in add order.
 func (d *Daemon) Clusters() []ClusterSummary {
 	out := make([]ClusterSummary, 0, len(d.order))
+	stale := d.staleAfter()
 	for _, name := range d.order {
-		out = append(out, d.members[name].summary())
+		out = append(out, d.members[name].summary(stale))
 	}
 	return out
 }
 
-func (m *member) summary() ClusterSummary {
+func (m *member) summary(staleAfter time.Duration) ClusterSummary {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	s := ClusterSummary{
@@ -428,10 +516,20 @@ func (m *member) summary() ClusterSummary {
 		Failures: m.failures,
 		Findings: m.counts,
 	}
-	if m.completed == 0 {
+	switch {
+	case m.completed == 0:
 		s.Status = "pending"
-	} else {
-		s.Status = m.counts.status()
+	default:
+		age := time.Since(m.lastSettled)
+		s.LastSettledAge = age.Seconds()
+		if age > staleAfter {
+			// No round has settled in a staleness window: the counts
+			// below are from a round too old to trust, so the row must
+			// not read as healthy.
+			s.Status = "stale"
+		} else {
+			s.Status = m.counts.status()
+		}
 	}
 	return s
 }

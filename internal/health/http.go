@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"faultyrank/internal/telemetry"
+	"faultyrank/internal/trace"
 )
 
 // Handler serves the daemon's report API:
@@ -12,6 +13,8 @@ import (
 //	GET /healthz                          liveness + fleet status
 //	GET /api/v1/clusters                  one summary row per cluster
 //	GET /api/v1/clusters/{name}/report    a cluster's full report
+//	GET /api/v1/clusters/{name}/journal   the cluster's flight record,
+//	                                      rendered as a frtrace timeline
 //	GET /metrics                          Prometheus exposition, every
 //	                                      series labeled cluster="..."
 //
@@ -22,7 +25,10 @@ func (d *Daemon) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		clusters := d.Clusters()
 		worst := "ok"
-		rank := map[string]int{"ok": 0, "pending": 1, "info": 2, "warning": 3, "critical": 4}
+		// A stale cluster outranks findings-based grades short of
+		// critical: its tally is stale by definition, so the fleet
+		// status must surface the wedged tracker, not the old counts.
+		rank := map[string]int{"ok": 0, "pending": 1, "info": 2, "warning": 3, "stale": 4, "critical": 5}
 		for _, c := range clusters {
 			if rank[c.Status] > rank[worst] {
 				worst = c.Status
@@ -43,6 +49,15 @@ func (d *Daemon) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, rep)
+	})
+	mux.HandleFunc("GET /api/v1/clusters/{name}/journal", func(w http.ResponseWriter, r *http.Request) {
+		sections, ok := d.Journal(r.PathValue("name"))
+		if !ok {
+			http.Error(w, `{"error":"unknown cluster"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.Build(sections).WriteJSON(w)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", telemetry.PromContentType)

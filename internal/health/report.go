@@ -107,12 +107,17 @@ type RoundSummary struct {
 // ClusterSummary is one cluster's row in the fleet listing.
 type ClusterSummary struct {
 	Name string `json:"name"`
-	// Status is "pending" before the first completed round, otherwise
-	// the worst severity among current findings or "ok".
+	// Status is "pending" before the first completed round; "stale" when
+	// no round has settled within the daemon's staleness window (the
+	// findings tally is then too old to trust); otherwise the worst
+	// severity among current findings or "ok".
 	Status   string         `json:"status"`
 	Rounds   int            `json:"rounds"`
 	Failures int            `json:"failures"`
 	Findings SeverityCounts `json:"findings"`
+	// LastSettledAge is the seconds since the last settled round (0
+	// while pending) — the freshness behind the "stale" status.
+	LastSettledAge float64 `json:"last_settled_age_seconds,omitempty"`
 }
 
 // Report is one cluster's full health report.

@@ -234,6 +234,10 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 			if err != nil {
 				sp.End()
 				commit()
+				t.opt.Journal.Record("online", "feed-error",
+					"server", st.img.Label(),
+					"ino", fmt.Sprintf("%d", ino),
+					"err", err.Error())
 				return refreshed, perServer, fmt.Errorf(
 					"online: %s ino %d: %w (feed left intact)", st.img.Label(), ino, err)
 			}
@@ -276,6 +280,10 @@ func (t *Tracker) update() (int, []RoundRefresh, error) {
 			perServer = append(perServer, RoundRefresh{
 				Server: st.img.Label(), Refreshed: count, Dropped: dropped,
 			})
+			t.opt.Journal.Record("online", "feed-commit",
+				"server", st.img.Label(),
+				"refreshed", fmt.Sprintf("%d", count),
+				"dropped", fmt.Sprintf("%d", dropped))
 			refreshed += count
 			droppedTotal += dropped
 		}
@@ -294,6 +302,7 @@ func (t *Tracker) Rescan() error {
 		return err
 	}
 	t.rescans++
+	t.opt.Journal.Record("online", "rescan")
 	return nil
 }
 
@@ -369,6 +378,8 @@ func (t *Tracker) Check() (*CheckResult, error) {
 			res = &checker.Result{}
 			warm = false
 			t.warmFallbacks++
+			t.opt.Journal.Record("online", "warm-fallback",
+				"round", fmt.Sprintf("%d", t.checks+1))
 		}
 	}
 	if !warm {
@@ -389,6 +400,11 @@ func (t *Tracker) Check() (*CheckResult, error) {
 		t.lastIters = res.Rank.Iterations
 	}
 	t.checks++
+	t.opt.Journal.Record("online", "round",
+		"round", fmt.Sprintf("%d", t.checks),
+		"refreshed", fmt.Sprintf("%d", refreshed),
+		"warm", fmt.Sprintf("%t", warm),
+		"findings", fmt.Sprintf("%d", len(res.Findings)))
 	return &CheckResult{
 		Result:          res,
 		TUpdate:         update,

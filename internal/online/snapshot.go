@@ -310,6 +310,7 @@ func (t *Tracker) SaveState(dir string) error {
 	if err := os.Rename(tmp, filepath.Join(dir, stateFileName)); err != nil {
 		return fmt.Errorf("online: save state: %w", err)
 	}
+	t.opt.Journal.Record("online", "snapshot-save", "dir", dir)
 	return nil
 }
 

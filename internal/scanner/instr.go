@@ -22,6 +22,12 @@ type Instr struct {
 	// ChunksReleased counts chunks flushed downstream (the ordered
 	// releases that overlap transfer with the sweep).
 	ChunksReleased *telemetry.Counter
+
+	// chunkEvents, when attached, journals a sampled chunk-lifecycle
+	// event (no attributes — attribute slices would allocate on every
+	// call, sampled out or not, and the scan path has an overhead
+	// budget). Nil when no journal is attached.
+	chunkEvents *telemetry.Sampler
 }
 
 // NewInstr resolves the scanner's counters from reg (nil reg → no-op
@@ -47,10 +53,21 @@ func (in *Instr) group(p *Partial) {
 	in.ParseIssues.Add(int64(len(p.Issues)))
 }
 
+// AttachJournal points the scanner's chunk-lifecycle events at j,
+// recording one "chunk-released" event per every chunks flushed (<1 →
+// every chunk). Nil j (or nil in) detaches — the scan stays journal-free.
+func (in *Instr) AttachJournal(j *telemetry.Journal, every int) {
+	if in == nil {
+		return
+	}
+	in.chunkEvents = j.Sampler(every)
+}
+
 // chunk records one flushed chunk.
 func (in *Instr) chunk() {
 	if in == nil {
 		return
 	}
 	in.ChunksReleased.Inc()
+	in.chunkEvents.Record("scanner", "chunk-released")
 }

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// FRJR v1: the versioned canonical binary codec for journal snapshots —
+// the blob a scanner ships home as a MsgJournal wire trailer, and the
+// on-disk format of the journal.frjr files faultyrank/frhealthd dump
+// and frtrace renders. One blob holds any number of sections (one per
+// journal), so per-server journals merge by concatenation.
+//
+// Layout (all integers little-endian):
+//
+//	"FRJR" | u8 version
+//	u32 sectionCount
+//	section × {
+//	  str16 server | u64 base | u64 dropped | u32 eventCount
+//	  event × { u64 t | str16 component | str16 kind
+//	            | u8 attrCount | attr × { str16 k | str16 v } }
+//	}
+//
+// Same invariants as the FRTM codec: versioned (mixed builds fail
+// loudly), bounded (counts are sanity-checked against the remaining
+// payload before any allocation), and canonical — sections sorted by
+// server, events in non-decreasing T — enforced at decode, so a blob
+// either fails to decode or re-encodes byte-identically (the
+// FuzzDecodeJournal target leans on this).
+
+// JournalCodecVersion identifies the FRJR layout. Bump on any
+// incompatible change.
+const JournalCodecVersion = 1
+
+var journalMagic = [4]byte{'F', 'R', 'J', 'R'}
+
+// journalHeaderLen is magic + version.
+const journalHeaderLen = 5
+
+// Minimum encoded sizes, the allocation bounds for hostile counts.
+const (
+	journalMinSection = 2 + 8 + 8 + 4 // empty server, no events
+	journalMinEvent   = 8 + 2 + 2 + 1 // empty names, no attrs
+	journalMinAttr    = 2 + 2         // empty key and value
+)
+
+// EncodeJournal renders the sections as one FRJR blob. Sections are
+// canonicalised first — stably sorted by server (events inside a
+// section are already time-sorted by construction; Snapshot guarantees
+// it, and decode enforces it), so equal inputs always produce identical
+// bytes.
+func EncodeJournal(sections []JournalSnapshot) []byte {
+	ss := append([]JournalSnapshot(nil), sections...)
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].Server < ss[j].Server })
+
+	b := append([]byte(nil), journalMagic[:]...)
+	b = append(b, JournalCodecVersion)
+	b = cputU32(b, uint32(len(ss)))
+	for _, s := range ss {
+		b = cputStr(b, s.Server)
+		b = cputU64(b, uint64(s.Base))
+		b = cputU64(b, uint64(s.Dropped))
+		b = cputU32(b, uint32(len(s.Events)))
+		for _, e := range s.Events {
+			b = cputU64(b, uint64(e.T))
+			b = cputStr(b, e.Component)
+			b = cputStr(b, e.Kind)
+			if len(e.Attrs) > 255 {
+				e.Attrs = e.Attrs[:255]
+			}
+			b = append(b, byte(len(e.Attrs)))
+			for _, a := range e.Attrs {
+				b = cputStr(b, a.K)
+				b = cputStr(b, a.V)
+			}
+		}
+	}
+	return b
+}
+
+// DecodeJournal parses an FRJR blob, enforcing the canonical form:
+// sections in non-descending server order, events in non-decreasing T.
+// Counts are bounded against the payload before allocation.
+func DecodeJournal(b []byte) ([]JournalSnapshot, error) {
+	d := &tdec{b: b}
+	if d.need(journalHeaderLen) {
+		if [4]byte(d.b[:4]) != journalMagic {
+			return nil, fmt.Errorf("telemetry: bad journal magic %q", b[:4])
+		}
+		if v := d.b[4]; v != JournalCodecVersion {
+			return nil, fmt.Errorf("telemetry: unsupported journal version %d (have %d)", v, JournalCodecVersion)
+		}
+		d.off = journalHeaderLen
+	}
+
+	nS := d.u32()
+	if d.err == nil && uint64(nS)*journalMinSection > uint64(d.remaining()) {
+		return nil, fmt.Errorf("telemetry: implausible journal section count %d", nS)
+	}
+	var out []JournalSnapshot
+	for si := uint32(0); si < nS && d.err == nil; si++ {
+		var s JournalSnapshot
+		s.Server = d.str()
+		s.Base = int64(d.u64())
+		s.Dropped = int64(d.u64())
+		if d.err == nil && si > 0 && s.Server < out[si-1].Server {
+			return nil, fmt.Errorf("telemetry: journal sections not in canonical order at %q", s.Server)
+		}
+		nE := d.u32()
+		if d.err == nil && uint64(nE)*journalMinEvent > uint64(d.remaining()) {
+			return nil, fmt.Errorf("telemetry: implausible journal event count %d in %q", nE, s.Server)
+		}
+		if d.err != nil {
+			break
+		}
+		if nE > 0 {
+			s.Events = make([]Event, 0, nE)
+		}
+		for ei := uint32(0); ei < nE && d.err == nil; ei++ {
+			var e Event
+			e.T = time.Duration(d.u64())
+			e.Component = d.str()
+			e.Kind = d.str()
+			if d.err == nil && ei > 0 && e.T < s.Events[ei-1].T {
+				return nil, fmt.Errorf("telemetry: journal events not in time order in %q", s.Server)
+			}
+			if !d.need(1) {
+				break
+			}
+			nA := int(d.b[d.off])
+			d.off++
+			if nA*journalMinAttr > d.remaining() {
+				return nil, fmt.Errorf("telemetry: implausible attr count %d in %q", nA, s.Server)
+			}
+			if nA > 0 {
+				e.Attrs = make([]Attr, 0, nA)
+			}
+			for ai := 0; ai < nA && d.err == nil; ai++ {
+				e.Attrs = append(e.Attrs, Attr{K: d.str(), V: d.str()})
+			}
+			s.Events = append(s.Events, e)
+		}
+		out = append(out, s)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(b) {
+		return nil, fmt.Errorf("telemetry: %d trailing bytes in journal", len(b)-d.off)
+	}
+	return out, nil
+}
+
+// WriteJournalFile atomically writes the sections as an FRJR blob
+// (temp file + rename, like WriteJSON).
+func WriteJournalFile(path string, sections []JournalSnapshot) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, EncodeJournal(sections), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadJournalFile reads and decodes an FRJR file.
+func ReadJournalFile(path string) ([]JournalSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeJournal(b)
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -85,5 +86,90 @@ func TestSpanEndIdempotent(t *testing.T) {
 	time.Sleep(time.Millisecond)
 	if open.Duration() <= 0 {
 		t.Fatal("unended span reported no running duration")
+	}
+}
+
+// TestSpanConcurrentStartEndNode races the three span operations a live
+// run overlaps: scanners starting children, phases ending, and the
+// metrics endpoint snapshotting the tree mid-flight. Run under -race
+// this is the span tree's thread-safety proof; the final snapshot must
+// still see every child.
+func TestSpanConcurrentStartEndNode(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "run")
+	const workers, perWorker = 8, 25
+	var starters, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshotters: Node() while children start and end.
+	for s := 0; s < 2; s++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = root.Node()
+				}
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		starters.Add(1)
+		go func(w int) {
+			defer starters.Done()
+			for i := 0; i < perWorker; i++ {
+				_, sp := StartSpan(ctx, fmt.Sprintf("child-%d-%d", w, i))
+				sp.End()
+				sp.End() // idempotent under concurrency too
+			}
+		}(w)
+	}
+	starters.Wait()
+	close(stop)
+	readers.Wait()
+	root.End()
+	node := root.Node()
+	if got := len(node.Children); got != workers*perWorker {
+		t.Fatalf("children: %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSpanNodeFindDeep covers Find on deep and missing paths: the first
+// match in depth-first order wins, and absent names (or a nil receiver)
+// return nil instead of panicking.
+func TestSpanNodeFindDeep(t *testing.T) {
+	deep := SpanNode{Name: "run", Children: []SpanNode{
+		{Name: "scan", Children: []SpanNode{
+			{Name: "scan:mdt0"},
+			{Name: "scan:ost0", Children: []SpanNode{{Name: "leaf"}}},
+		}},
+		{Name: "aggregate", Children: []SpanNode{
+			{Name: "merge"},
+			{Name: "leaf"}, // depth-first: the scan-side leaf wins
+		}},
+	}}
+	if n := deep.Find("leaf"); n == nil {
+		t.Fatal("deep leaf not found")
+	}
+	if n := deep.Find("merge"); n == nil || n.Name != "merge" {
+		t.Fatalf("merge: %+v", n)
+	}
+	// Depth-first priority: the leaf under scan:ost0 precedes the one
+	// under aggregate, and both are distinct nodes.
+	first := deep.Find("leaf")
+	scanLeaf := &deep.Children[0].Children[1].Children[0]
+	if first != scanLeaf {
+		t.Fatal("Find did not return the depth-first match")
+	}
+	if deep.Find("no-such-span") != nil {
+		t.Fatal("missing name matched")
+	}
+	var nilNode *SpanNode
+	if nilNode.Find("anything") != nil {
+		t.Fatal("nil receiver matched")
+	}
+	if deep.Find("run") != &deep {
+		t.Fatal("root name did not match the root")
 	}
 }

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"faultyrank/internal/telemetry"
+)
+
+// faultSections models a degraded TCP run: a coordinator journal that
+// saw ost1 redial, fail its stream and force a degraded completion, and
+// two server journals whose epochs interleave their events on the wall
+// clock.
+func faultSections() []telemetry.JournalSnapshot {
+	const base = int64(1_700_000_000_000_000_000)
+	return []telemetry.JournalSnapshot{
+		{
+			Server: "coordinator", Base: base,
+			Events: []telemetry.Event{
+				{T: 0, Component: "checker", Kind: "run", Attrs: []telemetry.Attr{{K: "servers", V: "2"}}},
+				{T: 50, Component: "wire", Kind: "dial-retry", Attrs: []telemetry.Attr{{K: "server", V: "ost1"}, {K: "retries", V: "2"}}},
+				{T: 300, Component: "wire", Kind: "stream-error", Attrs: []telemetry.Attr{{K: "server", V: "ost1"}, {K: "err", V: "scanner crashed"}}},
+				{T: 400, Component: "checker", Kind: "degraded", Attrs: []telemetry.Attr{{K: "missing", V: "ost1"}}},
+			},
+		},
+		{
+			Server: "mdt0", Base: base + 10,
+			Events: []telemetry.Event{
+				{T: 0, Component: "scanner", Kind: "scan-start"},
+				{T: 100, Component: "scanner", Kind: "scan-done"},
+			},
+		},
+		{
+			Server: "ost1", Base: base + 20,
+			Events: []telemetry.Event{
+				{T: 0, Component: "scanner", Kind: "scan-start"},
+			},
+		},
+	}
+}
+
+// TestBuildMergesByWallClock: events from all sections land on one
+// axis ordered by absolute time, with one lane per section.
+func TestBuildMergesByWallClock(t *testing.T) {
+	tl := Build(faultSections())
+	if tl.Sections != 3 || len(tl.Events) != 7 {
+		t.Fatalf("sections %d events %d", tl.Sections, len(tl.Events))
+	}
+	if got := strings.Join(tl.Lanes, ","); got != "coordinator,mdt0,ost1" {
+		t.Fatalf("lanes %q", got)
+	}
+	for i := 1; i < len(tl.Events); i++ {
+		if tl.Events[i].Wall < tl.Events[i-1].Wall {
+			t.Fatalf("events out of wall order at %d", i)
+		}
+	}
+	// The mdt0 scan-start (base+10) must sort between the coordinator's
+	// run (base+0) and its dial-retry (base+50).
+	if tl.Events[1].Server != "mdt0" || tl.Events[1].Kind != "scan-start" {
+		t.Fatalf("interleave: event 1 is %s/%s", tl.Events[1].Server, tl.Events[1].Kind)
+	}
+}
+
+// TestCulpritAttribution: hot events blame the server named in their
+// attributes (or a degraded event's missing list), not the lane they
+// were recorded on — so the coordinator's evidence indicts ost1.
+func TestCulpritAttribution(t *testing.T) {
+	tl := Build(faultSections())
+	if got := tl.Culprit(); got != "ost1" {
+		t.Fatalf("culprit %q, want ost1", got)
+	}
+	if len(tl.Suspects) != 1 {
+		t.Fatalf("suspects: %+v", tl.Suspects)
+	}
+	s := tl.Suspects[0]
+	if s.Score != 1+3+2 {
+		t.Fatalf("score %d", s.Score)
+	}
+	kinds := map[string]int{}
+	for _, k := range s.Kinds {
+		kinds[k.Kind] = k.Count
+	}
+	if kinds["dial-retry"] != 1 || kinds["stream-error"] != 1 || kinds["degraded"] != 1 {
+		t.Fatalf("kinds: %+v", s.Kinds)
+	}
+
+	// A clean run names nobody.
+	clean := Build(faultSections()[1:2])
+	if got := clean.Culprit(); got != "" {
+		t.Fatalf("clean culprit %q", got)
+	}
+}
+
+// TestWriteText: the rendered timeline highlights hot rows and closes
+// by naming the culpable server with its evidence.
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Build(faultSections()).WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"journal: 3 section(s), 7 event(s)",
+		"lanes: coordinator, mdt0, ost1",
+		"! +", // at least one highlighted row
+		"stream-error server=ost1 err=scanner crashed",
+		"culprit: ost1 —",
+		"degraded×1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteJSON: the JSON form carries the schema tag, the ordered
+// events and the suspects, machine-readable.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Build(faultSections()).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string          `json:"schema"`
+		Events   []TimelineEvent `json:"events"`
+		Suspects []Suspect       `json:"suspects"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "frtrace/timeline/v1" || len(doc.Events) != 7 {
+		t.Fatalf("schema %q events %d", doc.Schema, len(doc.Events))
+	}
+	if len(doc.Suspects) != 1 || doc.Suspects[0].Server != "ost1" {
+		t.Fatalf("suspects: %+v", doc.Suspects)
+	}
+}
+
+// TestSplitList covers the missing-list splitter's edges.
+func TestSplitList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"", 0}, {"a", 1}, {"a,b,c", 3}, {",a,,b,", 2}} {
+		if got := splitList(tc.in); len(got) != tc.want {
+			t.Fatalf("splitList(%q) = %v", tc.in, got)
+		}
+	}
+}

@@ -151,8 +151,19 @@ type ChunkStream struct {
 	// frame is written — the moment the server's instruments stop
 	// moving — to build the trailer shipped before the ack.
 	telemetrySource func() *Telemetry
-	err             error
+	// journal, when set, records this stream's flight-recorder events
+	// (slow frames) and is snapshotted into the MsgJournal trailer that
+	// follows MsgTelemetry. Nil journals no-op and ship an empty blob,
+	// keeping the trailer protocol uniform for every sender.
+	journal *telemetry.Journal
+	err     error
 }
+
+// SlowFrameThreshold is the frame-write latency above which a stream
+// with a journal records a slow-frame event — slow enough to indicate
+// backpressure or a stalling peer, fast enough to fire well before the
+// op timeout kills the stream.
+const SlowFrameThreshold = 250 * time.Millisecond
 
 // DialChunkStream connects one scanner stream to a collector with no
 // deadline and no retry (the in-process tests' path).
@@ -193,6 +204,11 @@ func DialChunkStreamObserved(ctx context.Context, addr string, policy RetryPolic
 // SendTelemetry ships a best-effort trailer on the failure path.
 func (s *ChunkStream) SetTelemetrySource(fn func() *Telemetry) { s.telemetrySource = fn }
 
+// SetJournal attaches the stream's flight recorder: slow frame writes
+// are recorded to it, and its snapshot ships home as the MsgJournal
+// trailer right after the telemetry trailer. A nil journal is fine.
+func (s *ChunkStream) SetJournal(j *telemetry.Journal) { s.journal = j }
+
 // DialRetries reports how many redials the initial connect needed.
 func (s *ChunkStream) DialRetries() int { return s.dialRetries }
 
@@ -225,7 +241,7 @@ func (s *ChunkStream) emit(payload []byte, final bool) error {
 	}
 	s.setDeadline(net.Conn.SetWriteDeadline)
 	var t0 time.Time
-	if len(s.metrics) > 0 {
+	if len(s.metrics) > 0 || s.journal != nil {
 		t0 = time.Now()
 	}
 	if err := WriteFrame(s.conn, MsgChunk, payload); err != nil {
@@ -234,21 +250,45 @@ func (s *ChunkStream) emit(payload []byte, final bool) error {
 	}
 	s.frames.Inc()
 	s.bytes.Add(int64(len(payload)))
+	var elapsed time.Duration
+	if !t0.IsZero() {
+		elapsed = time.Since(t0)
+	}
 	for _, m := range s.metrics {
 		if m != nil {
-			m.FrameWrite.Observe(time.Since(t0).Seconds())
+			m.FrameWrite.Observe(elapsed.Seconds())
 			m.FramesSent.Inc()
 			m.BytesSent.Add(int64(len(payload)))
 		}
+	}
+	if s.journal != nil && elapsed > SlowFrameThreshold {
+		s.journal.Record("wire", "slow-frame",
+			"seconds", fmt.Sprintf("%.3f", elapsed.Seconds()),
+			"bytes", fmt.Sprintf("%d", len(payload)))
 	}
 	if !final {
 		return nil
 	}
 	// The stream's instruments are final now: build and ship the
-	// telemetry trailer before requesting the ack. The trailer rides
-	// the same write deadline as the chunk and deliberately does not
-	// count into the frame/byte tallies, which report graph transfer.
+	// telemetry trailer, then the journal trailer, before requesting
+	// the ack. Both ride the same write deadline as the chunk and
+	// deliberately do not count into the frame/byte tallies, which
+	// report graph transfer. Every sender ships both trailers (empty
+	// when uninstrumented), so the collector's trailer reads are
+	// uniform and the ack handshake can never deadlock.
+	if s.journal != nil {
+		// Terminal marker recorded before the snapshot is taken, so the
+		// shipped section ends with it — a lane whose last event is not
+		// stream-final died mid-stream.
+		s.journal.Record("wire", "stream-final",
+			"frames", fmt.Sprintf("%d", s.frames.Value()),
+			"bytes", fmt.Sprintf("%d", s.bytes.Value()))
+	}
 	if err := WriteFrame(s.conn, MsgTelemetry, EncodeTelemetry(s.trailer())); err != nil {
+		s.err = err
+		return err
+	}
+	if err := WriteFrame(s.conn, MsgJournal, s.journalTrailer()); err != nil {
 		s.err = err
 		return err
 	}
@@ -281,6 +321,15 @@ func (s *ChunkStream) trailer() *Telemetry {
 	return &Telemetry{}
 }
 
+// journalTrailer encodes the stream's journal snapshot (an empty FRJR
+// blob when no journal is attached).
+func (s *ChunkStream) journalTrailer() []byte {
+	if s.journal == nil {
+		return telemetry.EncodeJournal(nil)
+	}
+	return telemetry.EncodeJournal([]telemetry.JournalSnapshot{s.journal.Snapshot()})
+}
+
 // SendTelemetry ships a best-effort telemetry trailer outside the
 // normal final-chunk flow — the path a cancelled or failed scanner uses
 // so its partial instruments still reach the collector when the
@@ -295,6 +344,18 @@ func (s *ChunkStream) SendTelemetry(t *Telemetry) error {
 	}
 	s.setDeadline(net.Conn.SetWriteDeadline)
 	return WriteFrame(s.conn, MsgTelemetry, EncodeTelemetry(t))
+}
+
+// SendJournal ships a best-effort journal trailer outside the normal
+// final-chunk flow, the flight recorder's counterpart to SendTelemetry:
+// a failing scanner's event trail is exactly what the coordinator wants
+// when diagnosing the failure, so it is worth one opportunistic write.
+func (s *ChunkStream) SendJournal() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.setDeadline(net.Conn.SetWriteDeadline)
+	return WriteFrame(s.conn, MsgJournal, s.journalTrailer())
 }
 
 func (s *ChunkStream) setDeadline(set func(net.Conn, time.Time) error) {
@@ -327,6 +388,11 @@ type CollectResult struct {
 	// server that crashed before its trailer simply has no entry here —
 	// missing telemetry never fails a collect.
 	Telemetry []*Telemetry
+	// Journals holds the flight-recorder sections received in MsgJournal
+	// trailers, one per server label (last wins), sorted by server.
+	// Tolerated exactly like Telemetry: missing or malformed journals
+	// never fail a collect.
+	Journals []telemetry.JournalSnapshot
 }
 
 // CollectChunks accepts nStreams chunk-stream connections and delivers
@@ -360,6 +426,7 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 	var mu sync.Mutex // guards res fields, telems and conns
 	conns := make(map[net.Conn]struct{})
 	telems := make(map[string]*Telemetry)
+	journals := make(map[string]telemetry.JournalSnapshot)
 	var errs []error
 	record := func(t *Telemetry) {
 		if t == nil || t.Server == "" {
@@ -367,6 +434,15 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 		}
 		mu.Lock()
 		telems[t.Server] = t
+		mu.Unlock()
+	}
+	recordJournal := func(sections []telemetry.JournalSnapshot) {
+		mu.Lock()
+		for _, s := range sections {
+			if s.Server != "" {
+				journals[s.Server] = s
+			}
+		}
 		mu.Unlock()
 	}
 
@@ -422,7 +498,7 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 				mu.Unlock()
 				conn.Close()
 			}()
-			label, err := serveChunkStream(conn, deliver, &frames, &bytes, c.metrics, record)
+			label, err := serveChunkStream(conn, deliver, &frames, &bytes, c.metrics, record, recordJournal)
 			mu.Lock()
 			if err != nil {
 				if label != "" {
@@ -432,6 +508,8 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 				res.Errors = append(res.Errors, err.Error())
 				if c.metrics != nil {
 					c.metrics.StreamErrors.Inc()
+					c.metrics.Journal.Record("wire", "stream-error",
+						"server", label, "err", err.Error())
 				}
 				mu.Unlock()
 				if !degraded {
@@ -452,6 +530,10 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 		res.Telemetry = append(res.Telemetry, t)
 	}
 	sort.Slice(res.Telemetry, func(i, j int) bool { return res.Telemetry[i].Server < res.Telemetry[j].Server })
+	for _, j := range journals {
+		res.Journals = append(res.Journals, j)
+	}
+	sort.Slice(res.Journals, func(i, j int) bool { return res.Journals[i].Server < res.Journals[j].Server })
 	if degraded {
 		return res, nil
 	}
@@ -468,13 +550,13 @@ func (c *Collector) CollectChunksContext(ctx context.Context, nStreams int, degr
 
 // serveChunkStream drains one connection's chunks into deliver,
 // counting frames and bytes into the per-collect counters and, when
-// set, the run-wide metrics. Telemetry trailers — the one expected
-// after the final chunk, or a best-effort one a failing scanner ships
-// mid-stream — are handed to record; a malformed trailer is dropped,
-// never escalated, since telemetry must not fail a stream whose graph
-// data is intact. Returns the stream's server label ("" if no chunk
-// decoded before the failure).
-func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames, bytes *telemetry.Counter, m *Metrics, record func(*Telemetry)) (string, error) {
+// set, the run-wide metrics. Trailers — the telemetry + journal pair
+// expected after the final chunk, or best-effort ones a failing scanner
+// ships mid-stream — are handed to record/recordJournal; a malformed
+// trailer is dropped, never escalated, since observability must not
+// fail a stream whose graph data is intact. Returns the stream's server
+// label ("" if no chunk decoded before the failure).
+func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames, bytes *telemetry.Counter, m *Metrics, record func(*Telemetry), recordJournal func([]telemetry.JournalSnapshot)) (string, error) {
 	label := ""
 	for {
 		typ, payload, err := ReadFrame(conn)
@@ -484,10 +566,8 @@ func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames,
 		if err := AsError(typ, payload); err != nil {
 			return label, err
 		}
-		if typ == MsgTelemetry {
-			if t, derr := DecodeTelemetry(payload); derr == nil && record != nil {
-				record(t)
-			}
+		if typ == MsgTelemetry || typ == MsgJournal {
+			recordTrailer(typ, payload, record, recordJournal)
 			continue
 		}
 		if typ != MsgChunk {
@@ -512,16 +592,34 @@ func serveChunkStream(conn net.Conn, deliver func(*scanner.Chunk) error, frames,
 			return label, err
 		}
 		if ch.Final {
-			// Every ChunkStream sender ships its trailer between the
-			// final chunk and the ack wait. Read it tolerantly: a read
-			// error or unexpected type leaves telemetry missing but the
-			// ack still goes out — the graph transfer did complete.
-			if typ, payload, err := ReadFrame(conn); err == nil && typ == MsgTelemetry {
-				if t, derr := DecodeTelemetry(payload); derr == nil && record != nil {
-					record(t)
+			// Every ChunkStream sender ships its telemetry then journal
+			// trailer between the final chunk and the ack wait. Read
+			// both tolerantly: a read error or unexpected type leaves
+			// that trailer missing but the ack still goes out — the
+			// graph transfer did complete.
+			for i := 0; i < 2; i++ {
+				typ, payload, err := ReadFrame(conn)
+				if err != nil || (typ != MsgTelemetry && typ != MsgJournal) {
+					break
 				}
+				recordTrailer(typ, payload, record, recordJournal)
 			}
 			return label, WriteFrame(conn, MsgAck, nil)
+		}
+	}
+}
+
+// recordTrailer decodes one trailer frame into the matching recorder,
+// silently dropping malformed payloads.
+func recordTrailer(typ byte, payload []byte, record func(*Telemetry), recordJournal func([]telemetry.JournalSnapshot)) {
+	switch typ {
+	case MsgTelemetry:
+		if t, err := DecodeTelemetry(payload); err == nil && record != nil {
+			record(t)
+		}
+	case MsgJournal:
+		if sections, err := telemetry.DecodeJournal(payload); err == nil && recordJournal != nil {
+			recordJournal(sections)
 		}
 	}
 }

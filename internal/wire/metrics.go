@@ -21,6 +21,11 @@ type Metrics struct {
 	// FrameWrite observes per-frame write latency on the sender
 	// (seconds), the distribution behind transfer stalls.
 	FrameWrite *telemetry.Histogram
+	// Journal, when attached, receives the wire layer's flight-recorder
+	// events (slow frames on senders, stream errors at the collector).
+	// It is not resolved from the registry — the owner of the run's
+	// journal sets it — and stays nil-tolerant like the instruments.
+	Journal *telemetry.Journal
 }
 
 // NewMetrics resolves the wire counters from reg (nil reg → no-op

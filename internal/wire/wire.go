@@ -46,6 +46,10 @@ const (
 	// MsgRankDelta carries one superstep frame of the partitioned rank
 	// exchange (core.RankDelta, versioned codec in rankdelta.go).
 	MsgRankDelta
+	// MsgJournal carries a scanner's flight-recorder trailer (an FRJR
+	// blob of telemetry.JournalSnapshot sections), sent right after
+	// MsgTelemetry on the same tolerant trailer protocol.
+	MsgJournal
 )
 
 // MaxFrame bounds a single frame (a partial graph of a multi-million
