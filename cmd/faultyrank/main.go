@@ -7,6 +7,8 @@
 //	faultyrank -dir cluster/ -repair    # check, repair, verify, persist
 //	faultyrank -dir cluster/ -tcp       # ship partial graphs over TCP
 //	faultyrank -dir cluster/ -rank-workers 4        # shard the rank stage into 4 BSP partitions
+//	faultyrank -dir cluster/ -rank-workers 4 -rank-spawn ./frrankd   # partitions as separate processes
+//	faultyrank -dir cluster/ -rank-workers 4 -rank-listen :9200 -rank-remote  # wait for remote frrankd workers
 //	faultyrank -dir cluster/ -metrics-addr :9090   # live /metrics + pprof
 //	faultyrank -dir cluster/ -run-manifest run.json # machine-readable record
 //	faultyrank -dir cluster/ -tcp -cluster-manifest cm.json # per-server telemetry + skew
@@ -64,6 +66,9 @@ func realMain() int {
 		degraded  = flag.Bool("degraded", false, "complete from surviving streams when scanners are lost (TCP path)")
 		workers   = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		rankW     = flag.Int("rank-workers", 0, "shard the rank stage across this many BSP partition workers (<=1 = single kernel; exact, bit-identical results)")
+		rankLn    = flag.String("rank-listen", "", "bind the rank exchange to this host:port (default: a fresh localhost port) so frrankd workers beyond localhost can dial in")
+		rankSpawn = flag.String("rank-spawn", "", "exec this frrankd binary once per rank partition (implies remote workers; shards shipped over the link)")
+		rankRem   = flag.Bool("rank-remote", false, "wait for externally launched frrankd workers to dial the rank exchange instead of running workers in process")
 		chunk     = flag.Int("chunk", 0, "entries per streamed scanner chunk (0 = default)")
 		epsilon   = flag.Float64("epsilon", 0.1, "convergence epsilon (max |Δ id_rank|)")
 		threshold = flag.Float64("threshold", 0.4, "fault threshold on mean-1-scaled ranks")
@@ -90,6 +95,9 @@ func realMain() int {
 	if *stateDir != "" && !*useOnline {
 		return fail(errors.New("-state requires -online"))
 	}
+	if (*rankLn != "" || *rankSpawn != "" || *rankRem) && *rankW <= 1 {
+		return fail(errors.New("-rank-listen/-rank-spawn/-rank-remote require -rank-workers > 1"))
+	}
 
 	if *profRates > 0 {
 		runtime.SetMutexProfileFraction(*profRates)
@@ -106,6 +114,9 @@ func realMain() int {
 	opt.AllowDegraded = *degraded
 	opt.Workers = *workers
 	opt.RankWorkers = *rankW
+	opt.RankListen = *rankLn
+	opt.RankSpawn = *rankSpawn
+	opt.RankRemote = *rankRem
 	opt.ChunkSize = *chunk
 	opt.Core.Epsilon = *epsilon
 	opt.Core.Threshold = *threshold

@@ -52,6 +52,7 @@ func main() {
 		scaleStr = flag.String("scale", "default", "sizing: smoke|default|paper")
 		workers  = flag.Int("workers", 0, "parallelism (0 = GOMAXPROCS)")
 		useTCP   = flag.Bool("tcp", true, "Table VI: run both checkers over localhost TCP")
+		spawn    = flag.String("rank-spawn", "", "partition table: exec this frrankd binary per partition (k > 1) and record per-process peak RSS")
 		jsonOut  = flag.Bool("json", false, "also write each artifact as BENCH_<table>.json")
 		outDir   = flag.String("out", ".", "directory for -json artifacts")
 	)
@@ -164,7 +165,7 @@ func main() {
 		emit("ablation", tab, fp)
 	}
 	if want("partition") {
-		rows, err := bench.PartitionMeasure(scale, *workers)
+		rows, err := bench.PartitionMeasure(scale, *workers, *spawn)
 		if err != nil {
 			log.Fatal(err)
 		}

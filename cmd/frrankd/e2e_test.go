@@ -1,0 +1,297 @@
+package main
+
+// End-to-end tests of real process separation: a checker coordinator on
+// one side, exec'd frrankd binaries on the other, nothing shared but
+// TCP. These are the acceptance tests of the out-of-process rank stage:
+// spawned runs must be bit-identical to the single kernel, a killed
+// worker must surface as a PartError naming its partition (degrading
+// cleanly when allowed), and pre-loaded shard files must interoperate
+// with the shipped-shard path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"faultyrank/internal/checker"
+	"faultyrank/internal/core"
+	"faultyrank/internal/graph"
+	"faultyrank/internal/inject"
+	"faultyrank/internal/ldiskfs"
+	"faultyrank/internal/lustre"
+	"faultyrank/internal/wire"
+)
+
+// buildFrrankd compiles this package's binary once per test process.
+var buildOnce sync.Once
+var builtBin string
+var buildErr error
+
+func buildFrrankd(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "frrankd-e2e-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "frrankd")
+		out, err := exec.Command("go", "build", "-o", builtBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+// e2eCluster is the checker tests' fig7 tree: 3 dirs × 4 striped files
+// over 4 OSTs — small, but every object has rank support.
+func e2eCluster(t *testing.T) *lustre.Cluster {
+	t.Helper()
+	c, err := lustre.NewCluster(lustre.Config{
+		NumOSTs: 4, StripeSize: 64 << 10, StripeCount: -1,
+		Geometry: ldiskfs.CompactGeometry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		dir := fmt.Sprintf("/proj%d", d)
+		if err := c.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 4; f++ {
+			if _, err := c.Create(fmt.Sprintf("%s/file%d", dir, f), 3*64<<10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+func rankEqualBitwise(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	if len(got.IDRank) != len(want.IDRank) {
+		t.Fatalf("%s: rank length %d want %d", label, len(got.IDRank), len(want.IDRank))
+	}
+	for i := range got.IDRank {
+		if math.Float64bits(got.IDRank[i]) != math.Float64bits(want.IDRank[i]) ||
+			math.Float64bits(got.PropRank[i]) != math.Float64bits(want.PropRank[i]) {
+			t.Fatalf("%s: rank %d diverges from single-process kernel", label, i)
+		}
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("%s: iterations %d/%v want %d/%v", label, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+}
+
+// TestFrrankdSpawnEquivalence: a K-way check run across K spawned
+// frrankd processes — shards shipped over the link — must produce ranks
+// and findings byte-identical to the single-kernel run, and the
+// manifest must record the remote topology with one peak-RSS sample per
+// process.
+func TestFrrankdSpawnEquivalence(t *testing.T) {
+	bin := buildFrrankd(t)
+	c := e2eCluster(t)
+	if _, err := inject.Inject(c, inject.DanglingObjectID, "/proj1/file2"); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := checker.RunCluster(c, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Findings) == 0 {
+		t.Fatal("baseline run found nothing; the equivalence check would be vacuous")
+	}
+
+	for _, k := range []int{2, 4} {
+		label := fmt.Sprintf("spawn/k=%d", k)
+		opt := checker.DefaultOptions()
+		opt.RankWorkers = k
+		opt.RankSpawn = bin
+		opt.OpTimeout = 15 * time.Second
+		res, err := checker.RunCluster(c, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		rankEqualBitwise(t, label, res.Rank, base.Rank)
+		if !reflect.DeepEqual(res.Findings, base.Findings) {
+			t.Fatalf("%s: findings diverge from single-process run", label)
+		}
+		man := res.RankExec
+		if man == nil || !man.Remote || man.Transport != "tcp" {
+			t.Fatalf("%s: manifest does not record the spawned topology: %+v", label, man)
+		}
+		if man.Fallback != "" {
+			t.Fatalf("%s: unexpected fallback %q", label, man.Fallback)
+		}
+		if len(man.WorkerRSS) != k {
+			t.Fatalf("%s: %d RSS samples for %d workers", label, len(man.WorkerRSS), k)
+		}
+		if runtime.GOOS == "linux" {
+			for p, rss := range man.WorkerRSS {
+				if rss <= 0 {
+					t.Fatalf("%s: no peak RSS recorded for worker %d: %v", label, p, man.WorkerRSS)
+				}
+			}
+		}
+	}
+}
+
+// TestFrrankdWorkerKill: an frrankd process dying mid-superstep (the
+// injected crash crosses the process boundary as -fail-after-ups) must
+// fail a strict run with a PartError naming its partition, and degrade
+// an AllowDegraded run into the single-kernel fallback with identical
+// findings.
+func TestFrrankdWorkerKill(t *testing.T) {
+	bin := buildFrrankd(t)
+	c := e2eCluster(t)
+	if _, err := inject.Inject(c, inject.DanglingObjectID, "/proj1/file2"); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := checker.RunCluster(c, checker.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := checker.DefaultOptions()
+	opt.RankWorkers = 3
+	opt.RankSpawn = bin
+	opt.OpTimeout = 5 * time.Second
+	opt.RankFaults = map[int]*inject.RankFault{1: {CrashAfterUps: 1}}
+
+	_, err = checker.RunCluster(c, opt)
+	if err == nil {
+		t.Fatal("strict run completed despite a killed worker process")
+	}
+	var pe *core.PartError
+	if !errors.As(err, &pe) {
+		t.Fatalf("killed process does not attribute a partition: %v", err)
+	}
+	if pe.Part != 1 {
+		t.Fatalf("error names partition %d, want 1: %v", pe.Part, err)
+	}
+
+	opt.AllowDegraded = true
+	res, err := checker.RunCluster(c, opt)
+	if err != nil {
+		t.Fatalf("degraded run failed outright: %v", err)
+	}
+	man := res.RankExec
+	if man == nil || !strings.Contains(man.Fallback, "rank partition 1") {
+		t.Fatalf("fallback missing or anonymous: %+v", man)
+	}
+	rankEqualBitwise(t, "spawn degraded", res.Rank, base.Rank)
+	if !reflect.DeepEqual(res.Findings, base.Findings) {
+		t.Fatal("degraded findings diverge from the undisturbed run")
+	}
+}
+
+// TestFrrankdShardFileMode: workers pre-loaded from FRSG shard files —
+// fingerprint-validated Hellos, no shipping — interoperate with a plain
+// wire coordinator and reproduce the single-kernel ranks bit for bit.
+func TestFrrankdShardFileMode(t *testing.T) {
+	bin := buildFrrankd(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A random graph large enough that every partition has ghosts.
+	n := 300
+	var edges []graph.Edge
+	for i := 0; i < 900; i++ {
+		edges = append(edges, graph.Edge{Src: uint32((i * 37) % n), Dst: uint32((i * 101) % n)})
+	}
+	b := graph.NewBidirected(n, edges, 4)
+	opt := core.DefaultOptions()
+	want := core.Run(b, opt)
+
+	const k = 3
+	owners := make([]uint16, n)
+	for g := range owners {
+		owners[g] = uint16(g % k)
+	}
+	plan := graph.PartitionPlan(b, owners, k, 4)
+	sums := make([]uint64, k)
+	paths := make([]string, k)
+	for p, sub := range plan.Parts {
+		sums[p] = sub.Fingerprint()
+		paths[p] = filepath.Join(dir, fmt.Sprintf("p%d.frsg", p))
+		if err := graph.WriteShardFile(paths[p], sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	x, addr, err := wire.NewRankExchange("", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	procs := make([]*exec.Cmd, k)
+	for p := 0; p < k; p++ {
+		procs[p] = exec.CommandContext(ctx, bin,
+			"-connect", addr, "-shard", paths[p], "-op-timeout", "10s", "-v")
+		procs[p].Stderr = os.Stderr
+		if err := procs[p].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	links, err := x.AcceptWorkers(ctx, wire.WorkerSpec{K: k, Sums: sums, HandshakeTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	got, rep, err := core.Coordinate(plan, links, opt)
+	if err != nil {
+		t.Fatalf("coordinate: %v", err)
+	}
+	x.Close()
+	for p, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("worker %d exit: %v", p, err)
+		}
+	}
+
+	rankEqualBitwise(t, "shard-file", got, want)
+	if len(rep.Supersteps) != want.Iterations {
+		t.Fatalf("%d supersteps for %d iterations", len(rep.Supersteps), want.Iterations)
+	}
+
+	// A worker pointed at the wrong shard file must be refused by the
+	// fingerprint handshake — and say so.
+	x2, addr2, err := wire.NewRankExchange("", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x2.Close()
+	wrong := exec.CommandContext(ctx, bin, "-connect", addr2, "-shard", paths[1], "-op-timeout", "5s")
+	var wrongOut strings.Builder
+	wrong.Stderr = &wrongOut
+	if err := wrong.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = x2.AcceptWorkers(ctx, wire.WorkerSpec{K: k, Sums: []uint64{1, 2, 3}, HandshakeTimeout: 15 * time.Second})
+	if !errors.Is(err, wire.ErrHelloMismatch) {
+		t.Fatalf("mis-pointed worker accepted: %v", err)
+	}
+	x2.Close()
+	if wrong.Wait() == nil {
+		t.Fatalf("mis-pointed worker exited cleanly: %s", wrongOut.String())
+	}
+}

@@ -30,6 +30,11 @@ type PartitionRow struct {
 	UpBytes, DownBytes, StepBytes int64
 	RankSeconds                   float64
 	Findings                      int
+	// MaxWorkerRSS is the largest spawned worker's peak resident set in
+	// bytes (spawned runs only, 0 otherwise) — the observable of the
+	// ROADMAP item-1 trajectory: per-worker RSS should approach 1/K of
+	// the single process as shards shrink.
+	MaxWorkerRSS int64
 }
 
 // partitionCounts is the sweep the artifact reports.
@@ -38,8 +43,11 @@ var partitionCounts = []int{1, 2, 4, 8}
 // PartitionMeasure ages one 1 MDT + 8 OST cluster, then runs the TCP
 // checker once per partition count. Scan and aggregation repeat each
 // run but only the rank stage is tabulated; the per-superstep exchange
-// numbers come from the run's rank manifest.
-func PartitionMeasure(scale Scale, workers int) ([]PartitionRow, error) {
+// numbers come from the run's rank manifest. A non-empty spawn path
+// execs that frrankd binary once per partition (k > 1) instead of
+// running the workers in process, and tabulates each cohort's largest
+// per-process peak RSS.
+func PartitionMeasure(scale Scale, workers int, spawn string) ([]PartitionRow, error) {
 	geometry := ldiskfs.CompactGeometry()
 	if scale == ScalePaper {
 		geometry = ldiskfs.DefaultGeometry()
@@ -67,6 +75,9 @@ func PartitionMeasure(scale Scale, workers int) ([]PartitionRow, error) {
 		opt.ChunkSize = 1024
 		opt.RankWorkers = k
 		opt.OpTimeout = 30 * time.Second
+		if spawn != "" && k > 1 {
+			opt.RankSpawn = spawn
+		}
 		res, err := checker.Run(images, opt)
 		if err != nil {
 			return nil, fmt.Errorf("bench: partition run k=%d: %w", k, err)
@@ -95,6 +106,11 @@ func PartitionMeasure(scale Scale, workers int) ([]PartitionRow, error) {
 			}
 			if man.Fallback != "" {
 				return nil, fmt.Errorf("bench: partition run k=%d fell back: %s", k, man.Fallback)
+			}
+			for _, rss := range man.WorkerRSS {
+				if rss > row.MaxWorkerRSS {
+					row.MaxWorkerRSS = rss
+				}
 			}
 		}
 		rows = append(rows, row)
@@ -127,10 +143,14 @@ func PartitionTable(rows []PartitionRow) *Table {
 		Title: "Rank-stage partition scaling (BSP supersteps over TCP, 1 MDT + 8 OSTs)",
 		Columns: []string{
 			"k", "transport", "iters", "supersteps", "cut-edges",
-			"up MiB", "down MiB", "KiB/step", "rank(s)", "findings",
+			"up MiB", "down MiB", "KiB/step", "rank(s)", "worker MiB", "findings",
 		},
 	}
 	for _, r := range rows {
+		workerRSS := "-"
+		if r.MaxWorkerRSS > 0 {
+			workerRSS = mib(r.MaxWorkerRSS)
+		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", r.K),
 			r.Transport,
@@ -141,12 +161,14 @@ func PartitionTable(rows []PartitionRow) *Table {
 			mib(r.DownBytes),
 			fmt.Sprintf("%.1f", float64(r.StepBytes)/(1<<10)),
 			fmt.Sprintf("%.4f", r.RankSeconds),
+			workerRSS,
 			fmt.Sprintf("%d", r.Findings),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"k=1 is the legacy single-process kernel; partitioned rows are bit-identical to it by construction (the run fails if not)",
 		"cut-edges drive the ghost exchange; KiB/step is the steady per-iteration frame volume (canonical encoded sizes)",
-		"rank(s) includes partitioning, the superstep exchange and classification — the paper's T_FR column shape")
+		"rank(s) includes partitioning, the superstep exchange and classification — the paper's T_FR column shape",
+		"worker MiB is the largest spawned frrankd process's peak RSS (-rank-spawn runs; '-' when workers ran in process)")
 	return t
 }

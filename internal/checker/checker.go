@@ -85,6 +85,25 @@ type Options struct {
 	// coordinator) and records the fallback in the rank manifest.
 	RankFaults map[int]*inject.RankFault
 
+	// RankListen binds the rank exchange to an explicit address
+	// ("host:port"; empty = a fresh localhost port) so frrankd workers
+	// beyond the loopback can dial in. Setting it forces the TCP rank
+	// path regardless of UseTCP.
+	RankListen string
+	// RankRemote waits for externally-launched frrankd processes to
+	// dial the exchange instead of spawning in-process dial goroutines.
+	// The coordinator ships each worker its shard over the link (or
+	// validates the fingerprint of a shard the worker pre-loaded); a
+	// worker that never arrives within OpTimeout fails the run — or,
+	// with AllowDegraded, falls back to the single-process kernel with
+	// the fallback recorded in the rank manifest.
+	RankRemote bool
+	// RankSpawn, when non-empty, is the path of an frrankd binary the
+	// checker execs once per partition (implies RankRemote) — the CI
+	// shape proving real process separation on one host. Per-process
+	// peak RSS lands in the rank manifest.
+	RankSpawn string
+
 	// RankIncremental runs the frontier-based incremental kernel
 	// (core.RunIncremental) instead of full sweeps, seeded from
 	// RankFrontier — the online tracker's warm path, where the work

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"faultyrank/internal/core"
 	"faultyrank/internal/graph"
+	"faultyrank/internal/inject"
 	"faultyrank/internal/par"
 	"faultyrank/internal/telemetry"
 	"faultyrank/internal/wire"
@@ -38,6 +40,14 @@ type RankManifest struct {
 	// CutEdges counts row entries whose column lives on another
 	// partition — the ghost traffic driver.
 	CutEdges int64 `json:"cut_edges"`
+	// Remote records that the workers were separate frrankd processes
+	// (Options.RankRemote / RankSpawn) rather than goroutines of the
+	// checker.
+	Remote bool `json:"remote,omitempty"`
+	// WorkerRSS, on spawned runs, is each partition's peak resident set
+	// in bytes (wait4 rusage) — the observable the ROADMAP item-1 exit
+	// criterion (per-worker RSS near 1/K) is judged on.
+	WorkerRSS []int64 `json:"worker_rss,omitempty"`
 	// Fallback, when set, records the degraded path: a partition's link
 	// broke mid-exchange, and the ranks were recomputed on the
 	// single-process kernel (the coordinator holds the whole graph). It
@@ -85,7 +95,10 @@ func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 		Transport:  "in-process",
 		CutEdges:   plan.CutEdges(),
 	}
-	if opt.UseTCP {
+	// Remote workers and explicit bind addresses only exist over TCP, so
+	// either forces the socket path even when the scan ran in process.
+	tcpRank := opt.UseTCP || opt.rankRemote() || opt.RankListen != ""
+	if tcpRank {
 		man.Transport = "tcp"
 	}
 
@@ -94,8 +107,8 @@ func runRank(ctx context.Context, res *Result, opt Options, obs *runObs) error {
 		rep  *core.ExchangeReport
 		err  error
 	)
-	if opt.UseTCP {
-		rank, rep, err = rankOverTCP(ctx, plan, opt, obs)
+	if tcpRank {
+		rank, rep, err = rankOverTCP(ctx, plan, opt, obs, man)
 	} else {
 		rank, rep, err = rankInProcess(ctx, plan, opt)
 	}
@@ -206,20 +219,42 @@ func rankInProcess(ctx context.Context, plan *graph.Plan, opt Options) (*core.Re
 	return rank, rep, err
 }
 
-// rankOverTCP runs the deployment shape: a localhost exchange accepts
-// one dialing worker per partition, and every superstep frame crosses
-// the versioned MsgRankDelta codec with the established deadline/retry
-// discipline. A worker that crashes mid-superstep drops its connection;
-// the coordinator's read fails within OpTimeout and Coordinate returns
-// a PartError naming the partition — closing the exchange then releases
-// the surviving workers, so nothing hangs.
-func rankOverTCP(ctx context.Context, plan *graph.Plan, opt Options, obs *runObs) (*core.Result, *core.ExchangeReport, error) {
-	x, addr, err := wire.NewRankExchange(opt.OpTimeout)
+// rankRemote reports whether the rank workers are separate processes:
+// externally launched (RankRemote) or exec'd by the checker (RankSpawn).
+func (opt Options) rankRemote() bool {
+	return opt.RankRemote || opt.RankSpawn != ""
+}
+
+// handshakeTimeout bounds the wait for remote workers to dial in. A
+// worker that never arrives must become an error, not a hang — even
+// when no OpTimeout was configured.
+func (opt Options) handshakeTimeout() time.Duration {
+	if opt.OpTimeout > 0 {
+		return opt.OpTimeout
+	}
+	return 60 * time.Second
+}
+
+// rankOverTCP runs the deployment shape: an exchange (localhost by
+// default, Options.RankListen to go beyond it) accepts one dialing
+// worker per partition — in-process dial goroutines normally, separate
+// frrankd processes with RankRemote/RankSpawn — validates each Hello
+// against the plan, and ships shards to workers that arrive without
+// one. A worker that crashes mid-superstep drops its connection; the
+// coordinator's read fails within OpTimeout and Coordinate returns a
+// PartError naming the partition — closing the exchange then releases
+// the surviving workers, so nothing hangs. A worker that fails before
+// the handshake (dial fault, dead process) is reported as the first
+// recorded worker error, wrapped with its partition index, instead of
+// vanishing behind the generic accept failure.
+func rankOverTCP(ctx context.Context, plan *graph.Plan, opt Options, obs *runObs, man *RankManifest) (*core.Result, *core.ExchangeReport, error) {
+	x, addr, err := wire.NewRankExchange(opt.RankListen, opt.OpTimeout)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer x.Close()
 	x.Observe(obs.wireM)
+	man.Remote = opt.rankRemote()
 
 	// A worker that cannot even dial would leave the accept loop waiting
 	// for a connection that never comes; cancelling the handshake context
@@ -227,30 +262,89 @@ func rankOverTCP(ctx context.Context, plan *graph.Plan, opt Options, obs *runObs
 	rankCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	wopt := partOptions(opt, plan.K)
-	var wg sync.WaitGroup
-	for p := 0; p < plan.K; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			conn, err := wire.DialRankLink(rankCtx, addr, p, opt.Retry, opt.OpTimeout)
-			if err != nil {
-				cancel()
-				return
-			}
-			defer conn.Close()
-			_ = workerLoop(rankCtx, plan, p, wopt, opt, conn)
-		}(p)
+	// Canonical shard blobs: their fingerprints are what a valid Hello
+	// must carry, and the blobs themselves are shipped to workers that
+	// announce with none.
+	blobs := make([][]byte, plan.K)
+	sums := make([]uint64, plan.K)
+	for p, sub := range plan.Parts {
+		blobs[p] = graph.EncodeSubGraph(sub)
+		sums[p] = graph.FingerprintShard(blobs[p])
+	}
+	spec := wire.WorkerSpec{
+		K:     plan.K,
+		Sums:  sums,
+		Shard: func(p int) []byte { return blobs[p] },
 	}
 
-	links, err := x.AcceptWorkers(rankCtx, plan.K)
+	// First worker error, in arrival order, wrapped with its partition —
+	// the root cause to surface when the handshake fails.
+	var (
+		workerOnce sync.Once
+		workerErr  error
+	)
+	recordErr := func(p int, err error) {
+		workerOnce.Do(func() {
+			workerErr = &core.PartError{Part: p, Err: err}
+		})
+	}
+
+	wopt := partOptions(opt, plan.K)
+	var wg sync.WaitGroup
+	var procs *spawnedWorkers
+	if opt.rankRemote() {
+		spec.HandshakeTimeout = opt.handshakeTimeout()
+		if opt.RankSpawn != "" {
+			procs, err = spawnRankWorkers(opt, plan, addr, wopt.Workers, recordErr)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		for p := 0; p < plan.K; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				if f := opt.RankFaults[p]; f != nil && f.FailDial {
+					recordErr(p, inject.ErrRankDialFault)
+					cancel()
+					return
+				}
+				conn, err := wire.DialRankLink(rankCtx, addr, p, plan.K, sums[p], opt.Retry, opt.OpTimeout)
+				if err != nil {
+					recordErr(p, fmt.Errorf("dialing rank exchange: %w", err))
+					cancel()
+					return
+				}
+				defer conn.Close()
+				if err := workerLoop(rankCtx, plan, p, wopt, opt, conn); err != nil {
+					recordErr(p, err)
+				}
+			}(p)
+		}
+	}
+
+	links, err := x.AcceptWorkers(rankCtx, spec)
 	if err != nil {
 		x.Close()
+		cancel()
 		wg.Wait()
-		return nil, nil, err
+		if procs != nil {
+			man.WorkerRSS = procs.finish(opt.handshakeTimeout())
+		}
+		// The accept failure is usually downstream of a worker's own
+		// death (it never dialed, or died pre-handshake); the recorded
+		// worker error is the root cause and names the partition.
+		if workerErr != nil {
+			return nil, nil, workerErr
+		}
+		return nil, nil, fmt.Errorf("checker: rank worker handshake: %w", err)
 	}
 	rank, rep, err := core.Coordinate(plan, links, opt.Core)
 	x.Close()
 	wg.Wait()
+	if procs != nil {
+		man.WorkerRSS = procs.finish(opt.handshakeTimeout())
+	}
 	return rank, rep, err
 }

@@ -220,3 +220,147 @@ func TestRankWorkerCrashInProcessDegraded(t *testing.T) {
 	}
 	rankEqualBitwise(t, "in-process degraded", res.Rank, base.Rank)
 }
+
+// TestRankDialFaultNamesPartition is the regression test for the
+// dropped-dial-error bug: a worker that cannot even reach the exchange
+// used to surface as a generic accept/context error with the root cause
+// lost. The strict run must now fail with a PartError naming the
+// faulted partition and wrapping the dial error itself.
+func TestRankDialFaultNamesPartition(t *testing.T) {
+	ctx, cancel := testCtx(t)
+	defer cancel()
+
+	c := fig7Cluster(t)
+	images := ClusterImages(c)
+
+	opt := crashOptions(false)
+	opt.RankFaults = map[int]*inject.RankFault{2: {FailDial: true}}
+
+	_, err := RunContext(ctx, images, opt)
+	if err == nil {
+		t.Fatal("strict run completed despite a worker that never dialed")
+	}
+	var pe *core.PartError
+	if !errors.As(err, &pe) {
+		t.Fatalf("dial failure does not attribute a partition: %v", err)
+	}
+	if pe.Part != 2 {
+		t.Fatalf("error names partition %d, want 2: %v", pe.Part, err)
+	}
+	if !errors.Is(err, inject.ErrRankDialFault) {
+		t.Fatalf("root dial cause lost from the error chain: %v", err)
+	}
+}
+
+// TestRankDialFaultDegraded: the same dial failure with AllowDegraded
+// falls back to the single-process kernel, names the partition in the
+// manifest, and matches the undisturbed findings.
+func TestRankDialFaultDegraded(t *testing.T) {
+	ctx, cancel := testCtx(t)
+	defer cancel()
+
+	c := fig7Cluster(t)
+	if _, err := inject.Inject(c, inject.DanglingObjectID, fig7Target); err != nil {
+		t.Fatal(err)
+	}
+	images := ClusterImages(c)
+
+	base, err := Run(images, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := crashOptions(true)
+	opt.RankFaults = map[int]*inject.RankFault{2: {FailDial: true}}
+	res, err := RunContext(ctx, images, opt)
+	if err != nil {
+		t.Fatalf("degraded run failed outright: %v", err)
+	}
+	man := res.RankExec
+	if man == nil || !strings.Contains(man.Fallback, "rank partition 2") {
+		t.Fatalf("fallback missing or anonymous: %+v", man)
+	}
+	rankEqualBitwise(t, "dial-fault degraded", res.Rank, base.Rank)
+	if !reflect.DeepEqual(res.Findings, base.Findings) {
+		t.Fatal("degraded findings diverge from the undisturbed run")
+	}
+}
+
+// TestRankRemoteNoWorker: in remote mode (externally-launched frrankd
+// processes) a worker that never arrives must fail the handshake within
+// the op timeout — strict runs error, degraded runs fall back with the
+// manifest recording both the remote topology and the fallback.
+func TestRankRemoteNoWorker(t *testing.T) {
+	ctx, cancel := testCtx(t)
+	defer cancel()
+
+	c := fig7Cluster(t)
+	images := ClusterImages(c)
+
+	base, err := Run(images, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := DefaultOptions()
+	opt.RankWorkers = 2
+	opt.RankRemote = true
+	opt.OpTimeout = 300 * time.Millisecond
+
+	start := time.Now()
+	if _, err := RunContext(ctx, images, opt); err == nil {
+		t.Fatal("strict remote run completed with no workers")
+	} else if !strings.Contains(err.Error(), "handshake") {
+		t.Fatalf("missing-worker failure is not a handshake error: %v", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("missing worker stalled the run for %v", waited)
+	}
+
+	opt.AllowDegraded = true
+	res, err := RunContext(ctx, images, opt)
+	if err != nil {
+		t.Fatalf("degraded remote run failed outright: %v", err)
+	}
+	man := res.RankExec
+	if man == nil || man.Fallback == "" {
+		t.Fatalf("no fallback recorded: %+v", man)
+	}
+	if !man.Remote || man.Transport != "tcp" {
+		t.Fatalf("manifest does not record the remote topology: %+v", man)
+	}
+	rankEqualBitwise(t, "remote degraded", res.Rank, base.Rank)
+}
+
+// TestRankListenBind is the checker-level regression test for the
+// hardcoded-localhost-listen bug: an explicit RankListen address must
+// actually be used for the exchange (forcing the TCP rank path even on
+// an in-process scan) and change nothing about the results.
+func TestRankListenBind(t *testing.T) {
+	c := fig7Cluster(t)
+	if _, err := inject.Inject(c, inject.DanglingObjectID, fig7Target); err != nil {
+		t.Fatal(err)
+	}
+	images := ClusterImages(c)
+
+	base, err := Run(images, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt := DefaultOptions()
+	opt.RankWorkers = 3
+	opt.RankListen = "127.0.0.1:0"
+	opt.OpTimeout = 10 * time.Second
+	res, err := Run(images, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RankExec == nil || res.RankExec.Transport != "tcp" {
+		t.Fatalf("explicit rank bind did not force the TCP rank path: %+v", res.RankExec)
+	}
+	rankEqualBitwise(t, "rank-listen", res.Rank, base.Rank)
+	if !reflect.DeepEqual(res.Findings, base.Findings) {
+		t.Fatal("findings diverge under an explicit rank bind")
+	}
+}

@@ -1,0 +1,20 @@
+//go:build linux
+
+package checker
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// peakRSS reads a finished child's peak resident set from the wait4
+// rusage. Linux reports ru_maxrss in KiB.
+func peakRSS(cmd *exec.Cmd) int64 {
+	if cmd.ProcessState == nil {
+		return 0
+	}
+	if ru, ok := cmd.ProcessState.SysUsage().(*syscall.Rusage); ok && ru != nil {
+		return ru.Maxrss << 10
+	}
+	return 0
+}

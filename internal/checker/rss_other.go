@@ -1,0 +1,9 @@
+//go:build !linux
+
+package checker
+
+import "os/exec"
+
+// peakRSS is unavailable off Linux (rusage layouts differ per OS); the
+// manifest records 0 rather than guessing units.
+func peakRSS(cmd *exec.Cmd) int64 { return 0 }

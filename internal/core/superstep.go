@@ -80,6 +80,14 @@ type RankDelta struct {
 	// requests an immediate Done.
 	Halt bool
 
+	// Sum rides only on Hello frames: the FNV-1a fingerprint of the
+	// worker's shard in canonical FRSG encoding
+	// (graph.(*SubGraph).Fingerprint), with 0 reserved for "no shard,
+	// ship me one". Together with Iter — which Hello reuses to carry the
+	// worker's believed K — it lets the coordinator reject a stale or
+	// mis-pointed worker before any superstep runs.
+	Sum uint64
+
 	// Sink carries the partition's sink-vertex rank values in ascending
 	// local order (Up frames); Ghost the partition's ghost-column
 	// values in ghost order (Down frames).
@@ -99,7 +107,7 @@ type RankDelta struct {
 // encoding (wire.EncodeRankDelta), so exchange accounting reports the
 // same volumes on the in-process and TCP paths.
 func (d *RankDelta) WireSize() int {
-	n := 53 // version, kind, part, iter, 3 floats, halt, 4 counts, bound count
+	n := 61 // version, kind, part, iter, 3 floats, sum, halt, 4 counts, bound count
 	n += 8 * (len(d.Sink) + len(d.Ghost) + len(d.ID) + len(d.Prop))
 	for _, b := range d.Bound {
 		n += 4 + 8*len(b)

@@ -1,0 +1,425 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// This file is the SubGraph's wire/disk form: a deterministic, versioned
+// binary codec (FRSG) with which the coordinator — or eventually the
+// aggregator — ships a partition's CSR shard to an out-of-process rank
+// worker (cmd/frrankd) instead of sharing memory with it. It follows the
+// repo's codec discipline (telemetry, FRDB, FRJR):
+//
+//   - Versioned: the blob starts with "FRSG" | version; a layout change
+//     bumps SubGraphCodecVersion and old blobs fail loudly.
+//   - Canonical: Local and Ghosts encode strictly ascending and disjoint,
+//     offsets start at 0 and never decrease, paired flags admit only 0/1,
+//     and SendTo schedules ascend; decode REJECTS any other form, so a
+//     blob either fails DecodeSubGraph or re-encodes byte-identically
+//     (FuzzDecodeSubGraph leans on this).
+//   - Bounded: counts from untrusted headers are sanity-checked against
+//     the remaining payload before any allocation sized from them, and
+//     every column index is range-checked against the local column space.
+
+// SubGraphCodecVersion identifies the binary layout of FRSG blobs. Bump
+// on any incompatible change.
+const SubGraphCodecVersion = 1
+
+var subGraphMagic = [4]byte{'F', 'R', 'S', 'G'}
+
+// ErrSubGraphCodec is wrapped by every decode failure caused by a
+// malformed blob (truncation, corruption, non-canonical form).
+var ErrSubGraphCodec = errors.New("malformed subgraph shard")
+
+// ErrSubGraphVersion is wrapped when the blob's magic or version does
+// not match this build — the mixed-version signal a worker handles by
+// refusing the shard instead of computing garbage on it.
+var ErrSubGraphVersion = errors.New("unsupported subgraph shard version")
+
+func errShard(format string, args ...any) error {
+	return fmt.Errorf("graph: %s: %w", fmt.Sprintf(format, args...), ErrSubGraphCodec)
+}
+
+// EncodeSubGraph renders one partition's shard as a versioned FRSG blob.
+// Equal shards always produce identical bytes (every array encodes in
+// its construction order, which PartitionPlan makes canonical).
+func EncodeSubGraph(s *SubGraph) []byte {
+	return AppendSubGraph(nil, s)
+}
+
+// AppendSubGraph appends EncodeSubGraph's blob to buf.
+func AppendSubGraph(buf []byte, s *SubGraph) []byte {
+	le := binary.LittleEndian
+	buf = append(buf, subGraphMagic[:]...)
+	buf = append(buf, SubGraphCodecVersion)
+	buf = le.AppendUint32(buf, uint32(s.Part))
+	buf = le.AppendUint16(buf, uint16(len(s.SendTo)))
+	buf = le.AppendUint64(buf, uint64(s.CutEdges))
+
+	buf = le.AppendUint32(buf, uint32(len(s.Local)))
+	for _, g := range s.Local {
+		buf = le.AppendUint32(buf, g)
+	}
+	buf = le.AppendUint32(buf, uint32(len(s.Ghosts)))
+	for _, g := range s.Ghosts {
+		buf = le.AppendUint32(buf, g)
+	}
+
+	for _, off := range s.RevOff {
+		buf = le.AppendUint64(buf, uint64(off))
+	}
+	for _, c := range s.RevCol {
+		buf = le.AppendUint32(buf, c)
+	}
+	for _, off := range s.FwdOff {
+		buf = le.AppendUint64(buf, uint64(off))
+	}
+	for _, c := range s.FwdCol {
+		buf = le.AppendUint32(buf, c)
+	}
+	buf = append(buf, s.FwdPaired...)
+
+	for _, v := range s.OutDeg {
+		buf = le.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range s.PairedIn {
+		buf = le.AppendUint32(buf, uint32(v))
+	}
+	for _, v := range s.UnpairedIn {
+		buf = le.AppendUint32(buf, uint32(v))
+	}
+
+	for _, sched := range s.SendTo {
+		buf = le.AppendUint32(buf, uint32(len(sched)))
+		for _, l := range sched {
+			buf = le.AppendUint32(buf, l)
+		}
+	}
+	return buf
+}
+
+// Fingerprint is the shard's identity for the rank Hello handshake: an
+// FNV-1a digest of the canonical FRSG encoding, so it covers the
+// partition index, K (the SendTo bundle count), both CSR orientations,
+// the replicated degree metadata, and the ghost/boundary schedules — a
+// worker holding the wrong graph, the wrong K, or a stale shard cannot
+// collide with the coordinator's plan except by hash accident. Never 0
+// for a real shard (the handshake reserves 0 for "no shard, ship one").
+func (s *SubGraph) Fingerprint() uint64 {
+	return FingerprintShard(EncodeSubGraph(s))
+}
+
+// FingerprintShard is Fingerprint over an already-encoded FRSG blob,
+// for callers (the coordinator) that hold the encoding anyway.
+func FingerprintShard(blob []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(blob)
+	if sum := h.Sum64(); sum != 0 {
+		return sum
+	}
+	return 1
+}
+
+// sdec is the bounded decoder for FRSG blobs.
+type sdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *sdec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.err = errShard("truncated at offset %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *sdec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *sdec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *sdec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *sdec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *sdec) remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
+// ascending32 decodes a strictly-ascending u32 vector (count already
+// read and bounded). Empty decodes nil — the canonical form.
+func (d *sdec) ascending32(n int, what string) []uint32 {
+	if n == 0 || d.err != nil {
+		return nil
+	}
+	out := make([]uint32, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		v := d.u32()
+		if d.err != nil {
+			break
+		}
+		if i > 0 && v <= out[i-1] {
+			d.err = errShard("%s not strictly ascending at entry %d", what, i)
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// offsets decodes an nRows+1 offset array: starts at 0, never
+// decreases, and its final entry (the edge count) is bounded so the
+// column array it sizes cannot out-allocate the payload.
+func (d *sdec) offsets(nRows int, what string) []int64 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, nRows+1)
+	for i := range out {
+		v := d.u64()
+		if d.err != nil {
+			return nil
+		}
+		if i == 0 && v != 0 {
+			d.err = errShard("%s offsets start at %d, want 0", what, v)
+			return nil
+		}
+		if v > uint64(1)<<62 || (i > 0 && int64(v) < out[i-1]) {
+			d.err = errShard("%s offsets not monotone at row %d", what, i)
+			return nil
+		}
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// columns decodes an edge-column array of n entries, each < nCols.
+func (d *sdec) columns(n int64, nCols int, what string) []uint32 {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(n)*4 > uint64(d.remaining()) {
+		d.err = errShard("implausible %s column count %d", what, n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, n)
+	for i := int64(0); i < n && d.err == nil; i++ {
+		c := d.u32()
+		if d.err != nil {
+			break
+		}
+		if int(c) >= nCols {
+			d.err = errShard("%s column %d out of range (%d columns)", what, c, nCols)
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// counts32 decodes an implied-length int32 metadata vector, rejecting
+// negative values (degrees and in-edge counts are tallies).
+func (d *sdec) counts32(n int, what string) []int32 {
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		v := int32(d.u32())
+		if d.err != nil {
+			break
+		}
+		if v < 0 {
+			d.err = errShard("negative %s %d at column %d", what, v, i)
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// DecodeSubGraph reconstructs a shard from an FRSG blob. The blob is
+// rejected (never panicked on) when truncated, when counts are
+// implausible for the remaining payload, when any column or schedule
+// index is out of range, when any canonical order is violated, or when
+// the version does not match.
+func DecodeSubGraph(blob []byte) (*SubGraph, error) {
+	d := &sdec{b: blob}
+	if !d.need(5) {
+		return nil, d.err
+	}
+	if [4]byte(blob[:4]) != subGraphMagic {
+		return nil, fmt.Errorf("graph: bad subgraph shard magic %q: %w", blob[:4], ErrSubGraphVersion)
+	}
+	if v := blob[4]; v != SubGraphCodecVersion {
+		return nil, fmt.Errorf("graph: subgraph shard version %d (have %d): %w", v, SubGraphCodecVersion, ErrSubGraphVersion)
+	}
+	d.off = 5
+
+	s := &SubGraph{Part: int(d.u32())}
+	k := int(d.u16())
+	s.CutEdges = int64(d.u64())
+	if d.err == nil && s.CutEdges < 0 {
+		return nil, errShard("negative cut-edge count %d", s.CutEdges)
+	}
+	if d.err == nil && s.Part >= max(k, 1) {
+		return nil, errShard("partition %d out of range k=%d", s.Part, k)
+	}
+
+	nLocal := int(d.u32())
+	if d.err == nil && uint64(nLocal)*4 > uint64(d.remaining()) {
+		return nil, errShard("implausible local count %d", nLocal)
+	}
+	s.Local = d.ascending32(nLocal, "locals")
+	nGhost := int(d.u32())
+	if d.err == nil && uint64(nGhost)*4 > uint64(d.remaining()) {
+		return nil, errShard("implausible ghost count %d", nGhost)
+	}
+	s.Ghosts = d.ascending32(nGhost, "ghosts")
+	if d.err == nil {
+		// Both lists ascend, so a single merge walk proves disjointness —
+		// a ghost aliasing a local would make two columns one vertex.
+		for i, j := 0, 0; i < nLocal && j < nGhost; {
+			switch {
+			case s.Local[i] < s.Ghosts[j]:
+				i++
+			case s.Local[i] > s.Ghosts[j]:
+				j++
+			default:
+				return nil, errShard("vertex %d is both local and ghost", s.Local[i])
+			}
+		}
+	}
+	nCols := nLocal + nGhost
+
+	if d.err == nil && uint64(nLocal+1)*8 > uint64(d.remaining()) {
+		return nil, errShard("truncated rev offsets")
+	}
+	s.RevOff = d.offsets(nLocal, "rev")
+	if d.err == nil {
+		s.RevCol = d.columns(s.RevOff[nLocal], nCols, "rev")
+	}
+	if d.err == nil && uint64(nLocal+1)*8 > uint64(d.remaining()) {
+		return nil, errShard("truncated fwd offsets")
+	}
+	s.FwdOff = d.offsets(nLocal, "fwd")
+	if d.err == nil {
+		s.FwdCol = d.columns(s.FwdOff[nLocal], nCols, "fwd")
+	}
+	if d.err == nil {
+		nFwd := int(s.FwdOff[nLocal])
+		if !d.need(nFwd) {
+			return nil, d.err
+		}
+		if nFwd > 0 {
+			s.FwdPaired = make([]uint8, nFwd)
+			copy(s.FwdPaired, d.b[d.off:d.off+nFwd])
+			d.off += nFwd
+			for i, p := range s.FwdPaired {
+				if p > 1 {
+					return nil, errShard("paired flag %d at edge %d", p, i)
+				}
+			}
+		}
+	}
+
+	if d.err == nil && uint64(nCols)*12 > uint64(d.remaining()) {
+		return nil, errShard("truncated column metadata (%d columns)", nCols)
+	}
+	s.OutDeg = d.counts32(nCols, "out-degree")
+	s.PairedIn = d.counts32(nCols, "paired-in count")
+	s.UnpairedIn = d.counts32(nCols, "unpaired-in count")
+
+	if k > 0 && d.err == nil {
+		if uint64(k)*4 > uint64(d.remaining()) {
+			return nil, errShard("implausible partition count %d", k)
+		}
+		s.SendTo = make([][]uint32, k)
+		for q := 0; q < k && d.err == nil; q++ {
+			n := int(d.u32())
+			if d.err == nil && uint64(n)*4 > uint64(d.remaining()) {
+				return nil, errShard("implausible send schedule %d for partition %d", n, q)
+			}
+			sched := d.ascending32(n, "send schedule")
+			for _, l := range sched {
+				if int(l) >= nLocal {
+					return nil, errShard("send schedule entry %d out of range (%d locals)", l, nLocal)
+				}
+			}
+			s.SendTo[q] = sched
+		}
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(blob) {
+		return nil, errShard("%d trailing bytes", len(blob)-d.off)
+	}
+	return s, nil
+}
+
+// WriteShardFile atomically writes the shard as an FRSG file (temp file
+// + rename, the WriteJSON discipline), so a worker loading it can never
+// observe a torn write.
+func WriteShardFile(path string, s *SubGraph) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, EncodeSubGraph(s), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadShardFile reads and decodes an FRSG shard file.
+func ReadShardFile(path string) (*SubGraph, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSubGraph(b)
+}

@@ -17,6 +17,10 @@ import (
 // ErrRankWorkerCrash marks a simulated rank-worker death mid-superstep.
 var ErrRankWorkerCrash = errors.New("inject: rank worker crashed")
 
+// ErrRankDialFault marks a simulated dial failure: the worker died (or
+// was mis-pointed) before it ever reached the coordinator's exchange.
+var ErrRankDialFault = errors.New("inject: rank worker dial failed")
+
 // RankFault is one injected rank-worker crash. The wrapped link passes
 // frames through until CrashAfterUps upstream frames have flowed, then
 // closes the underlying link — a TCP connection drops, an in-process
@@ -28,6 +32,12 @@ type RankFault struct {
 	// flow cleanly before the worker dies. 0 crashes on the first Up of
 	// the first superstep; 1 lets UpA through and dies mid-iteration.
 	CrashAfterUps int
+
+	// FailDial, on the checker's TCP rank path, fails the worker's dial
+	// outright (ErrRankDialFault) instead of crashing an established
+	// link — the regression hook for the dropped-dial-error bug, where
+	// the root cause vanished behind a generic accept error.
+	FailDial bool
 }
 
 // WrapLink interposes the fault on an established superstep link.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -12,13 +13,18 @@ import (
 
 // RankDeltaVersion is the codec version carried in every MsgRankDelta
 // payload. A coordinator and its workers must agree exactly — the
-// superstep protocol has no room for mixed-version best effort.
-const RankDeltaVersion = 1
+// superstep protocol has no room for mixed-version best effort, and now
+// that workers can be separately-built frrankd binaries the version
+// byte is what turns a stale binary into a loud decode error instead of
+// silent garbage. Version 2 added the u64 sum field (shard fingerprint
+// on Hello frames).
+const RankDeltaVersion = 2
 
-// RankDelta encoding (little-endian), version 1:
+// RankDelta encoding (little-endian), version 2:
 //
 //	u8 version | u8 kind | u32 part | u32 iter
 //	u64 base | u64 perSink | u64 diff   (IEEE-754 bit patterns)
+//	u64 sum
 //	u8 halt (0 or 1)
 //	u32 sinkCount  | sinkCount  × u64
 //	u32 ghostCount | ghostCount × u64
@@ -46,6 +52,7 @@ func EncodeRankDelta(d *core.RankDelta) []byte {
 	buf = appendU64(buf, math.Float64bits(d.Base))
 	buf = appendU64(buf, math.Float64bits(d.PerSink))
 	buf = appendU64(buf, math.Float64bits(d.Diff))
+	buf = appendU64(buf, d.Sum)
 	if d.Halt {
 		buf = append(buf, 1)
 	} else {
@@ -103,6 +110,7 @@ func DecodeRankDelta(b []byte) (*core.RankDelta, error) {
 	r.Base = math.Float64frombits(d.u64())
 	r.PerSink = math.Float64frombits(d.u64())
 	r.Diff = math.Float64frombits(d.u64())
+	r.Sum = d.u64()
 	switch h := d.u8(); h {
 	case 0:
 	case 1:
@@ -211,10 +219,16 @@ type RankExchange struct {
 	conns     []*RankConn
 }
 
-// NewRankExchange listens on a fresh localhost port. opTimeout bounds
-// every subsequent per-frame read/write on accepted links.
-func NewRankExchange(opTimeout time.Duration) (*RankExchange, string, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// NewRankExchange listens for rank workers on bind ("" defaults to
+// 127.0.0.1:0, a fresh localhost port — the in-process and test path).
+// A non-loopback bind is what lets frrankd workers on other hosts dial
+// in. opTimeout bounds every subsequent per-frame read/write on
+// accepted links.
+func NewRankExchange(bind string, opTimeout time.Duration) (*RankExchange, string, error) {
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, "", err
 	}
@@ -224,12 +238,46 @@ func NewRankExchange(opTimeout time.Duration) (*RankExchange, string, error) {
 // Observe attaches wire metrics to every link the exchange accepts.
 func (x *RankExchange) Observe(m *Metrics) { x.metrics = m }
 
-// AcceptWorkers accepts exactly k worker connections, reads each one's
-// Hello, and returns the links ordered by partition index. Duplicate or
-// out-of-range partitions fail the accept. ctx bounds the whole
-// handshake: its cancellation closes the listener and every accepted
-// connection, so a worker that never dials cannot hang the checker.
-func (x *RankExchange) AcceptWorkers(ctx context.Context, k int) ([]core.Link, error) {
+// ErrHelloMismatch is wrapped when a worker's Hello names the right
+// partition but the wrong plan — a K that differs from the
+// coordinator's, or a shard fingerprint that does not match the shard
+// the coordinator built for that partition. It is the named signal that
+// a separately-built or mis-pointed worker was refused before any
+// superstep ran.
+var ErrHelloMismatch = errors.New("wire: rank hello does not match coordinator plan")
+
+// WorkerSpec tells AcceptWorkers what a valid worker cohort looks like
+// and how to equip workers that arrive without a shard.
+type WorkerSpec struct {
+	// K is the partition count; exactly K workers are accepted.
+	K int
+
+	// Sums[p], when non-nil, is the canonical FRSG fingerprint of
+	// partition p's shard; a worker whose Hello carries a different
+	// non-zero sum is rejected (ErrHelloMismatch).
+	Sums []uint64
+
+	// Shard returns partition p's encoded FRSG blob for a worker whose
+	// Hello carries Sum 0 ("no shard, ship me one"). Nil means shipping
+	// is unsupported and such a worker is rejected.
+	Shard func(p int) []byte
+
+	// HandshakeTimeout, when positive, bounds the wait for each worker
+	// to dial in — the knob that turns "a remote worker never arrived"
+	// into a timely error the checker can degrade on, without poisoning
+	// the accepted links' lifetime (they keep ctx + opTimeout).
+	HandshakeTimeout time.Duration
+}
+
+// AcceptWorkers accepts exactly spec.K worker connections, reads and
+// validates each one's Hello, and returns the links ordered by
+// partition index. Duplicate or out-of-range partitions, a mismatched
+// K, or a mismatched shard fingerprint fail the accept; a worker with
+// no shard gets its partition's blob shipped in a MsgSubGraph frame
+// before the next accept. ctx bounds the whole handshake: its
+// cancellation closes the listener and every accepted connection, so a
+// worker that never dials cannot hang the checker.
+func (x *RankExchange) AcceptWorkers(ctx context.Context, spec WorkerSpec) ([]core.Link, error) {
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -239,15 +287,21 @@ func (x *RankExchange) AcceptWorkers(ctx context.Context, k int) ([]core.Link, e
 		case <-done:
 		}
 	}()
+	if spec.HandshakeTimeout > 0 {
+		if tl, ok := x.ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(time.Now().Add(spec.HandshakeTimeout))
+			defer tl.SetDeadline(time.Time{})
+		}
+	}
 
-	links := make([]core.Link, k)
-	for accepted := 0; accepted < k; accepted++ {
+	links := make([]core.Link, spec.K)
+	for accepted := 0; accepted < spec.K; accepted++ {
 		conn, err := x.ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
 				err = ctx.Err()
 			}
-			return nil, fmt.Errorf("wire: rank exchange accept: %w", err)
+			return nil, fmt.Errorf("wire: rank exchange accept (%d/%d workers): %w", accepted, spec.K, err)
 		}
 		rc := NewRankConn(ctx, conn, x.opTimeout)
 		rc.Observe(x.metrics)
@@ -259,11 +313,28 @@ func (x *RankExchange) AcceptWorkers(ctx context.Context, k int) ([]core.Link, e
 		if hello.Kind != core.RankHello {
 			return nil, fmt.Errorf("wire: expected rank hello, got kind %d", hello.Kind)
 		}
-		if hello.Part >= uint32(k) {
-			return nil, fmt.Errorf("wire: rank hello names partition %d of %d", hello.Part, k)
+		if hello.Part >= uint32(spec.K) {
+			return nil, fmt.Errorf("wire: rank hello names partition %d of %d", hello.Part, spec.K)
 		}
 		if links[hello.Part] != nil {
 			return nil, fmt.Errorf("wire: duplicate rank hello for partition %d", hello.Part)
+		}
+		if hello.Sum == 0 {
+			// The worker has no shard; ship the canonical blob. The
+			// fingerprint check is moot — it runs what we just sent.
+			if spec.Shard == nil {
+				return nil, fmt.Errorf("wire: partition %d worker has no shard and shipping is not configured: %w", hello.Part, ErrHelloMismatch)
+			}
+			if err := rc.sendShard(spec.Shard(int(hello.Part))); err != nil {
+				return nil, fmt.Errorf("wire: shipping shard to partition %d: %w", hello.Part, err)
+			}
+		} else {
+			if hello.Iter != uint32(spec.K) {
+				return nil, fmt.Errorf("wire: partition %d worker built for K=%d, coordinator has K=%d: %w", hello.Part, hello.Iter, spec.K, ErrHelloMismatch)
+			}
+			if spec.Sums != nil && hello.Sum != spec.Sums[hello.Part] {
+				return nil, fmt.Errorf("wire: partition %d worker shard fingerprint %#x, coordinator plan has %#x: %w", hello.Part, hello.Sum, spec.Sums[hello.Part], ErrHelloMismatch)
+			}
 		}
 		links[hello.Part] = rc
 	}
@@ -279,18 +350,82 @@ func (x *RankExchange) Close() error {
 	return err
 }
 
+// sendShard ships an encoded FRSG blob as a MsgSubGraph frame. The
+// blob is opaque to the wire layer — graph owns the codec.
+func (c *RankConn) sendShard(blob []byte) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	_ = c.conn.SetWriteDeadline(ioDeadline(c.ctx, c.opTimeout))
+	if err := WriteFrame(c.conn, MsgSubGraph, blob); err != nil {
+		return err
+	}
+	if c.metrics != nil {
+		c.metrics.FramesSent.Inc()
+		c.metrics.BytesSent.Add(int64(len(blob)))
+	}
+	return nil
+}
+
+// RecvShard reads the MsgSubGraph frame a coordinator ships after a
+// no-shard Hello and returns the opaque FRSG blob.
+func (c *RankConn) RecvShard() ([]byte, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+	_ = c.conn.SetReadDeadline(ioDeadline(c.ctx, c.opTimeout))
+	typ, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := AsError(typ, payload); err != nil {
+		return nil, err
+	}
+	if typ != MsgSubGraph {
+		return nil, fmt.Errorf("wire: expected subgraph frame, got type %d", typ)
+	}
+	if c.metrics != nil {
+		c.metrics.FramesRecv.Inc()
+		c.metrics.BytesRecv.Add(int64(len(payload)))
+	}
+	return payload, nil
+}
+
 // DialRankLink connects one rank worker to a coordinator's exchange
-// with bounded retry and announces its partition. The returned link is
-// ready for core.RunPartition.
-func DialRankLink(ctx context.Context, addr string, part int, policy RetryPolicy, opTimeout time.Duration) (*RankConn, error) {
+// with bounded retry and announces its partition, the K it was built
+// for, and its shard's canonical fingerprint (Hello reuses the Iter
+// field for K). The returned link is ready for core.RunPartition.
+func DialRankLink(ctx context.Context, addr string, part, k int, sum uint64, policy RetryPolicy, opTimeout time.Duration) (*RankConn, error) {
 	conn, _, err := dialRetry(ctx, addr, policy)
 	if err != nil {
 		return nil, err
 	}
 	rc := NewRankConn(ctx, conn, opTimeout)
-	if err := rc.Send(&core.RankDelta{Kind: core.RankHello, Part: uint32(part)}); err != nil {
+	if err := rc.Send(&core.RankDelta{Kind: core.RankHello, Part: uint32(part), Iter: uint32(k), Sum: sum}); err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return rc, nil
+}
+
+// JoinRankShipped connects a shard-less worker: it announces its
+// partition with Sum 0 ("ship me my shard") and returns the link
+// together with the FRSG blob the coordinator answers with. The caller
+// decodes the blob (graph.DecodeSubGraph) and runs the partition.
+func JoinRankShipped(ctx context.Context, addr string, part int, policy RetryPolicy, opTimeout time.Duration) (*RankConn, []byte, error) {
+	conn, _, err := dialRetry(ctx, addr, policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc := NewRankConn(ctx, conn, opTimeout)
+	if err := rc.Send(&core.RankDelta{Kind: core.RankHello, Part: uint32(part)}); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	blob, err := rc.RecvShard()
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("wire: receiving shipped shard for partition %d: %w", part, err)
+	}
+	return rc, blob, nil
 }

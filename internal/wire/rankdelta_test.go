@@ -1,9 +1,12 @@
 package wire
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"net"
 	"reflect"
 	"sync"
 	"testing"
@@ -21,6 +24,7 @@ func randomRankDelta(r *rand.Rand) *core.RankDelta {
 		Base:    r.NormFloat64(),
 		PerSink: r.Float64(),
 		Diff:    r.Float64(),
+		Sum:     uint64(r.Int63()),
 		Halt:    r.Intn(2) == 1,
 	}
 	vec := func(n int) []float64 {
@@ -76,13 +80,14 @@ func TestRankDeltaRejects(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":          {},
 		"bad version":    append([]byte{9}, valid[1:]...),
+		"stale version":  append([]byte{1}, valid[1:]...),
 		"bad kind":       append([]byte{RankDeltaVersion, 0}, valid[2:]...),
-		"bad halt":       mutate(valid, 34, 7),
+		"bad halt":       mutate(valid, 42, 7),
 		"trailing bytes": append(append([]byte{}, valid...), 0),
 		"truncated":      valid[:len(valid)-3],
 	}
 	// Lying sink count far past the payload.
-	lie := append([]byte{}, valid[:35]...)
+	lie := append([]byte{}, valid[:43]...)
 	lie = appendU32(lie, 0xFFFFFF)
 	cases["lying count"] = lie
 
@@ -126,9 +131,13 @@ func TestRankExchangeTCPExact(t *testing.T) {
 		plan := graph.PartitionPlan(b, owners, k, 4)
 
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		x, addr, err := NewRankExchange(5 * time.Second)
+		x, addr, err := NewRankExchange("", 5*time.Second)
 		if err != nil {
 			t.Fatal(err)
+		}
+		sums := make([]uint64, k)
+		for p, sub := range plan.Parts {
+			sums[p] = sub.Fingerprint()
 		}
 
 		var wg sync.WaitGroup
@@ -136,7 +145,7 @@ func TestRankExchangeTCPExact(t *testing.T) {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
-				link, err := DialRankLink(ctx, addr, p, DefaultRetryPolicy(), 5*time.Second)
+				link, err := DialRankLink(ctx, addr, p, k, sums[p], DefaultRetryPolicy(), 5*time.Second)
 				if err != nil {
 					t.Errorf("worker %d dial: %v", p, err)
 					return
@@ -148,7 +157,7 @@ func TestRankExchangeTCPExact(t *testing.T) {
 			}(p)
 		}
 
-		links, err := x.AcceptWorkers(ctx, k)
+		links, err := x.AcceptWorkers(ctx, WorkerSpec{K: k, Sums: sums})
 		if err != nil {
 			t.Fatalf("k=%d accept: %v", k, err)
 		}
@@ -185,20 +194,159 @@ func TestRankExchangeRejectsBadHello(t *testing.T) {
 		"duplicate":    {1, 1},
 		"out-of-range": {0, 7},
 	} {
-		x, addr, err := NewRankExchange(2 * time.Second)
+		x, addr, err := NewRankExchange("", 2*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range parts {
-			link, err := DialRankLink(ctx, addr, p, RetryPolicy{}, 2*time.Second)
+			link, err := DialRankLink(ctx, addr, p, 2, 1, RetryPolicy{}, 2*time.Second)
 			if err != nil {
 				t.Fatalf("%s: dial: %v", name, err)
 			}
 			defer link.Close()
 		}
-		if _, err := x.AcceptWorkers(ctx, 2); err == nil {
+		if _, err := x.AcceptWorkers(ctx, WorkerSpec{K: 2}); err == nil {
 			t.Fatalf("%s: handshake accepted", name)
 		}
 		x.Close()
+	}
+}
+
+// TestRankExchangeBindAddress: the exchange listens where it is told
+// (the hook that lets workers beyond localhost dial in), defaults to a
+// fresh localhost port, and reports unusable binds instead of silently
+// reverting to the default.
+func TestRankExchangeBindAddress(t *testing.T) {
+	x, addr, err := NewRankExchange("127.0.0.1:0", time.Second)
+	if err != nil {
+		t.Fatalf("explicit loopback bind: %v", err)
+	}
+	if host, _, err := net.SplitHostPort(addr); err != nil || host != "127.0.0.1" {
+		t.Fatalf("explicit bind resolved to %q (%v)", addr, err)
+	}
+	// A second exchange on the SAME port must fail — proof the bind
+	// address is honoured rather than replaced with a fresh port.
+	if x2, a2, err := NewRankExchange(addr, time.Second); err == nil {
+		x2.Close()
+		t.Fatalf("duplicate bind of %s succeeded as %s", addr, a2)
+	}
+	x.Close()
+
+	xd, addr, err := NewRankExchange("", time.Second)
+	if err != nil {
+		t.Fatalf("default bind: %v", err)
+	}
+	defer xd.Close()
+	if host, _, err := net.SplitHostPort(addr); err != nil || host != "127.0.0.1" {
+		t.Fatalf("default bind resolved to %q (%v)", addr, err)
+	}
+}
+
+// TestRankExchangeRejectsHelloMismatch: a worker announcing the wrong K
+// or the wrong shard fingerprint — a stale or mis-pointed frrankd — is
+// refused with ErrHelloMismatch before any superstep runs, as is a
+// shard-less worker when shipping is not configured.
+func TestRankExchangeRejectsHelloMismatch(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	cases := map[string]struct {
+		k    int
+		sum  uint64
+		spec WorkerSpec
+	}{
+		"wrong K":            {k: 4, sum: 7, spec: WorkerSpec{K: 2, Sums: []uint64{7, 7}}},
+		"wrong fingerprint":  {k: 2, sum: 9, spec: WorkerSpec{K: 2, Sums: []uint64{7, 7}}},
+		"no shard, no ship": {k: 0, sum: 0, spec: WorkerSpec{K: 2}},
+	}
+	for name, tc := range cases {
+		x, addr, err := NewRankExchange("", 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		link, err := DialRankLink(ctx, addr, 0, tc.k, tc.sum, RetryPolicy{}, 2*time.Second)
+		if err != nil {
+			t.Fatalf("%s: dial: %v", name, err)
+		}
+		_, err = x.AcceptWorkers(ctx, tc.spec)
+		if !errors.Is(err, ErrHelloMismatch) {
+			t.Fatalf("%s: got %v, want ErrHelloMismatch", name, err)
+		}
+		link.Close()
+		x.Close()
+	}
+
+	// A stale worker binary speaks codec version 1: its Hello must die
+	// in DecodeRankDelta, not be half-understood.
+	x, addr, err := NewRankExchange("", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	stale := EncodeRankDelta(&core.RankDelta{Kind: core.RankHello, Iter: 1, Sum: 1})
+	stale[0] = 1 // the version byte a v1 binary would send
+	if err := WriteFrame(conn, MsgRankDelta, stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.AcceptWorkers(ctx, WorkerSpec{K: 1, Sums: []uint64{1}}); err == nil {
+		t.Fatal("stale codec version accepted")
+	}
+}
+
+// TestRankShardShipping: a worker that announces with no shard gets its
+// partition's FRSG blob shipped over the link, byte-identical to the
+// coordinator's canonical encoding.
+func TestRankShardShipping(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	b := graph.NewBidirected(40, []graph.Edge{{Src: 0, Dst: 9}, {Src: 9, Dst: 0}, {Src: 3, Dst: 22}}, 2)
+	owners := make([]uint16, b.N())
+	for g := range owners {
+		owners[g] = uint16(g % 2)
+	}
+	plan := graph.PartitionPlan(b, owners, 2, 2)
+	blobs := [][]byte{graph.EncodeSubGraph(plan.Parts[0]), graph.EncodeSubGraph(plan.Parts[1])}
+
+	x, addr, err := NewRankExchange("", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	type joined struct {
+		p    int
+		blob []byte
+		err  error
+	}
+	got := make(chan joined, 2)
+	for p := 0; p < 2; p++ {
+		go func(p int) {
+			link, blob, err := JoinRankShipped(ctx, addr, p, RetryPolicy{}, 2*time.Second)
+			if err == nil {
+				defer link.Close()
+			}
+			got <- joined{p: p, blob: blob, err: err}
+		}(p)
+	}
+	if _, err := x.AcceptWorkers(ctx, WorkerSpec{K: 2, Shard: func(p int) []byte { return blobs[p] }}); err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		j := <-got
+		if j.err != nil {
+			t.Fatalf("worker %d: %v", j.p, j.err)
+		}
+		if !bytes.Equal(j.blob, blobs[j.p]) {
+			t.Fatalf("worker %d: shipped blob differs from canonical encoding", j.p)
+		}
+		if sub, err := graph.DecodeSubGraph(j.blob); err != nil || sub.Part != j.p {
+			t.Fatalf("worker %d: shipped blob decode: %v", j.p, err)
+		}
 	}
 }

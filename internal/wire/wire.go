@@ -50,6 +50,10 @@ const (
 	// blob of telemetry.JournalSnapshot sections), sent right after
 	// MsgTelemetry on the same tolerant trailer protocol.
 	MsgJournal
+	// MsgSubGraph carries one partition's encoded graph.SubGraph shard
+	// (FRSG blob, opaque to the wire layer), shipped by the coordinator
+	// to a rank worker that announced itself with no shard.
+	MsgSubGraph
 )
 
 // MaxFrame bounds a single frame (a partial graph of a multi-million
